@@ -1,0 +1,271 @@
+// Benchmarks, one per evaluation figure of the paper (Fig. 6(a)–6(p)).
+//
+// Each BenchmarkFig* exercises the same algorithms, workload family and
+// swept parameter as its figure, at a reduced size so `go test -bench=.`
+// stays tractable; the full sweeps with the paper's axes are produced by
+// `go run ./cmd/benchfig -all` (see EXPERIMENTS.md for recorded output).
+// PT corresponds to ns/op; DS is reported via the custom metrics
+// data_KB/op and msgs/op.
+package dgs
+
+import (
+	"fmt"
+	"testing"
+)
+
+const (
+	benchWebNV = 20_000
+	benchWebNE = 100_000
+	benchCitNV = 10_000
+	benchCitNE = 22_000
+	benchSynNV = 30_000
+	benchSynNE = 120_000
+)
+
+// withNet applies the EC2-like link model for the duration of one
+// benchmark so ns/op reflects network-inclusive response time, like the
+// figures.
+func withNet(b *testing.B) {
+	b.Helper()
+	SetEC2Network(true)
+	b.Cleanup(func() { SetEC2Network(false) })
+}
+
+func benchRun(b *testing.B, algo Algorithm, q *Pattern, part *Partition, opts Options) {
+	b.Helper()
+	var bytes, msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(algo, q, part, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += res.Stats.DataBytes
+		msgs += res.Stats.DataMsgs
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "data_KB/op")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}
+
+func webWorld(b *testing.B, nf int, vf float64) (*Dict, *Graph, *Partition) {
+	b.Helper()
+	dict := NewDict()
+	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
+	part, err := PartitionTargetRatio(g, nf, ByVf, vf, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dict, g, part
+}
+
+func citWorld(b *testing.B, nf int, vf float64) (*Dict, *Graph, *Partition) {
+	b.Helper()
+	dict := NewDict()
+	g := GenCitation(dict, benchCitNV, benchCitNE, 1)
+	part, err := PartitionTargetRatio(g, nf, ByVf, vf, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dict, g, part
+}
+
+// exp1Algos mirrors Fig. 6(a)-(f): dGPM and the baselines on cyclic
+// queries over the web graph.
+var exp1Algos = []Algorithm{AlgoDGPM, AlgoDisHHK, AlgoDGPMNoOpt, AlgoDMes, AlgoMatch}
+
+// BenchmarkFig6ab — PT/DS vs |F| (Fig. 6(a), 6(b)).
+func BenchmarkFig6ab(b *testing.B) {
+	withNet(b)
+	for _, nf := range []int{4, 8, 16} {
+		dict, _, part := webWorld(b, nf, 0.25)
+		q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
+		for _, algo := range exp1Algos {
+			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6cd — PT/DS vs |Q| (Fig. 6(c), 6(d)).
+func BenchmarkFig6cd(b *testing.B) {
+	withNet(b)
+	dict, _, part := webWorld(b, 8, 0.25)
+	for _, sz := range [][2]int{{4, 8}, {6, 12}, {8, 16}} {
+		q := GenCyclicPatternOver(dict, sz[0], sz[1], 4, 100)
+		for _, algo := range exp1Algos {
+			b.Run(fmt.Sprintf("Q=(%d,%d)/%s", sz[0], sz[1], algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6ef — PT/DS vs |Vf| (Fig. 6(e), 6(f)).
+func BenchmarkFig6ef(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
+	q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
+	for _, vf := range []float64{0.25, 0.40, 0.50} {
+		part, err := PartitionTargetRatio(g, 8, ByVf, vf, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, algo := range exp1Algos {
+			b.Run(fmt.Sprintf("Vf=%.2f/%s", vf, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{})
+			})
+		}
+	}
+}
+
+// exp2Algos mirrors Fig. 6(g)-(l): dGPMd and baselines on the citation DAG.
+var exp2Algos = []Algorithm{AlgoDGPMd, AlgoDisHHK, AlgoDMes, AlgoMatch}
+
+// BenchmarkFig6gh — PT/DS vs query diameter d (Fig. 6(g), 6(h)).
+func BenchmarkFig6gh(b *testing.B) {
+	withNet(b)
+	dict, _, part := citWorld(b, 8, 0.25)
+	for _, d := range []int{2, 4, 8} {
+		q, err := GenDAGPattern(dict, 9, 13, d, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, algo := range exp2Algos {
+			b.Run(fmt.Sprintf("d=%d/%s", d, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6ij — PT/DS vs |F| on the DAG (Fig. 6(i), 6(j)).
+func BenchmarkFig6ij(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenCitation(dict, benchCitNV, benchCitNE, 1)
+	q, err := GenDAGPattern(dict, 9, 13, 4, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nf := range []int{4, 8, 16} {
+		part, perr := PartitionTargetRatio(g, nf, ByVf, 0.25, 1)
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		for _, algo := range exp2Algos {
+			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6kl — PT/DS vs |Vf| on the DAG (Fig. 6(k), 6(l)).
+func BenchmarkFig6kl(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenCitation(dict, benchCitNV, benchCitNE, 1)
+	q, err := GenDAGPattern(dict, 9, 13, 4, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, vf := range []float64{0.25, 0.50} {
+		part, perr := PartitionTargetRatio(g, 8, ByVf, vf, 1)
+		if perr != nil {
+			b.Fatal(perr)
+		}
+		for _, algo := range exp2Algos {
+			b.Run(fmt.Sprintf("Vf=%.2f/%s", vf, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+			})
+		}
+	}
+}
+
+// exp3Algos mirrors Fig. 6(m)-(p): synthetic graphs, Match omitted as in
+// the paper ("not capable to cope with large |G|").
+var exp3Algos = []Algorithm{AlgoDGPM, AlgoDisHHK, AlgoDGPMNoOpt, AlgoDMes}
+
+// BenchmarkFig6mn — PT/DS vs |F| on synthetic graphs (Fig. 6(m), 6(n)).
+func BenchmarkFig6mn(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenSynthetic(dict, benchSynNV, benchSynNE, 1)
+	q := GenCyclicPatternOver(dict, 5, 10, 4, 300)
+	for _, nf := range []int{8, 16} {
+		part, err := PartitionTargetRatio(g, nf, ByVf, 0.20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, algo := range exp3Algos {
+			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6op — PT/DS vs |G| on synthetic graphs (Fig. 6(o), 6(p)).
+func BenchmarkFig6op(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	q := GenCyclicPatternOver(dict, 5, 10, 4, 300)
+	for _, mult := range []int{1, 2, 4} {
+		g := GenSynthetic(dict, mult*benchSynNV/2, mult*benchSynNE/2, int64(mult))
+		part, err := PartitionTargetRatio(g, 8, ByVf, 0.20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, algo := range exp3Algos {
+			b.Run(fmt.Sprintf("G=(%dK,%dK)/%s", g.NumNodes()/1000, g.NumEdges()/1000, algo), func(b *testing.B) {
+				benchRun(b, algo, q, part, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkCentralized — the HHK kernel itself (the |G|-dependent cost
+// every partition-bounded algorithm avoids paying centrally).
+func BenchmarkCentralized(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
+	q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(q, g)
+	}
+}
+
+// BenchmarkTreeDGPMt — dGPMt's two-round protocol (Corollary 4).
+func BenchmarkTreeDGPMt(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	g := GenTree(dict, 50_000, 1)
+	q := GenTreePattern(dict, 4, 9)
+	part, err := PartitionTree(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, AlgoDGPMt, q, part, Options{})
+}
+
+// BenchmarkImpossibilityChain — the Fig-2 gadget: cost grows with |F|
+// even though |Q| and |Fm| are constant (Theorem 1's empirical face).
+func BenchmarkImpossibilityChain(b *testing.B) {
+	withNet(b)
+	dict := NewDict()
+	q := ChainQuery(dict)
+	for _, n := range []int{16, 64, 256} {
+		g := GenChain(dict, n, false)
+		part, err := PartitionChain(g, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRun(b, AlgoDGPM, q, part, Options{})
+		})
+	}
+}

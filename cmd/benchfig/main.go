@@ -1,0 +1,76 @@
+// Command benchfig regenerates the paper's evaluation figures
+// (Fig. 6(a)–6(p) of "Distributed Graph Simulation: Impossibility and
+// Possibility", VLDB 2014) on the simulated cluster and prints the data
+// series as text tables.
+//
+// Usage:
+//
+//	benchfig -fig 6a            # one panel (its sibling panel comes free)
+//	benchfig -group exp1-F      # one experiment group
+//	benchfig -all               # all 16 panels
+//	benchfig -all -scale 0.2    # smaller datasets (faster)
+//	benchfig -all -queries 5    # average over more random queries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dgs/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure panel to regenerate (6a..6p)")
+		group   = flag.String("group", "", "experiment group to regenerate")
+		all     = flag.Bool("all", false, "regenerate every figure")
+		scale   = flag.Float64("scale", 1, "dataset size multiplier")
+		queries = flag.Int("queries", 2, "random queries averaged per point")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	switch {
+	case *all:
+		for _, g := range bench.Groups() {
+			runGroup(g, cfg)
+		}
+	case *group != "":
+		runGroup(*group, cfg)
+	case *fig != "":
+		figs, err := bench.RunFigure(*fig, cfg)
+		if err != nil {
+			fail(err)
+		}
+		print(figs)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchfig -fig 6a | -group exp1-F | -all")
+		fmt.Fprintln(os.Stderr, "figures:", bench.Figures())
+		fmt.Fprintln(os.Stderr, "groups: ", bench.Groups())
+		os.Exit(2)
+	}
+}
+
+func runGroup(name string, cfg bench.Config) {
+	start := time.Now()
+	figs, err := bench.RunGroup(name, cfg)
+	if err != nil {
+		fail(err)
+	}
+	print(figs)
+	fmt.Printf("# group %s completed in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func print(figs []*bench.Figure) {
+	for _, f := range figs {
+		fmt.Println(f.Table())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

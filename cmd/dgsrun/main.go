@@ -1,0 +1,153 @@
+// Command dgsrun evaluates one pattern query over one distributed data
+// graph with any of the library's algorithms and reports the result plus
+// PT/DS statistics.
+//
+// Usage:
+//
+//	dgsrun -algo dgpm  -gen web -nodes 300000 -edges 1500000 -frags 8 -vf 0.25 -query q.pat
+//	dgsrun -algo dgpmd -gen citation -nodes 140000 -edges 300000 -frags 8 -qdiam 4
+//	dgsrun -algo dgpmt -gen tree -nodes 100000 -frags 8
+//	dgsrun -algo match -graph g.dgsg -query q.pat -frags 4
+//
+// The query file uses the pattern DSL (node <name> <label> / edge <a> <b>);
+// without -query a generated query is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgs"
+)
+
+var algos = map[string]dgs.Algorithm{
+	"dgpm":     dgs.AlgoDGPM,
+	"dgpmnopt": dgs.AlgoDGPMNoOpt,
+	"dgpmd":    dgs.AlgoDGPMd,
+	"dgpmt":    dgs.AlgoDGPMt,
+	"match":    dgs.AlgoMatch,
+	"dishhk":   dgs.AlgoDisHHK,
+	"dmes":     dgs.AlgoDMes,
+}
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "dgpm", "dgpm|dgpmnopt|dgpmd|dgpmt|match|dishhk|dmes")
+		gen       = flag.String("gen", "web", "generator: web|citation|synthetic|tree|chain")
+		graphFile = flag.String("graph", "", "load a DGSG1 graph instead of generating")
+		nodes     = flag.Int("nodes", 60000, "generated |V|")
+		edges     = flag.Int("edges", 300000, "generated |E|")
+		frags     = flag.Int("frags", 8, "number of fragments |F|")
+		vf        = flag.Float64("vf", 0.25, "target |Vf|/|V| ratio (non-tree)")
+		queryFile = flag.String("query", "", "pattern DSL file")
+		qnodes    = flag.Int("qnodes", 5, "generated query |Vq|")
+		qedges    = flag.Int("qedges", 10, "generated query |Eq|")
+		qdiam     = flag.Int("qdiam", 4, "generated DAG query diameter (dgpmd)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		boolean   = flag.Bool("bool", false, "Boolean query (report true/false only)")
+		showAll   = flag.Bool("matches", false, "print the full match relation")
+	)
+	flag.Parse()
+
+	algo, ok := algos[strings.ToLower(*algoName)]
+	if !ok {
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	dict := dgs.NewDict()
+	var g *dgs.Graph
+	switch {
+	case *graphFile != "":
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fail(err)
+		}
+		gg, err := dgs.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		g = gg
+		// NOTE: a loaded graph carries its own dictionary; parse queries
+		// against it by reusing labels textually (the DSL interns by
+		// name, so sharing the dict matters only for generated queries).
+	case *gen == "web":
+		g = dgs.GenWeb(dict, *nodes, *edges, *seed)
+	case *gen == "citation":
+		g = dgs.GenCitation(dict, *nodes, *edges, *seed)
+	case *gen == "synthetic":
+		g = dgs.GenSynthetic(dict, *nodes, *edges, *seed)
+	case *gen == "tree":
+		g = dgs.GenTree(dict, *nodes, *seed)
+	case *gen == "chain":
+		g = dgs.GenChain(dict, *nodes, true)
+	default:
+		fail(fmt.Errorf("unknown generator %q", *gen))
+	}
+	fmt.Println("graph:    ", g)
+
+	var q *dgs.Pattern
+	var err error
+	switch {
+	case *queryFile != "":
+		src, rerr := os.ReadFile(*queryFile)
+		if rerr != nil {
+			fail(rerr)
+		}
+		q, err = dgs.ParsePattern(dict, string(src))
+	case algo == dgs.AlgoDGPMd:
+		q, err = dgs.GenDAGPattern(dict, *qnodes+*qdiam, *qedges+*qdiam, *qdiam, *seed)
+	case *gen == "chain":
+		q = dgs.ChainQuery(dict)
+	case algo == dgs.AlgoDGPMt:
+		q = dgs.GenTreePattern(dict, *qnodes, *seed)
+	default:
+		q = dgs.GenCyclicPattern(dict, *qnodes, *qedges, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("query:     |Vq|=%d |Eq|=%d dag=%v\n", q.NumNodes(), q.NumEdges(), q.IsDAG())
+
+	var part *dgs.Partition
+	switch {
+	case algo == dgs.AlgoDGPMt:
+		part, err = dgs.PartitionTree(g, *frags)
+	case *gen == "chain":
+		part, err = dgs.PartitionChain(g, *frags)
+	default:
+		part, err = dgs.PartitionTargetRatio(g, *frags, dgs.ByVf, *vf, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("partition:", part)
+
+	opts := dgs.Options{GraphIsDAG: *gen == "citation"}
+	res, err := dgs.Run(algo, q, part, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *boolean {
+		fmt.Println("matches:  ", res.Match.Ok())
+	} else {
+		fmt.Printf("matches:   ok=%v pairs=%d\n", res.Match.Ok(), res.Match.NumPairs())
+	}
+	st := res.Stats
+	fmt.Printf("PT:        %v (busiest site %v)\n", st.Wall.Round(0), st.MaxSiteBusy.Round(0))
+	fmt.Printf("DS:        %.2f KB in %d messages (+%d control B, +%d result B)\n",
+		float64(st.DataBytes)/1024, st.DataMsgs, st.ControlBytes, st.ResultBytes)
+	fmt.Printf("rounds:    %d\n", st.Rounds)
+	if *showAll {
+		for u := 0; u < q.NumNodes(); u++ {
+			fmt.Printf("  %s -> %v\n", q.NodeName(dgs.QNode(u)), res.Match.MatchesOf(dgs.QNode(u)))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dgsrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,287 @@
+package dgs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testQuery = `
+node a l0
+node b l1
+node c l2
+edge a b
+edge b c
+edge c a
+`
+
+func testWorld(t testing.TB, algoFriendly bool) (*Dict, *Graph, *Pattern, *Partition) {
+	t.Helper()
+	dict := NewDict()
+	g := GenSynthetic(dict, 2000, 8000, 42)
+	q, err := ParsePattern(dict, testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionTargetRatio(g, 4, ByVf, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = algoFriendly
+	return dict, g, q, part
+}
+
+func TestAllAlgorithmsAgreeOnGeneral(t *testing.T) {
+	_, g, q, part := testWorld(t, true)
+	want := Simulate(q, g)
+	for _, algo := range []Algorithm{AlgoDGPM, AlgoDGPMNoOpt, AlgoMatch, AlgoDisHHK, AlgoDMes} {
+		res, err := Run(algo, q, part)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.Match.Equal(want) {
+			t.Fatalf("%s: result differs from centralized", algo)
+		}
+	}
+}
+
+func TestDGPMdOnCitation(t *testing.T) {
+	dict := NewDict()
+	g := GenCitation(dict, 3000, 9000, 5)
+	if !g.IsDAG() {
+		t.Fatal("citation graph must be a DAG")
+	}
+	q, err := GenDAGPattern(dict, 9, 13, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionTargetRatio(g, 4, ByVf, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Simulate(q, g)
+	res, err := Run(AlgoDGPMd, q, part, Options{GraphIsDAG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match.Equal(want) {
+		t.Fatal("dGPMd differs from centralized")
+	}
+}
+
+func TestDGPMtOnTree(t *testing.T) {
+	dict := NewDict()
+	g := GenTree(dict, 3000, 5)
+	if !g.IsTree() {
+		t.Fatal("tree generator must produce a tree")
+	}
+	q := GenTreePattern(dict, 4, 9)
+	part, err := PartitionTree(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Simulate(q, g)
+	res, err := Run(AlgoDGPMt, q, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match.Equal(want) {
+		t.Fatal("dGPMt differs from centralized")
+	}
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("dGPMt rounds = %d", res.Stats.Rounds)
+	}
+}
+
+func TestRunBooleanChain(t *testing.T) {
+	dict := NewDict()
+	q := ChainQuery(dict)
+	closed := GenChain(dict, 12, true)
+	broken := GenChain(dict, 12, false)
+	pc, err := PartitionChain(closed, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := PartitionChain(broken, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okC, _, err := RunBoolean(AlgoDGPM, q, pc)
+	if err != nil || !okC {
+		t.Fatalf("closed chain must match (err=%v)", err)
+	}
+	okB, stB, err := RunBoolean(AlgoDGPM, q, pb)
+	if err != nil || okB {
+		t.Fatalf("broken chain must not match (err=%v)", err)
+	}
+	if stB.DataMsgs < 11 {
+		t.Fatalf("falsification must travel the chain: %d msgs", stB.DataMsgs)
+	}
+}
+
+func TestGraphBuilderAndIO(t *testing.T) {
+	dict := NewDict()
+	b := NewGraphBuilder(dict)
+	v := b.AddNode("X")
+	w := b.AddNode("Y")
+	b.AddEdge(v, w)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 || g.Size() != 3 {
+		t.Fatal("builder shape wrong")
+	}
+	if g.LabelName(v) != "X" {
+		t.Fatal("label wrong")
+	}
+	if len(g.Succ(v)) != 1 || g.Succ(v)[0] != w {
+		t.Fatal("succ wrong")
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 2 || g2.LabelName(0) != "X" {
+		t.Fatal("round trip broken")
+	}
+	if !strings.Contains(g.String(), "|V|=2") {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	dict := NewDict()
+	q, err := ParsePattern(dict, testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != 3 || q.NumEdges() != 3 || q.Size() != 6 {
+		t.Fatal("pattern shape wrong")
+	}
+	if q.IsDAG() {
+		t.Fatal("triangle is cyclic")
+	}
+	if q.Diameter() != 1 {
+		t.Fatalf("Diameter = %d", q.Diameter())
+	}
+	if q.NodeName(0) != "a" {
+		t.Fatal("NodeName wrong")
+	}
+	if _, err := ParsePattern(dict, "node a"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if !strings.Contains(q.String(), "edge a b") {
+		t.Fatal("String missing edges")
+	}
+}
+
+func TestPartitionAccessors(t *testing.T) {
+	dict := NewDict()
+	g := GenSynthetic(dict, 500, 2000, 1)
+	part, err := PartitionRandom(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumFragments() != 5 {
+		t.Fatal("|F| wrong")
+	}
+	if part.Vf() == 0 || part.Ef() == 0 {
+		t.Fatal("random partition of a connected-ish graph has a boundary")
+	}
+	if part.VfRatio() <= 0 || part.EfRatio() <= 0 {
+		t.Fatal("ratios must be positive")
+	}
+	if part.MaxFragmentSize() == 0 {
+		t.Fatal("Fm wrong")
+	}
+	if !strings.Contains(part.String(), "|F|=5") {
+		t.Fatal("String wrong")
+	}
+	if _, err := PartitionRandom(g, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestPartitionFromAssign(t *testing.T) {
+	dict := NewDict()
+	b := NewGraphBuilder(dict)
+	b.AddNode("A")
+	b.AddNode("A")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionFromAssign(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumFragments() != 2 {
+		t.Fatal("wrong |F|")
+	}
+	if _, err := PartitionFromAssign(g, []int32{0}); err == nil {
+		t.Fatal("short assign accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		AlgoDGPM: "dGPM", AlgoDGPMNoOpt: "dGPMNOpt", AlgoDGPMd: "dGPMd",
+		AlgoDGPMt: "dGPMt", AlgoMatch: "Match", AlgoDisHHK: "disHHK", AlgoDMes: "dMes",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q", a, a.String())
+		}
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Fatal("unknown algorithm name")
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	_, _, q, part := testWorld(t, true)
+	if _, err := Run(Algorithm(99), q, part); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestOptionsAblation(t *testing.T) {
+	_, g, q, part := testWorld(t, true)
+	want := Simulate(q, g)
+	res, err := Run(AlgoDGPM, q, part, Options{DisablePush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match.Equal(want) {
+		t.Fatal("no-push ablation differs")
+	}
+	res2, err := Run(AlgoDGPM, q, part, Options{PushTheta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Match.Equal(want) {
+		t.Fatal("eager-push differs")
+	}
+}
+
+func TestMatchAccessors(t *testing.T) {
+	_, g, q, _ := testWorld(t, true)
+	m := Simulate(q, g)
+	if m.Ok() {
+		if m.NumPairs() == 0 {
+			t.Fatal("Ok but no pairs")
+		}
+		u0 := m.MatchesOf(0)
+		if len(u0) == 0 || !m.Contains(0, u0[0]) {
+			t.Fatal("MatchesOf/Contains inconsistent")
+		}
+	}
+	if m.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,52 @@
+// Trees: parallel scalability in data shipment with dGPMt (§5.2).
+//
+// When the data graph is a tree and every fragment is a connected
+// subtree, dGPMt needs exactly two coordinator round trips and ships
+// O(|Q||F|) bytes — independent of |G| (Corollary 4, matching the XPath
+// bounds of Cong et al. [10]). This example evaluates an XML-ish
+// document-structure query over trees of growing size and shows the
+// shipment staying flat while the tree grows 16×.
+//
+// Run: go run ./examples/trees
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dgs"
+)
+
+func main() {
+	dict := dgs.NewDict()
+	// "Sections containing a figure with a caption" — tree-shaped query.
+	q, err := dgs.ParsePattern(dict, `
+node section l1
+node figure  l2
+node caption l3
+edge section figure
+edge figure  caption
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%10s %8s %10s %12s %10s\n", "|V|", "|F|", "pairs", "DS (bytes)", "rounds")
+	for _, nv := range []int{20_000, 80_000, 320_000} {
+		g := dgs.GenTree(dict, nv, 3)
+		part, err := dgs.PartitionTree(g, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dgs.Run(dgs.AlgoDGPMt, q, part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Match.Equal(dgs.Simulate(q, g)) {
+			log.Fatal("dGPMt differs from centralized simulation")
+		}
+		fmt.Printf("%10d %8d %10d %12d %10d\n",
+			nv, part.NumFragments(), res.Match.NumPairs(), res.Stats.DataBytes, res.Stats.Rounds)
+	}
+	fmt.Println("\nshipment tracks |Q||F|, not |G| — parallel scalable in DS ✓")
+}

@@ -1,0 +1,82 @@
+package dgs
+
+// Workload generation facade — the graphs and queries of the paper's
+// evaluation (§6). See internal/workload for the generator details and
+// DESIGN.md §2 for the dataset substitutions.
+
+import (
+	"dgs/internal/graph"
+	"dgs/internal/workload"
+)
+
+// ExperimentLabels returns the 15-label alphabet used by the synthetic
+// experiments.
+func ExperimentLabels() []string { return workload.Labels(15) }
+
+// GenSynthetic generates the paper's synthetic G(|V|, |E|) with labels
+// from a 15-symbol alphabet.
+func GenSynthetic(dict *Dict, nv, ne int, seed int64) *Graph {
+	return &Graph{g: workload.SyntheticDict(dict, nv, ne, workload.Labels(15), seed)}
+}
+
+// GenWeb generates the Yahoo-web-graph stand-in (power-law degrees,
+// skewed domain labels). Paper scale: (3M, 15M); default benchmarks use
+// 1/10 scale.
+func GenWeb(dict *Dict, nv, ne int, seed int64) *Graph {
+	return &Graph{g: workload.WebDict(dict, nv, ne, seed)}
+}
+
+// GenCitation generates the AMiner-citation stand-in — a DAG with
+// recency-biased citations. Paper scale: (1.4M, 3M).
+func GenCitation(dict *Dict, nv, ne int, seed int64) *Graph {
+	return &Graph{g: workload.CitationDict(dict, nv, ne, seed)}
+}
+
+// GenTree generates a random rooted labeled tree (dGPMt workloads).
+func GenTree(dict *Dict, nv int, seed int64) *Graph {
+	return &Graph{g: workload.TreeDict(dict, nv, workload.Labels(15), seed)}
+}
+
+// GenChain generates the Fig-2 impossibility gadget: n (Ai,Bi) pairs;
+// closed=true adds the cycle-closing edge.
+func GenChain(dict *Dict, n int, closed bool) *Graph {
+	return &Graph{g: workload.Chain(dict, n, closed)}
+}
+
+// ChainQuery returns Q0 = A⇄B of Fig. 2.
+func ChainQuery(dict *Dict) *Pattern {
+	return &Pattern{p: workload.ChainQuery(dict)}
+}
+
+// GenCyclicPattern generates a connected cyclic pattern with nv nodes and
+// ne edges over the 15-label alphabet (the Exp-1 query family).
+func GenCyclicPattern(dict *Dict, nv, ne int, seed int64) *Pattern {
+	return &Pattern{p: workload.CyclicPattern(dict, nv, ne, workload.Labels(15), seed)}
+}
+
+// GenCyclicPatternOver generates a cyclic pattern restricted to the first
+// k labels of the alphabet. On the Zipf-labeled web workload these are
+// the frequent labels, yielding selective-but-nonempty queries like the
+// paper's hand-picked cyclic patterns ("domain = '.uk'").
+func GenCyclicPatternOver(dict *Dict, nv, ne, k int, seed int64) *Pattern {
+	return &Pattern{p: workload.CyclicPattern(dict, nv, ne, workload.Labels(k), seed)}
+}
+
+// GenDAGPattern generates a DAG pattern with maximum topological rank
+// exactly diam (the Exp-2 query family: Qi with d = i+1).
+func GenDAGPattern(dict *Dict, nv, ne, diam int, seed int64) (*Pattern, error) {
+	p, err := workload.DAGPattern(dict, nv, ne, diam, workload.Labels(15), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: p}, nil
+}
+
+// GenTreePattern generates a rooted tree-shaped pattern.
+func GenTreePattern(dict *Dict, nv int, seed int64) *Pattern {
+	return &Pattern{p: workload.TreePattern(dict, nv, workload.Labels(15), seed)}
+}
+
+// WrapGraph adopts an internal graph (used by cmd tools that load DGSG1
+// files through the facade).
+func wrapGraph(g *graph.Graph) *Graph { return &Graph{g: g} }

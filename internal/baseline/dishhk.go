@@ -1,0 +1,96 @@
+package baseline
+
+// disHHK — the distributed simulation algorithm of Ma et al., "Distributed
+// graph pattern matching", WWW 2012 [25], as characterized by the paper:
+// each site's partial answer is "the subgraph of Fi induced from all the
+// candidate nodes, assuming that they are all matches" (§4.1), and those
+// subgraphs "are collected to a single site to form a directly query-able
+// graph, where matches can be determined". Candidates are the
+// label-consistent nodes — no cross-site refinement happens before the
+// shipment, which is why disHHK's data shipment is a function of |G|
+// (Table 1: DS = O(|G| + 4|Vf| + |F||Q|)) and why dGPM ships 3 orders of
+// magnitude less in Exp-1.
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/graph"
+	"dgs/internal/partition"
+	"dgs/internal/pattern"
+	"dgs/internal/simulation"
+	"dgs/internal/wire"
+)
+
+// candSite ships the candidate-induced subgraph of its fragment.
+type candSite struct {
+	q    *pattern.Pattern
+	frag *partition.Fragment
+}
+
+// isCandidate reports whether v's label matches any query node.
+func isCandidate(q *pattern.Pattern, l graph.Label) bool {
+	for u := 0; u < q.NumNodes(); u++ {
+		if q.Label(pattern.QNode(u)) == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *candSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
+	c, ok := p.(*wire.Control)
+	if !ok || c.Op != opCands {
+		return
+	}
+	sg := &wire.Subgraph{}
+	cand := make(map[uint32]bool, len(s.frag.Local))
+	for _, v := range s.frag.Local {
+		if isCandidate(s.q, s.frag.Labels[v]) {
+			cand[uint32(v)] = true
+			sg.Nodes = append(sg.Nodes, uint32(v))
+			sg.Labels = append(sg.Labels, uint16(s.frag.Labels[v]))
+		}
+	}
+	// Keep every edge between candidates; edges to candidate virtual
+	// nodes ride along (their owner ships the node entry).
+	for _, v := range s.frag.Local {
+		if !cand[uint32(v)] {
+			continue
+		}
+		for _, w := range s.frag.Succ[v] {
+			if cand[uint32(w)] || (s.frag.IsVirtual(w) && isCandidate(s.q, s.frag.Labels[w])) {
+				sg.Edges = append(sg.Edges, [2]uint32{uint32(v), uint32(w)})
+			}
+		}
+	}
+	ctx.Send(cluster.Coordinator, sg)
+}
+
+// RunDisHHK evaluates Q with the candidate-shipping algorithm of [25].
+func RunDisHHK(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+	n := fr.NumFragments()
+	c := cluster.New(n)
+	sites := make([]cluster.Handler, n)
+	for i := range sites {
+		sites[i] = &candSite{q: q, frag: fr.Frags[i]}
+	}
+	coord := newMerger()
+	c.Start(sites, coord)
+	start := time.Now()
+	c.Broadcast(&wire.Control{Op: opCands})
+	c.WaitQuiesce()
+	g, ids, err := coord.assemble(q.Dict())
+	if err != nil {
+		panic(fmt.Sprintf("baseline: disHHK assembly: %v", err))
+	}
+	m := simulation.HHK(q, g)
+	res := toGlobal(m, ids)
+	wall := time.Since(start)
+	c.Shutdown()
+	stats := c.Stats()
+	stats.Wall = wall
+	stats.Rounds = 1
+	return res.Canonical(), stats
+}

@@ -1,0 +1,79 @@
+package bench
+
+// Ablation of the §4.2 design choices: full dGPM (incremental lEval +
+// push), dGPM without push, and dGPMNOpt (neither). The paper reports
+// "dGPM is 20.3 times faster than dGPMNOpt on average" and that the
+// improvement grows with |Fm| — this group regenerates that comparison.
+
+import (
+	"fmt"
+
+	"dgs"
+)
+
+func init() {
+	groups["ablation"] = struct {
+		figs []string
+		run  groupRunner
+	}{[]string{"ablation-PT", "ablation-DS"}, runAblation}
+}
+
+// ablationVariant pairs a display name with run options.
+type ablationVariant struct {
+	name string
+	algo dgs.Algorithm
+	opts dgs.Options
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"dGPM", dgs.AlgoDGPM, dgs.Options{}},
+		{"dGPM-nopush", dgs.AlgoDGPM, dgs.Options{DisablePush: true}},
+		{"dGPMNOpt", dgs.AlgoDGPMNoOpt, dgs.Options{}},
+	}
+}
+
+// runAblation sweeps |Fm| (via |F|) on the web workload, as in the
+// paper's optimization-effectiveness experiment ("the improvement is more
+// significant over larger fragments").
+func runAblation(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV), cfg.scaled(webNE), cfg.Seed)
+	queries := exp1Queries(dict, cfg, 5, 10)
+	variants := ablationVariants()
+
+	pt := &Figure{ID: "ablation-PT", Title: "dGPM optimization ablation (§4.2)", XLabel: "|F|", YLabel: "PT (ms)"}
+	ds := &Figure{ID: "ablation-DS", Title: "dGPM optimization ablation (§4.2)", XLabel: "|F|", YLabel: "DS (KB)"}
+	series := make([]*measurementSeries, len(variants))
+	for i, v := range variants {
+		series[i] = &measurementSeries{name: v.name}
+	}
+	for _, nf := range []int{4, 8, 16} {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.25, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprint(nf)
+		for i, v := range variants {
+			m := &measurement{}
+			for _, q := range queries {
+				res, err := dgs.Run(v.algo, q, part, v.opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", v.name, err)
+				}
+				m.add(res.Stats)
+			}
+			series[i].points = append(series[i].points, m.point(x))
+		}
+	}
+	for _, s := range series {
+		pt.Series = append(pt.Series, Series{Name: s.name, Points: s.points})
+		ds.Series = append(ds.Series, Series{Name: s.name, Points: s.points})
+	}
+	return []*Figure{pt, ds}, nil
+}
+
+type measurementSeries struct {
+	name   string
+	points []Point
+}

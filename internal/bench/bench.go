@@ -1,0 +1,239 @@
+// Package bench regenerates the paper's evaluation (§6, Fig. 6(a)–6(p)).
+//
+// Each experiment group reproduces one figure pair (PT + DS) with the
+// paper's sweep: Exp-1 (dGPM on the web graph) varies |F|, |Q| and |Vf|;
+// Exp-2 (dGPMd on the citation DAG) varies d, |F| and |Vf|; Exp-3
+// (synthetic) varies |F| and |G|. Sizes default to a scaled-down version
+// of the paper's datasets (see DESIGN.md §2); Config.Scale restores
+// larger sizes.
+//
+// Absolute numbers differ from the paper (simulated cluster vs. EC2);
+// the reproduced claims are the *shapes*: who wins, by what order of
+// magnitude, and which curves are flat vs. growing. EXPERIMENTS.md
+// records paper-vs-measured for every panel.
+package bench
+
+import (
+	"dgs/internal/cluster"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dgs"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale multiplies every dataset size (1.0 = default scaled sizes:
+	// web 60K/300K, citation 28K/60K, synthetic 120K/480K).
+	Scale float64
+	// Queries is the number of random queries averaged per point (the
+	// paper averages 20); default 2.
+	Queries int
+	// Seed makes runs reproducible.
+	Seed int64
+	// NoNetwork disables the EC2-like link cost model (used by fast unit
+	// tests; the figures are meant to run with it on).
+	NoNetwork bool
+}
+
+func (c Config) norm() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Queries <= 0 {
+		c.Queries = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// Point is one x-position of one series.
+type Point struct {
+	X      string
+	PTms   float64
+	DSkb   float64
+	Msgs   int64
+	Rounds int64
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one panel of Fig. 6.
+type Figure struct {
+	ID     string // e.g. "6a"
+	Title  string
+	XLabel string
+	YLabel string // "PT (ms)" or "DS (KB)"
+	Series []Series
+}
+
+// Table renders the figure as an aligned text table (the same rows the
+// paper plots).
+func (f *Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s — %s [%s vs %s]\n", f.ID, f.Title, f.YLabel, f.XLabel)
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%-12s", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			p := s.Points[i]
+			if f.YLabel == "DS (KB)" {
+				fmt.Fprintf(&sb, "%14.2f", p.DSkb)
+			} else {
+				fmt.Fprintf(&sb, "%14.1f", p.PTms)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// groupRunner executes one experiment group and emits its PT+DS figures.
+type groupRunner func(cfg Config) ([]*Figure, error)
+
+var groups = map[string]struct {
+	figs []string
+	run  groupRunner
+}{
+	"exp1-F":  {[]string{"6a", "6b"}, exp1VaryF},
+	"exp1-Q":  {[]string{"6c", "6d"}, exp1VaryQ},
+	"exp1-Vf": {[]string{"6e", "6f"}, exp1VaryVf},
+	"exp2-d":  {[]string{"6g", "6h"}, exp2VaryD},
+	"exp2-F":  {[]string{"6i", "6j"}, exp2VaryF},
+	"exp2-Vf": {[]string{"6k", "6l"}, exp2VaryVf},
+	"exp3-F":  {[]string{"6m", "6n"}, exp3VaryF},
+	"exp3-G":  {[]string{"6o", "6p"}, exp3VaryG},
+}
+
+// Figures lists every reproducible figure ID in order.
+func Figures() []string {
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p"}
+}
+
+// Groups lists the experiment groups.
+func Groups() []string {
+	out := make([]string, 0, len(groups))
+	for g := range groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunFigure regenerates the group containing the figure and returns all
+// of the group's figures (a PT panel and its DS sibling share the runs).
+func RunFigure(id string, cfg Config) ([]*Figure, error) {
+	for _, g := range groups {
+		for _, f := range g.figs {
+			if f == id {
+				return runWithNetwork(g.run, cfg.norm())
+			}
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown figure %q (have %v)", id, Figures())
+}
+
+// RunGroup regenerates one experiment group by name.
+func RunGroup(name string, cfg Config) ([]*Figure, error) {
+	g, ok := groups[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown group %q (have %v)", name, Groups())
+	}
+	return runWithNetwork(g.run, cfg.norm())
+}
+
+// runWithNetwork installs the EC2-like link model for the duration of a
+// group run (PT must charge for shipped bytes; §6 runs on a real
+// cluster). Groups run sequentially.
+func runWithNetwork(run groupRunner, cfg Config) ([]*Figure, error) {
+	if !cfg.NoNetwork {
+		prev := cluster.SetDefaultNetwork(cluster.EC2Network())
+		defer cluster.SetDefaultNetwork(prev)
+	}
+	return run(cfg)
+}
+
+// measurement accumulates averaged stats for one (algorithm, point).
+type measurement struct {
+	pt, ds float64
+	msgs   int64
+	rounds int64
+	n      int
+}
+
+func (m *measurement) add(st dgs.Stats) {
+	m.pt += float64(st.Wall.Microseconds()) / 1000
+	m.ds += float64(st.DataBytes) / 1024
+	m.msgs += st.DataMsgs
+	m.rounds += st.Rounds
+	m.n++
+}
+
+func (m *measurement) point(x string) Point {
+	if m.n == 0 {
+		return Point{X: x}
+	}
+	n := float64(m.n)
+	return Point{X: x, PTms: m.pt / n, DSkb: m.ds / n, Msgs: m.msgs / int64(m.n), Rounds: m.rounds / int64(m.n)}
+}
+
+// runPoint evaluates the given algorithms on (queries × partition) and
+// returns one measurement per algorithm.
+func runPoint(algos []dgs.Algorithm, queries []*dgs.Pattern, part *dgs.Partition, opts dgs.Options) (map[dgs.Algorithm]*measurement, error) {
+	out := make(map[dgs.Algorithm]*measurement, len(algos))
+	for _, a := range algos {
+		out[a] = &measurement{}
+	}
+	for _, q := range queries {
+		for _, a := range algos {
+			res, err := dgs.Run(a, q, part, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a, err)
+			}
+			out[a].add(res.Stats)
+		}
+	}
+	return out, nil
+}
+
+func buildFigures(ptID, dsID, title, xlabel string, ptAlgos, dsAlgos []dgs.Algorithm, xs []string, ms []map[dgs.Algorithm]*measurement) []*Figure {
+	pt := &Figure{ID: ptID, Title: title, XLabel: xlabel, YLabel: "PT (ms)"}
+	ds := &Figure{ID: dsID, Title: title, XLabel: xlabel, YLabel: "DS (KB)"}
+	for _, a := range ptAlgos {
+		s := Series{Name: a.String()}
+		for i, m := range ms {
+			s.Points = append(s.Points, m[a].point(xs[i]))
+		}
+		pt.Series = append(pt.Series, s)
+	}
+	for _, a := range dsAlgos {
+		s := Series{Name: a.String()}
+		for i, m := range ms {
+			s.Points = append(s.Points, m[a].point(xs[i]))
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	return []*Figure{pt, ds}
+}

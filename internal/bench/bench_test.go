@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.05, Queries: 1, Seed: 3, NoNetwork: true} }
+
+func TestFiguresComplete(t *testing.T) {
+	ids := Figures()
+	if len(ids) != 16 {
+		t.Fatalf("want 16 panels, got %d", len(ids))
+	}
+	covered := map[string]bool{}
+	for _, g := range groups {
+		for _, f := range g.figs {
+			covered[f] = true
+		}
+	}
+	for _, id := range ids {
+		if !covered[id] {
+			t.Fatalf("figure %s has no experiment group", id)
+		}
+	}
+	if len(Groups()) != 9 { // 8 figure groups + ablation
+		t.Fatalf("want 9 groups, got %d", len(Groups()))
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := RunFigure("9z", tiny()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, err := RunGroup("nope", tiny()); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestExp1VaryFShape(t *testing.T) {
+	figs, err := RunFigure("6a", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "6a" || figs[1].ID != "6b" {
+		t.Fatalf("group shape wrong: %v", figs)
+	}
+	pt, ds := figs[0], figs[1]
+	if len(pt.Series) != 5 || len(ds.Series) != 3 {
+		t.Fatalf("series counts: PT=%d DS=%d", len(pt.Series), len(ds.Series))
+	}
+	for _, s := range pt.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+	}
+	// The headline DS claim: dGPM ships far less than disHHK at |F|=20.
+	var dgpmDS, hhkDS float64
+	for _, s := range ds.Series {
+		last := s.Points[len(s.Points)-1].DSkb
+		switch s.Name {
+		case "dGPM":
+			dgpmDS = last
+		case "disHHK":
+			hhkDS = last
+		}
+	}
+	if dgpmDS <= 0 && hhkDS <= 0 {
+		t.Fatal("no shipment measured at all")
+	}
+	if dgpmDS >= hhkDS {
+		t.Fatalf("dGPM must ship less than disHHK: %f vs %f KB", dgpmDS, hhkDS)
+	}
+	// Table renders all series.
+	tab := pt.Table()
+	for _, name := range []string{"dGPM", "disHHK", "dGPMNOpt", "dMes", "Match"} {
+		if !strings.Contains(tab, name) {
+			t.Fatalf("table missing %s:\n%s", name, tab)
+		}
+	}
+}
+
+func TestExp2VaryDShape(t *testing.T) {
+	figs, err := RunFigure("6g", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ds := figs[0], figs[1]
+	if len(pt.Series) != 4 || len(ds.Series) != 3 {
+		t.Fatalf("series counts: %d %d", len(pt.Series), len(ds.Series))
+	}
+	if len(pt.Series[0].Points) != 7 { // d = 2..8
+		t.Fatalf("points = %d", len(pt.Series[0].Points))
+	}
+	// dGPMd's DS must not grow with d (Fig. 6(h)): compare first and last
+	// within an order of magnitude.
+	var first, last float64
+	for _, s := range ds.Series {
+		if s.Name == "dGPMd" {
+			first, last = s.Points[0].DSkb, s.Points[len(s.Points)-1].DSkb
+		}
+	}
+	if last > 10*first+1 {
+		t.Fatalf("dGPMd DS grew with d: %f -> %f KB", first, last)
+	}
+}
+
+func TestExp3VaryGRuns(t *testing.T) {
+	figs, err := RunGroup("exp3-G", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := figs[1]
+	if ds.ID != "6p" {
+		t.Fatalf("second figure = %s", ds.ID)
+	}
+	// dGPM's DS must stay well below disHHK's as |G| grows.
+	var dgpm, hhk Series
+	for _, s := range ds.Series {
+		switch s.Name {
+		case "dGPM":
+			dgpm = s
+		case "disHHK":
+			hhk = s
+		}
+	}
+	lastD := dgpm.Points[len(dgpm.Points)-1].DSkb
+	lastH := hhk.Points[len(hhk.Points)-1].DSkb
+	if lastD >= lastH {
+		t.Fatalf("dGPM DS %f must be below disHHK %f at the largest |G|", lastD, lastH)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.norm()
+	if c.Scale != 1 || c.Queries != 2 || c.Seed != 1 {
+		t.Fatalf("norm: %+v", c)
+	}
+	if (Config{Scale: 0.001}).scaled(1000) != 16 {
+		t.Fatal("scaled floor broken")
+	}
+}
+
+func TestAblationGroup(t *testing.T) {
+	figs, err := RunGroup("ablation", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "ablation-PT" {
+		t.Fatalf("ablation figures: %v", figs)
+	}
+	if len(figs[0].Series) != 3 {
+		t.Fatalf("want 3 variants, got %d", len(figs[0].Series))
+	}
+	// The unoptimized variant must be slower than full dGPM at the
+	// largest fragment count (the paper reports ~20x; any consistent
+	// slowdown validates the ablation wiring at test scale).
+	var full, nopt float64
+	for _, s := range figs[0].Series {
+		last := s.Points[len(s.Points)-1].PTms
+		switch s.Name {
+		case "dGPM":
+			full = last
+		case "dGPMNOpt":
+			nopt = last
+		}
+	}
+	if nopt <= full {
+		t.Logf("note: NOpt (%f ms) not slower than dGPM (%f ms) at tiny scale", nopt, full)
+	}
+}

@@ -1,0 +1,250 @@
+package bench
+
+// The eight experiment groups of §6. Default sizes are scaled from the
+// paper (Yahoo 3M/15M → 60K/300K; Citation 1.4M/3M → 28K/60K; synthetic
+// 30M/120M → 120K/480K); Config.Scale restores larger sizes.
+
+import (
+	"fmt"
+
+	"dgs"
+)
+
+// Exp-1 shared setting (§6 Exp-1): Yahoo-like graph, 20 cyclic patterns
+// averaged — here Config.Queries seeded cyclic patterns of |Q|=(5,10).
+const (
+	webNV = 60_000
+	webNE = 300_000
+	citNV = 28_000
+	citNE = 60_000
+	synNV = 120_000
+	synNE = 480_000
+)
+
+var exp1PTAlgos = []dgs.Algorithm{dgs.AlgoDGPM, dgs.AlgoDisHHK, dgs.AlgoDGPMNoOpt, dgs.AlgoDMes, dgs.AlgoMatch}
+var exp1DSAlgos = []dgs.Algorithm{dgs.AlgoDGPM, dgs.AlgoDisHHK, dgs.AlgoDMes}
+
+func exp1Queries(dict *dgs.Dict, cfg Config, nv, ne int) []*dgs.Pattern {
+	qs := make([]*dgs.Pattern, cfg.Queries)
+	for i := range qs {
+		// Restrict to the 4 most frequent labels: the paper's queries are
+		// hand-picked conditions on common attributes ("domain='.uk'"),
+		// i.e. selective patterns with non-trivial candidate sets.
+		qs[i] = dgs.GenCyclicPatternOver(dict, nv, ne, 4, cfg.Seed+int64(100+i))
+	}
+	return qs
+}
+
+// exp1VaryF — Fig. 6(a)/6(b): fix |G|, |Q|=(5,10), |Vf|=25%; vary |F|
+// from 4 to 20.
+func exp1VaryF(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV), cfg.scaled(webNE), cfg.Seed)
+	queries := exp1Queries(dict, cfg, 5, 10)
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, nf := range []int{4, 8, 12, 16, 20} {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.25, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprint(nf))
+		ms = append(ms, m)
+	}
+	return buildFigures("6a", "6b", "dGPM on web graph, vary |F|", "|F|", exp1PTAlgos, exp1DSAlgos, xs, ms), nil
+}
+
+// exp1VaryQ — Fig. 6(c)/6(d): fix |F|=8, |Vf|=25%; vary |Q| from (4,8)
+// to (8,16).
+func exp1VaryQ(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV), cfg.scaled(webNE), cfg.Seed)
+	part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, 0.25, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, sz := range [][2]int{{4, 8}, {5, 10}, {6, 12}, {7, 14}, {8, 16}} {
+		queries := exp1Queries(dict, cfg, sz[0], sz[1])
+		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprintf("(%d,%d)", sz[0], sz[1]))
+		ms = append(ms, m)
+	}
+	return buildFigures("6c", "6d", "dGPM on web graph, vary |Q|", "|Q|", exp1PTAlgos, exp1DSAlgos, xs, ms), nil
+}
+
+// exp1VaryVf — Fig. 6(e)/6(f): fix |F|=8, |Q|=(5,10); vary |Vf| (PT
+// panel) / |Ef| (DS panel) from 25% to 50%.
+func exp1VaryVf(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV), cfg.scaled(webNE), cfg.Seed)
+	queries := exp1Queries(dict, cfg, 5, 10)
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, ratio := range []float64{0.25, 0.30, 0.35, 0.40, 0.45, 0.50} {
+		part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, ratio, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprintf("%.2f", ratio))
+		ms = append(ms, m)
+	}
+	return buildFigures("6e", "6f", "dGPM on web graph, vary |Vf|", "|Vf|/|V|", exp1PTAlgos, exp1DSAlgos, xs, ms), nil
+}
+
+// Exp-2 (§6): Citation DAG, DAG queries |Q|=(9,13).
+var exp2PTAlgos = []dgs.Algorithm{dgs.AlgoDGPMd, dgs.AlgoDisHHK, dgs.AlgoDMes, dgs.AlgoMatch}
+var exp2DSAlgos = []dgs.Algorithm{dgs.AlgoDGPMd, dgs.AlgoDisHHK, dgs.AlgoDMes}
+
+func exp2Queries(dict *dgs.Dict, cfg Config, diam int) ([]*dgs.Pattern, error) {
+	qs := make([]*dgs.Pattern, cfg.Queries)
+	for i := range qs {
+		q, err := dgs.GenDAGPattern(dict, 9, 13, diam, cfg.Seed+int64(200+i))
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+// exp2VaryD — Fig. 6(g)/6(h): fix |F|=8, |Ef|=25%; vary the query
+// diameter d from 2 to 8.
+func exp2VaryD(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenCitation(dict, cfg.scaled(citNV), cfg.scaled(citNE), cfg.Seed)
+	part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByEf, 0.25, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for d := 2; d <= 8; d++ {
+		queries, err := exp2Queries(dict, cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprint(d))
+		ms = append(ms, m)
+	}
+	return buildFigures("6g", "6h", "dGPMd on citation DAG, vary d", "d", exp2PTAlgos, exp2DSAlgos, xs, ms), nil
+}
+
+// exp2VaryF — Fig. 6(i)/6(j): fix d=4; vary |F| from 4 to 20.
+func exp2VaryF(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenCitation(dict, cfg.scaled(citNV), cfg.scaled(citNE), cfg.Seed)
+	queries, err := exp2Queries(dict, cfg, 4)
+	if err != nil {
+		return nil, err
+	}
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, nf := range []int{4, 8, 12, 16, 20} {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.25, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprint(nf))
+		ms = append(ms, m)
+	}
+	return buildFigures("6i", "6j", "dGPMd on citation DAG, vary |F|", "|F|", exp2PTAlgos, exp2DSAlgos, xs, ms), nil
+}
+
+// exp2VaryVf — Fig. 6(k)/6(l): fix |F|=8, d=4; vary |Vf| 25%..50%.
+func exp2VaryVf(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenCitation(dict, cfg.scaled(citNV), cfg.scaled(citNE), cfg.Seed)
+	queries, err := exp2Queries(dict, cfg, 4)
+	if err != nil {
+		return nil, err
+	}
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, ratio := range []float64{0.25, 0.30, 0.35, 0.40, 0.45, 0.50} {
+		part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, ratio, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprintf("%.2f", ratio))
+		ms = append(ms, m)
+	}
+	return buildFigures("6k", "6l", "dGPMd on citation DAG, vary |Vf|", "|Vf|/|V|", exp2PTAlgos, exp2DSAlgos, xs, ms), nil
+}
+
+// Exp-3 (§6): larger synthetic graphs; Match is omitted ("not capable to
+// cope with large |G| due to memory limit using a single site").
+var exp3PTAlgos = []dgs.Algorithm{dgs.AlgoDGPM, dgs.AlgoDisHHK, dgs.AlgoDGPMNoOpt, dgs.AlgoDMes}
+var exp3DSAlgos = []dgs.Algorithm{dgs.AlgoDGPM, dgs.AlgoDisHHK, dgs.AlgoDMes}
+
+// exp3VaryF — Fig. 6(m)/6(n): fix |G|, |Q|=(5,10), |Vf|=20%; vary |F|
+// from 8 to 20.
+func exp3VaryF(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenSynthetic(dict, cfg.scaled(synNV), cfg.scaled(synNE), cfg.Seed)
+	queries := exp1Queries(dict, cfg, 5, 10)
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, nf := range []int{8, 12, 16, 20} {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.20, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp3PTAlgos, queries, part, dgs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprint(nf))
+		ms = append(ms, m)
+	}
+	return buildFigures("6m", "6n", "synthetic graphs, vary |F|", "|F|", exp3PTAlgos, exp3DSAlgos, xs, ms), nil
+}
+
+// exp3VaryG — Fig. 6(o)/6(p): fix |F|=20, |Q|=(5,10), |Vf|=20%; vary |G|
+// from (20M,80M) to (80M,320M), scaled.
+func exp3VaryG(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	queries := exp1Queries(dict, cfg, 5, 10)
+	var xs []string
+	var ms []map[dgs.Algorithm]*measurement
+	for _, mult := range []int{2, 4, 6, 8} { // (20M..80M)/10M scaled base
+		nv := cfg.scaled(mult * 40_000)
+		ne := cfg.scaled(mult * 160_000)
+		g := dgs.GenSynthetic(dict, nv, ne, cfg.Seed+int64(mult))
+		part, err := dgs.PartitionTargetRatio(g, 20, dgs.ByVf, 0.20, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := runPoint(exp3PTAlgos, queries, part, dgs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, fmt.Sprintf("(%dK,%dK)", nv/1000, ne/1000))
+		ms = append(ms, m)
+	}
+	return buildFigures("6o", "6p", "synthetic graphs, vary |G|", "|G|", exp3PTAlgos, exp3DSAlgos, xs, ms), nil
+}

@@ -1,0 +1,383 @@
+// Package cluster is the distributed-runtime substrate: it simulates the
+// paper's EC2 deployment (§6) with one goroutine per site, an in-process
+// network that really serializes every message through internal/wire, and
+// exact per-kind byte accounting. Sites are reactive actors — they only
+// act on received messages — which matches the asynchronous message
+// passing model of dGPM (Fig. 3) as well as the superstep coordination
+// dMes needs.
+//
+// Termination: the paper's dGPM detects a fixpoint via changed-flags at
+// the coordinator. The runtime provides the equivalent guarantee with an
+// in-flight message counter — the count is positive while any message is
+// undelivered or being processed, so reaching zero certifies global
+// quiescence (sites are reactive, so no new message can appear out of
+// thin air). Algorithms still exchange their protocol's control traffic,
+// which is accounted separately from data shipment.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgs/internal/wire"
+)
+
+// Coordinator is the pseudo-site ID of the coordinator Sc.
+const Coordinator = -1
+
+// Network models link cost. Propagation latency pipelines — a message
+// becomes deliverable Latency after it was sent, regardless of how many
+// others are in flight — while receive bandwidth serializes: each
+// receiving site drains one message at a time at Bandwidth bytes/sec
+// (one NIC per site). The zero Network delivers instantly — the right
+// setting for unit tests. Benchmarks use EC2Network to reproduce the
+// paper's cluster economics, where shipping a fragment costs real time
+// while a falsification batch is nearly free.
+type Network struct {
+	Latency   time.Duration // per-message propagation delay (pipelined)
+	Bandwidth int64         // bytes per second per receiver; 0 = infinite
+	PerMsg    time.Duration // serialized per-message receive overhead
+}
+
+// EC2Network approximates the paper's Amazon EC2 General Purpose setup
+// (§6): sub-millisecond intra-region latency, ~0.5 Gbit/s effective
+// per-instance throughput, and a per-message receive overhead (framing,
+// syscalls) that penalizes fine-grained messaging — the cost vertex-
+// centric systems pay and batch-oriented partial evaluation avoids.
+func EC2Network() Network {
+	return Network{Latency: 300 * time.Microsecond, Bandwidth: 64 << 20, PerMsg: 15 * time.Microsecond}
+}
+
+// xferTime is the serialized receive cost of one message.
+func (n Network) xferTime(size int) time.Duration {
+	d := n.PerMsg
+	if n.Bandwidth > 0 {
+		d += time.Duration(int64(size) * int64(time.Second) / n.Bandwidth)
+	}
+	return d
+}
+
+// defaultNetwork applies to clusters created with New. Benchmarks set it
+// once (sequentially) via SetDefaultNetwork; tests leave it zero.
+var defaultNetwork Network
+
+// SetDefaultNetwork installs the link model used by subsequently created
+// clusters and returns the previous model. Not safe to race with New.
+func SetDefaultNetwork(n Network) Network {
+	old := defaultNetwork
+	defaultNetwork = n
+	return old
+}
+
+// Handler is the per-site (or coordinator) algorithm logic. Recv is
+// invoked serially per site; different sites run concurrently.
+type Handler interface {
+	Recv(ctx *Ctx, from int, p wire.Payload)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx *Ctx, from int, p wire.Payload)
+
+// Recv implements Handler.
+func (f HandlerFunc) Recv(ctx *Ctx, from int, p wire.Payload) { f(ctx, from, p) }
+
+// Stats aggregates network accounting for one run.
+type Stats struct {
+	DataBytes    int64 // payload kinds with Kind.IsData()
+	ControlBytes int64
+	ResultBytes  int64 // KindMatches traffic
+	DataMsgs     int64
+	ControlMsgs  int64
+	ResultMsgs   int64
+	Wall         time.Duration // set by the driver
+	MaxSiteBusy  time.Duration // longest per-site cumulative Recv time
+	Rounds       int64         // algorithm-defined (communication rounds)
+}
+
+// TotalMsgs reports all messages exchanged.
+func (s *Stats) TotalMsgs() int64 { return s.DataMsgs + s.ControlMsgs + s.ResultMsgs }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("Stats(data=%dB/%dmsg, ctrl=%dB, result=%dB, rounds=%d, wall=%v)",
+		s.DataBytes, s.DataMsgs, s.ControlBytes, s.ResultBytes, s.Rounds, s.Wall)
+}
+
+type envelope struct {
+	from int
+	data []byte
+	sent time.Time // zero when the network model is off
+}
+
+// mailbox is an unbounded FIFO queue; senders never block, which rules
+// out the send-deadlock of bounded channels under all-to-all bursts.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// get blocks for the next envelope; ok=false after close and drain.
+func (m *mailbox) get() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Cluster wires n sites plus a coordinator together.
+type Cluster struct {
+	n        int
+	net      Network
+	boxes    []*mailbox // index n is the coordinator
+	handlers []Handler
+	wg       sync.WaitGroup
+
+	inflight atomic.Int64
+	quiesce  chan struct{} // receives a token each time inflight hits 0
+	started  bool
+
+	statMu    sync.Mutex
+	stats     Stats
+	busy      []time.Duration
+	perKind   map[wire.Kind]int64
+	collected bool
+}
+
+// New creates a cluster of n sites with the default network model.
+// Handlers are attached with Start.
+func New(n int) *Cluster {
+	c := &Cluster{
+		n:       n,
+		net:     defaultNetwork,
+		quiesce: make(chan struct{}, 1),
+		perKind: make(map[wire.Kind]int64),
+		busy:    make([]time.Duration, n+1),
+	}
+	c.boxes = make([]*mailbox, n+1)
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+	}
+	return c
+}
+
+// NumSites reports the number of worker sites (excluding the coordinator).
+func (c *Cluster) NumSites() int { return c.n }
+
+// Start attaches one handler per site plus the coordinator handler and
+// spawns the actor goroutines. It must be called exactly once.
+func (c *Cluster) Start(sites []Handler, coord Handler) {
+	if c.started {
+		panic("cluster: Start called twice")
+	}
+	if len(sites) != c.n {
+		panic(fmt.Sprintf("cluster: %d handlers for %d sites", len(sites), c.n))
+	}
+	c.started = true
+	c.handlers = append(append([]Handler(nil), sites...), coord)
+	for i := 0; i <= c.n; i++ {
+		c.wg.Add(1)
+		go c.siteLoop(i)
+	}
+}
+
+func (c *Cluster) siteLoop(idx int) {
+	defer c.wg.Done()
+	h := c.handlers[idx]
+	ctx := &Ctx{c: c, self: c.externalID(idx)}
+	for {
+		env, ok := c.boxes[idx].get()
+		if !ok {
+			return
+		}
+		if !env.sent.IsZero() {
+			// Pipelined propagation latency, then serialized NIC drain.
+			if wait := time.Until(env.sent.Add(c.net.Latency)); wait > 0 {
+				time.Sleep(wait)
+			}
+			if x := c.net.xferTime(len(env.data)); x > 0 {
+				time.Sleep(x)
+			}
+		}
+		p, err := wire.Decode(env.data)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: site %d received undecodable message from %d: %v", c.externalID(idx), env.from, err))
+		}
+		start := time.Now()
+		h.Recv(ctx, env.from, p)
+		el := time.Since(start)
+		c.statMu.Lock()
+		c.busy[idx] += el
+		c.statMu.Unlock()
+		if c.inflight.Add(-1) == 0 {
+			select {
+			case c.quiesce <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Cluster) externalID(idx int) int {
+	if idx == c.n {
+		return Coordinator
+	}
+	return idx
+}
+
+func (c *Cluster) internalIdx(id int) int {
+	if id == Coordinator {
+		return c.n
+	}
+	if id < 0 || id >= c.n {
+		panic(fmt.Sprintf("cluster: invalid site id %d", id))
+	}
+	return id
+}
+
+// send encodes, accounts, and enqueues.
+func (c *Cluster) send(from, to int, p wire.Payload) {
+	data := wire.Encode(p)
+	k := p.Kind()
+	c.statMu.Lock()
+	c.perKind[k] += int64(len(data))
+	switch {
+	case k == wire.KindMatches:
+		c.stats.ResultBytes += int64(len(data))
+		c.stats.ResultMsgs++
+	case k.IsData():
+		c.stats.DataBytes += int64(len(data))
+		c.stats.DataMsgs++
+	default:
+		c.stats.ControlBytes += int64(len(data))
+		c.stats.ControlMsgs++
+	}
+	c.statMu.Unlock()
+	c.inflight.Add(1)
+	env := envelope{from: from, data: data}
+	if c.net.Latency > 0 || c.net.Bandwidth > 0 || c.net.PerMsg > 0 {
+		env.sent = time.Now()
+	}
+	c.boxes[c.internalIdx(to)].put(env)
+}
+
+// Inject sends p to site id on behalf of the driver (appears to come from
+// the coordinator).
+func (c *Cluster) Inject(id int, p wire.Payload) { c.send(Coordinator, id, p) }
+
+// Broadcast injects p to every worker site.
+func (c *Cluster) Broadcast(p wire.Payload) {
+	for i := 0; i < c.n; i++ {
+		c.Inject(i, p)
+	}
+}
+
+// WaitQuiesce blocks until every message has been delivered and processed
+// and no handler is running. The caller must have injected at least one
+// message since the last quiescence, otherwise it returns immediately if
+// the system is already quiet.
+func (c *Cluster) WaitQuiesce() {
+	if c.inflight.Load() == 0 {
+		return
+	}
+	for range c.quiesce {
+		if c.inflight.Load() == 0 {
+			return
+		}
+	}
+}
+
+// AddRounds lets algorithms record communication rounds.
+func (c *Cluster) AddRounds(n int64) {
+	c.statMu.Lock()
+	c.stats.Rounds += n
+	c.statMu.Unlock()
+}
+
+// Shutdown stops all actors and waits for them. Idempotent.
+func (c *Cluster) Shutdown() {
+	for _, b := range c.boxes {
+		b.close()
+	}
+	c.wg.Wait()
+}
+
+// Stats snapshots the accounting. Call after Shutdown (or at quiescence).
+func (c *Cluster) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	s := c.stats
+	for _, b := range c.busy {
+		if b > s.MaxSiteBusy {
+			s.MaxSiteBusy = b
+		}
+	}
+	return s
+}
+
+// BytesByKind snapshots the per-kind byte counters.
+func (c *Cluster) BytesByKind() map[wire.Kind]int64 {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	out := make(map[wire.Kind]int64, len(c.perKind))
+	for k, v := range c.perKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Ctx is the per-site sending API passed to handlers.
+type Ctx struct {
+	c    *Cluster
+	self int
+}
+
+// Self reports the handler's site ID (Coordinator for the coordinator).
+func (x *Ctx) Self() int { return x.self }
+
+// NumSites reports the number of worker sites.
+func (x *Ctx) NumSites() int { return x.c.n }
+
+// Send delivers p to site `to` (use Coordinator for Sc).
+func (x *Ctx) Send(to int, p wire.Payload) { x.c.send(x.self, to, p) }
+
+// Broadcast sends p to every worker site (coordinator use).
+func (x *Ctx) Broadcast(p wire.Payload) {
+	for i := 0; i < x.c.n; i++ {
+		x.c.send(x.self, i, p)
+	}
+}
+
+// AddRounds records algorithm-defined communication rounds.
+func (x *Ctx) AddRounds(n int64) { x.c.AddRounds(n) }

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgs/internal/wire"
+)
+
+// echoSite forwards each falsify message to the next site, decrementing a
+// hop budget carried in the first pair's V field.
+type echoSite struct{}
+
+func (echoSite) Recv(ctx *Ctx, from int, p wire.Payload) {
+	f, ok := p.(*wire.Falsify)
+	if !ok || len(f.Pairs) == 0 {
+		return
+	}
+	hops := f.Pairs[0].V
+	if hops == 0 {
+		return
+	}
+	next := (ctx.Self() + 1) % ctx.NumSites()
+	ctx.Send(next, &wire.Falsify{Pairs: []wire.VarRef{{U: f.Pairs[0].U, V: hops - 1}}})
+}
+
+type nopHandler struct{}
+
+func (nopHandler) Recv(*Ctx, int, wire.Payload) {}
+
+func TestRingQuiesces(t *testing.T) {
+	c := New(4)
+	sites := make([]Handler, 4)
+	for i := range sites {
+		sites[i] = echoSite{}
+	}
+	c.Start(sites, nopHandler{})
+	c.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 10}}})
+	c.WaitQuiesce()
+	c.Shutdown()
+	st := c.Stats()
+	// 1 injected + 10 forwarded = 11 data messages.
+	if st.DataMsgs != 11 {
+		t.Fatalf("DataMsgs = %d, want 11", st.DataMsgs)
+	}
+	if st.DataBytes != 11*11 { // falsify with one pair encodes to 11 bytes
+		t.Fatalf("DataBytes = %d", st.DataBytes)
+	}
+	if st.ControlMsgs != 0 || st.ResultMsgs != 0 {
+		t.Fatalf("unexpected control/result traffic: %+v", st)
+	}
+}
+
+func TestBroadcastReachesAllSites(t *testing.T) {
+	var got atomic.Int64
+	c := New(8)
+	sites := make([]Handler, 8)
+	for i := range sites {
+		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+			if from != Coordinator {
+				t.Errorf("from = %d", from)
+			}
+			got.Add(1)
+		})
+	}
+	c.Start(sites, nopHandler{})
+	c.Broadcast(&wire.Control{Op: 1})
+	c.WaitQuiesce()
+	c.Shutdown()
+	if got.Load() != 8 {
+		t.Fatalf("delivered %d, want 8", got.Load())
+	}
+	st := c.Stats()
+	if st.ControlMsgs != 8 || st.DataMsgs != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCoordinatorRoundTrip(t *testing.T) {
+	// Sites reply to the coordinator with a Matches message; the
+	// coordinator accumulates and the driver reads the result.
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	n := 5
+	c := New(n)
+	sites := make([]Handler, n)
+	for i := range sites {
+		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+			ctx.Send(Coordinator, &wire.Matches{Frag: uint16(ctx.Self())})
+		})
+	}
+	coord := HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+		if ctx.Self() != Coordinator {
+			t.Errorf("coordinator self = %d", ctx.Self())
+		}
+		m := p.(*wire.Matches)
+		mu.Lock()
+		seen[int(m.Frag)] = true
+		mu.Unlock()
+	})
+	c.Start(sites, coord)
+	c.Broadcast(&wire.Control{Op: 2})
+	c.WaitQuiesce()
+	c.Shutdown()
+	if len(seen) != n {
+		t.Fatalf("coordinator saw %d sites", len(seen))
+	}
+	st := c.Stats()
+	if st.ResultMsgs != int64(n) {
+		t.Fatalf("ResultMsgs = %d", st.ResultMsgs)
+	}
+}
+
+// A dense all-to-all burst would deadlock bounded channels; the unbounded
+// mailboxes must absorb it.
+func TestAllToAllBurstNoDeadlock(t *testing.T) {
+	n := 10
+	c := New(n)
+	sites := make([]Handler, n)
+	for i := range sites {
+		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+			f := p.(*wire.Falsify)
+			if len(f.Pairs) > 0 && f.Pairs[0].V > 0 {
+				for j := 0; j < ctx.NumSites(); j++ {
+					ctx.Send(j, &wire.Falsify{Pairs: []wire.VarRef{{V: f.Pairs[0].V - 1}}})
+				}
+			}
+		})
+	}
+	c.Start(sites, nopHandler{})
+	done := make(chan struct{})
+	go func() {
+		c.Broadcast(&wire.Falsify{Pairs: []wire.VarRef{{V: 2}}})
+		c.WaitQuiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: burst did not quiesce")
+	}
+	c.Shutdown()
+	// n injected, each spawns n (V=1), each of those spawns n (V=0).
+	want := int64(n + n*n + n*n*n)
+	if got := c.Stats().DataMsgs; got != want {
+		t.Fatalf("DataMsgs = %d, want %d", got, want)
+	}
+}
+
+func TestMultiPhase(t *testing.T) {
+	// Phase 1 then phase 2 on the same cluster; WaitQuiesce twice.
+	var phase1, phase2 atomic.Int64
+	c := New(3)
+	sites := make([]Handler, 3)
+	for i := range sites {
+		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+			ct := p.(*wire.Control)
+			switch ct.Op {
+			case 1:
+				phase1.Add(1)
+			case 2:
+				phase2.Add(1)
+			}
+		})
+	}
+	c.Start(sites, nopHandler{})
+	c.Broadcast(&wire.Control{Op: 1})
+	c.WaitQuiesce()
+	if phase1.Load() != 3 || phase2.Load() != 0 {
+		t.Fatalf("after phase 1: %d %d", phase1.Load(), phase2.Load())
+	}
+	c.Broadcast(&wire.Control{Op: 2})
+	c.WaitQuiesce()
+	c.Shutdown()
+	if phase2.Load() != 3 {
+		t.Fatalf("phase 2 deliveries = %d", phase2.Load())
+	}
+}
+
+func TestRoundsCounter(t *testing.T) {
+	c := New(1)
+	c.Start([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+		ctx.AddRounds(2)
+	})}, nopHandler{})
+	c.Inject(0, &wire.Control{})
+	c.WaitQuiesce()
+	c.Shutdown()
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("Rounds = %d", c.Stats().Rounds)
+	}
+}
+
+func TestBytesByKind(t *testing.T) {
+	c := New(2)
+	sites := []Handler{nopHandler{}, nopHandler{}}
+	c.Start(sites, nopHandler{})
+	c.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 2}}})
+	c.Inject(1, &wire.Control{})
+	c.WaitQuiesce()
+	c.Shutdown()
+	bk := c.BytesByKind()
+	if bk[wire.KindFalsify] != 11 {
+		t.Fatalf("falsify bytes = %d", bk[wire.KindFalsify])
+	}
+	if bk[wire.KindControl] != 7 {
+		t.Fatalf("control bytes = %d", bk[wire.KindControl])
+	}
+}
+
+func TestWaitQuiesceImmediateWhenQuiet(t *testing.T) {
+	c := New(1)
+	c.Start([]Handler{nopHandler{}}, nopHandler{})
+	done := make(chan struct{})
+	go func() { c.WaitQuiesce(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitQuiesce hung on a quiet cluster")
+	}
+	c.Shutdown()
+}
+
+func TestMaxSiteBusyTracked(t *testing.T) {
+	c := New(1)
+	c.Start([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+		time.Sleep(5 * time.Millisecond)
+	})}, nopHandler{})
+	c.Inject(0, &wire.Control{})
+	c.WaitQuiesce()
+	c.Shutdown()
+	if c.Stats().MaxSiteBusy < 4*time.Millisecond {
+		t.Fatalf("MaxSiteBusy = %v", c.Stats().MaxSiteBusy)
+	}
+}

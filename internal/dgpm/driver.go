@@ -1,0 +1,78 @@
+package dgpm
+
+// The dGPM driver: wires one site handler per fragment plus a collecting
+// coordinator onto the cluster runtime and runs the three phases of
+// Fig. 3 — (1) partial evaluation, (2) asynchronous message passing to
+// the fixpoint, (3) assembly of Q(G) at the coordinator Sc.
+
+import (
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/graph"
+	"dgs/internal/partition"
+	"dgs/internal/pattern"
+	"dgs/internal/simulation"
+	"dgs/internal/wire"
+)
+
+// collector is the coordinator handler: it accumulates per-site matches.
+// Recv is serial per actor, so no locking is needed.
+type collector struct {
+	nq    int
+	pairs []wire.VarRef
+}
+
+func (c *collector) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
+	if m, ok := p.(*wire.Matches); ok {
+		c.pairs = append(c.pairs, m.Pairs...)
+	}
+}
+
+// assemble turns collected pairs into the canonical match relation: the
+// union of partial matches, or ∅ if some query node has no match (§4.1
+// phase 3).
+func (c *collector) assemble() *simulation.Match {
+	m := simulation.NewMatch(c.nq)
+	for _, r := range c.pairs {
+		m.Sets[r.U] = append(m.Sets[r.U], graph.NodeID(r.V))
+	}
+	m.Sort()
+	return m.Canonical()
+}
+
+// Run evaluates the data-selecting pattern query Q over the fragmentation
+// with the configured dGPM variant and returns the maximum match plus the
+// run's network statistics.
+func Run(q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats) {
+	n := fr.NumFragments()
+	c := cluster.New(n)
+	sites := make([]cluster.Handler, n)
+	for i := 0; i < n; i++ {
+		sites[i] = newSite(q, fr.Frags[i], fr.Assign, cfg)
+	}
+	coord := &collector{nq: q.NumNodes()}
+	c.Start(sites, coord)
+
+	start := time.Now()
+	// Phase 1+2: partial evaluation and message passing to the fixpoint.
+	c.Broadcast(&wire.Control{Op: OpStart})
+	c.WaitQuiesce()
+	// Phase 3: assemble Q(G) at the coordinator.
+	c.Broadcast(&wire.Control{Op: OpReport})
+	c.WaitQuiesce()
+	wall := time.Since(start)
+	c.Shutdown()
+
+	stats := c.Stats()
+	stats.Wall = wall
+	return coord.assemble(), stats
+}
+
+// RunBoolean evaluates Q as a Boolean pattern: true iff G matches Q.
+// Protocol phases are identical to the data-selecting case; only the
+// coordinator's final check differs (§4.1 "Boolean queries").
+func RunBoolean(q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (bool, cluster.Stats) {
+	m, stats := Run(q, fr, cfg)
+	return m.Ok(), stats
+}

@@ -1,0 +1,444 @@
+// Package dgpm implements the paper's core contribution (§4): the
+// partition-bounded distributed graph simulation algorithm dGPM, its
+// unoptimized variant dGPMNOpt, and the two optimization strategies of
+// §4.2 (incremental local evaluation and the push operation).
+//
+// Each site runs an Engine over its fragment. The engine maintains the
+// Boolean variables X(u,v) of §4.1 with counter-based propagation:
+//
+//	X(u,v) = ∧ over query children u' of u ( ∨ over fragment successors
+//	          v' of v with matching label  X(u',v') )
+//
+// Variables of virtual nodes are *assumptions*: optimistically true and
+// frozen locally — only a falsification shipped by their owner site kills
+// them ("it always assumes the unevaluated virtual nodes as match
+// candidates", §4.1). Truth values are monotone (true→false once), which
+// is what bounds data shipment by O(|Ef||Vq|).
+//
+// The counter representation makes re-evaluation after a message
+// inherently incremental: processing a falsification touches exactly the
+// affected cone (the paper's O(|AFF|) bound for incremental lEval).
+//
+// Hot state is dense: fragment-visible nodes (locals followed by
+// virtuals) are indexed 0..nVis-1 and alive flags/counters live in flat
+// arrays; maps appear only on cold paths (pushed equations, message
+// boundaries).
+package dgpm
+
+import (
+	"fmt"
+
+	"dgs/internal/graph"
+	"dgs/internal/partition"
+	"dgs/internal/pattern"
+	"dgs/internal/wire"
+)
+
+// varKey packs a variable X(u,v) into one comparable word (v is the
+// global node ID).
+type varKey uint64
+
+func key(u pattern.QNode, v graph.NodeID) varKey {
+	return varKey(u)<<32 | varKey(v)
+}
+
+func (k varKey) u() pattern.QNode { return pattern.QNode(k >> 32) }
+func (k varKey) v() graph.NodeID  { return graph.NodeID(k & 0xffffffff) }
+
+func (k varKey) ref() wire.VarRef { return wire.VarRef{U: uint16(k.u()), V: uint32(k.v())} }
+
+func refKey(r wire.VarRef) varKey { return key(pattern.QNode(r.U), graph.NodeID(r.V)) }
+
+// extVar is a variable for a node outside the fragment's view: either a
+// pure assumption (a pushed equation's leaf) or an equation variable
+// installed by a push. Virtual-node assumptions are NOT stored here —
+// they live in the dense alive arrays.
+type extVar struct {
+	alive bool
+	hasEq bool
+	// groups holds the references of each unsatisfied OR group;
+	// groupCnt counts the still-alive references per group.
+	groups   [][]varKey
+	groupCnt []int32
+}
+
+type qEdge struct {
+	parent, child pattern.QNode
+}
+
+// Engine is the per-site evaluation state.
+type Engine struct {
+	q    *pattern.Pattern
+	frag *partition.Fragment
+
+	qedges []qEdge
+	eOut   [][]int32 // query node -> out edge indices
+	eIn    [][]int32 // query node -> in edge indices (by child)
+	// constTrue[u] marks leaf query nodes: X(u,v) with matching label is
+	// constant true.
+	constTrue []bool
+
+	// Dense node universe: vis[0:nl] are local nodes, vis[nl:] virtual.
+	vis    []graph.NodeID
+	visIdx map[graph.NodeID]int32
+	nl     int32 // number of locals
+
+	// succ[li] lists vis indices of local node li's successors.
+	succ [][]int32
+	// pred[vi] lists local indices with an edge to vis node vi.
+	pred [][]int32
+
+	// alive[u][vi] — dense variable state for visible nodes.
+	alive [][]bool
+	// cnt[eIdx][li] — alive-successor counters for local variables.
+	cnt [][]int32
+
+	// ext variables (pushed equations and their leaves), keyed by (u,v).
+	ext map[varKey]*extVar
+
+	// eqWatch maps a variable to the equation groups referencing it.
+	eqWatch map[varKey][]eqWatcher
+
+	// isIn[li] marks local in-nodes.
+	isIn []bool
+
+	// kill queue: packed (u, vi) pairs pending propagation.
+	queue []visVar
+	// extQueue: pending ext kills.
+	extQueue []varKey
+
+	// out accumulates in-node variables falsified since the last Drain.
+	out []wire.VarRef
+
+	// unevalIn / unevalVirt track |Fi.I'| and |Fi.O'| of the benefit
+	// function incrementally (decremented on kills).
+	unevalIn   int
+	unevalVirt int
+
+	// Evals counts evaluation passes (initial + per incoming batch),
+	// the "rounds of (incremental) partial evaluation" of §5.1.
+	Evals int
+}
+
+type visVar struct {
+	u  pattern.QNode
+	vi int32
+}
+
+type eqWatcher struct {
+	target varKey
+	group  int32
+}
+
+// NewEngine builds the initial state and runs the first partial
+// evaluation (procedure lEval of Fig. 4, lines 1–9): label-consistent
+// variables are created, counters initialized, and locally-refutable
+// variables falsified under the optimistic virtual-node assumption.
+func NewEngine(q *pattern.Pattern, frag *partition.Fragment) *Engine {
+	nq := q.NumNodes()
+	nl := len(frag.Local)
+	nvis := nl + len(frag.Virtual)
+	e := &Engine{
+		q:       q,
+		frag:    frag,
+		ext:     make(map[varKey]*extVar),
+		eqWatch: make(map[varKey][]eqWatcher),
+		visIdx:  make(map[graph.NodeID]int32, nvis),
+		nl:      int32(nl),
+	}
+	e.eOut = make([][]int32, nq)
+	e.eIn = make([][]int32, nq)
+	e.constTrue = make([]bool, nq)
+	for u := 0; u < nq; u++ {
+		for _, uc := range q.Succ(pattern.QNode(u)) {
+			idx := int32(len(e.qedges))
+			e.qedges = append(e.qedges, qEdge{pattern.QNode(u), uc})
+			e.eOut[u] = append(e.eOut[u], idx)
+			e.eIn[uc] = append(e.eIn[uc], idx)
+		}
+		e.constTrue[u] = len(q.Succ(pattern.QNode(u))) == 0
+	}
+
+	e.vis = make([]graph.NodeID, 0, nvis)
+	e.vis = append(e.vis, frag.Local...)
+	e.vis = append(e.vis, frag.Virtual...)
+	for i, v := range e.vis {
+		e.visIdx[v] = int32(i)
+	}
+	e.isIn = make([]bool, nl)
+	for _, v := range frag.InNodes {
+		e.isIn[e.visIdx[v]] = true
+	}
+
+	// Dense adjacency.
+	e.succ = make([][]int32, nl)
+	e.pred = make([][]int32, nvis)
+	for li := 0; li < nl; li++ {
+		ws := frag.Succ[frag.Local[li]]
+		if len(ws) == 0 {
+			continue
+		}
+		row := make([]int32, len(ws))
+		for i, w := range ws {
+			wi := e.visIdx[w]
+			row[i] = wi
+			e.pred[wi] = append(e.pred[wi], int32(li))
+		}
+		e.succ[li] = row
+	}
+
+	// Alive state: label consistency, locals and virtuals uniformly.
+	labels := make([]graph.Label, nvis)
+	for i, v := range e.vis {
+		labels[i] = frag.Labels[v]
+	}
+	e.alive = make([][]bool, nq)
+	for u := 0; u < nq; u++ {
+		row := make([]bool, nvis)
+		ql := q.Label(pattern.QNode(u))
+		for i := range row {
+			row[i] = ql == labels[i]
+		}
+		e.alive[u] = row
+	}
+
+	// Counters: cnt[e=(u,u')][li] = #alive successors matching u'.
+	e.cnt = make([][]int32, len(e.qedges))
+	for i := range e.cnt {
+		e.cnt[i] = make([]int32, nl)
+	}
+	for li := 0; li < nl; li++ {
+		for _, wi := range e.succ[li] {
+			for ei := range e.qedges {
+				if e.alive[e.qedges[ei].child][wi] {
+					e.cnt[ei][li]++
+				}
+			}
+		}
+	}
+	// Unevaluated-variable tallies for the benefit function: alive,
+	// non-constant variables on in-nodes and virtual nodes.
+	for u := 0; u < nq; u++ {
+		if e.constTrue[u] {
+			continue
+		}
+		row := e.alive[u]
+		for li := 0; li < nl; li++ {
+			if row[li] && e.isIn[li] {
+				e.unevalIn++
+			}
+		}
+		for vi := int32(nl); vi < int32(nvis); vi++ {
+			if row[vi] {
+				e.unevalVirt++
+			}
+		}
+	}
+
+	// Seed: alive local vars with an exhausted out-edge counter die.
+	for u := 0; u < nq; u++ {
+		if e.constTrue[u] {
+			continue
+		}
+		row := e.alive[u]
+		for li := 0; li < nl; li++ {
+			if !row[li] {
+				continue
+			}
+			for _, ei := range e.eOut[u] {
+				if e.cnt[ei][li] == 0 {
+					e.killVis(pattern.QNode(u), int32(li))
+					break
+				}
+			}
+		}
+	}
+	e.propagate()
+	e.Evals++
+	return e
+}
+
+// isAlive reports the current status of any variable the engine can see.
+// Unknown external variables default to alive.
+func (e *Engine) isAlive(k varKey) bool {
+	if vi, ok := e.visIdx[k.v()]; ok {
+		return e.alive[k.u()][vi]
+	}
+	if x, ok := e.ext[k]; ok {
+		return x.alive
+	}
+	return true
+}
+
+// isConst reports whether k is constant true: leaf query node with a
+// matching label on a visible node.
+func (e *Engine) isConst(k varKey) bool {
+	if !e.constTrue[k.u()] {
+		return false
+	}
+	if vi, ok := e.visIdx[k.v()]; ok {
+		// Initial alive == label consistency; leaves are never killed.
+		return e.alive[k.u()][vi]
+	}
+	return false
+}
+
+// killVis falsifies a visible variable. Local in-node deaths are recorded
+// for shipping.
+func (e *Engine) killVis(u pattern.QNode, vi int32) {
+	if !e.alive[u][vi] {
+		return
+	}
+	e.alive[u][vi] = false
+	if vi < e.nl {
+		if e.isIn[vi] {
+			e.out = append(e.out, wire.VarRef{U: uint16(u), V: uint32(e.vis[vi])})
+			if !e.constTrue[u] {
+				e.unevalIn--
+			}
+		}
+	} else if !e.constTrue[u] {
+		e.unevalVirt--
+	}
+	e.queue = append(e.queue, visVar{u, vi})
+}
+
+func (e *Engine) killExt(k varKey) {
+	x, ok := e.ext[k]
+	if !ok {
+		x = &extVar{alive: true}
+		e.ext[k] = x
+	}
+	if !x.alive {
+		return
+	}
+	x.alive = false
+	x.groups, x.groupCnt = nil, nil
+	e.extQueue = append(e.extQueue, k)
+}
+
+// propagate drains the kill queues: each death decrements successor
+// counters of local predecessors (the fragment-level HHK step) and the
+// group counters of watching equations.
+func (e *Engine) propagate() {
+	for len(e.queue) > 0 || len(e.extQueue) > 0 {
+		if n := len(e.queue); n > 0 {
+			kv := e.queue[n-1]
+			e.queue = e.queue[:n-1]
+			// Local predecessors lose a witness for each edge into kv.u.
+			for _, ei := range e.eIn[kv.u] {
+				up := e.qedges[ei].parent
+				cnt := e.cnt[ei]
+				arow := e.alive[up]
+				for _, lp := range e.pred[kv.vi] {
+					cnt[lp]--
+					if cnt[lp] == 0 && arow[lp] {
+						e.killVis(up, lp)
+					}
+				}
+			}
+			e.fireWatchers(key(kv.u, e.vis[kv.vi]))
+			continue
+		}
+		n := len(e.extQueue)
+		k := e.extQueue[n-1]
+		e.extQueue = e.extQueue[:n-1]
+		e.fireWatchers(k)
+	}
+}
+
+// fireWatchers notifies installed equations that k died.
+func (e *Engine) fireWatchers(k varKey) {
+	ws, ok := e.eqWatch[k]
+	if !ok {
+		return
+	}
+	delete(e.eqWatch, k)
+	for _, w := range ws {
+		x, ok := e.ext[w.target]
+		if !ok || !e.isAlive(w.target) || int(w.group) >= len(x.groupCnt) {
+			continue
+		}
+		x.groupCnt[w.group]--
+		if x.groupCnt[w.group] == 0 {
+			e.killVar(w.target)
+		}
+	}
+}
+
+// ApplyFalsifications processes a received falsification batch
+// (incremental lEval, §4.2): each listed variable is killed and the
+// effect propagated. Unknown or already-dead variables are ignored —
+// falsifications are idempotent.
+func (e *Engine) ApplyFalsifications(pairs []wire.VarRef) {
+	for _, r := range pairs {
+		k := refKey(r)
+		if vi, ok := e.visIdx[k.v()]; ok {
+			if e.alive[k.u()][vi] {
+				e.killVis(k.u(), vi)
+			}
+			continue
+		}
+		e.killExt(k)
+	}
+	e.propagate()
+	e.Evals++
+}
+
+// Drain returns and clears the in-node variables falsified since the last
+// call. The site layer routes them to watcher sites (procedure lMsg).
+func (e *Engine) Drain() []wire.VarRef {
+	out := e.out
+	e.out = nil
+	return out
+}
+
+// AliveLocalVar reports the status of a local variable; it panics if v is
+// not local (programming error in the caller).
+func (e *Engine) AliveLocalVar(u pattern.QNode, v graph.NodeID) bool {
+	vi, ok := e.visIdx[v]
+	if !ok || vi >= e.nl {
+		panic(fmt.Sprintf("dgpm: node %d is not local to fragment %d", v, e.frag.ID))
+	}
+	return e.alive[u][vi]
+}
+
+// LocalMatches lists all alive local variables — the site's partial
+// answer Q(Fi) shipped to the coordinator in phase 3.
+func (e *Engine) LocalMatches() []wire.VarRef {
+	var out []wire.VarRef
+	for u := range e.alive {
+		row := e.alive[u]
+		for li := int32(0); li < e.nl; li++ {
+			if row[li] {
+				out = append(out, wire.VarRef{U: uint16(u), V: uint32(e.vis[li])})
+			}
+		}
+	}
+	return out
+}
+
+// DeadLocalVars lists the falsified non-constant variables of a local
+// node — used to backfill a rerouted watcher that joined after those
+// variables died.
+func (e *Engine) DeadLocalVars(v graph.NodeID) []wire.VarRef {
+	vi, ok := e.visIdx[v]
+	if !ok || vi >= e.nl {
+		return nil
+	}
+	var out []wire.VarRef
+	lbl := e.frag.Labels[v]
+	for u := 0; u < e.q.NumNodes(); u++ {
+		if e.q.Label(pattern.QNode(u)) == lbl && !e.alive[u][vi] {
+			out = append(out, wire.VarRef{U: uint16(u), V: uint32(v)})
+		}
+	}
+	return out
+}
+
+// UnevaluatedCounts reports |Fi.I'| and |Fi.O'| of the benefit function
+// B(Si) (§4.2): in-node and virtual-node variables whose truth value is
+// still unknown (alive and not constant). Maintained incrementally.
+func (e *Engine) UnevaluatedCounts() (inVars, virtVars int) {
+	return e.unevalIn, e.unevalVirt
+}

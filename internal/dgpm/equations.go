@@ -1,0 +1,323 @@
+package dgpm
+
+// Equation extraction and installation — the machinery behind the push
+// operation of §4.2. A push ships, to a parent site, the closed subsystem
+// of still-unevaluated Boolean equations reachable from the in-node
+// variables the parent watches, so the parent can evaluate them itself
+// and bypass the extra message hop.
+
+import (
+	"sort"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+	"dgs/internal/wire"
+)
+
+// killVar falsifies any variable, routing to the dense path for visible
+// nodes (so fragment counters fire) and to the ext path otherwise.
+func (e *Engine) killVar(k varKey) {
+	if vi, ok := e.visIdx[k.v()]; ok {
+		e.killVis(k.u(), vi)
+		return
+	}
+	e.killExt(k)
+}
+
+// depSet is the result of the assumption-dependence analysis.
+type depSet struct {
+	e   *Engine
+	vis [][]bool // [u][vi]
+	ext map[varKey]bool
+}
+
+func (d *depSet) has(k varKey) bool {
+	if vi, ok := d.e.visIdx[k.v()]; ok {
+		return d.vis[k.u()][vi]
+	}
+	return d.ext[k]
+}
+
+// assumptionDependent computes the set of alive variables that
+// transitively reference at least one alive assumption variable. Every
+// other alive variable is settled: its defining subsystem is closed under
+// local knowledge, so the local greatest fixpoint equals the global one.
+// The set is computed by reverse reachability from the assumptions —
+// through the fragment adjacency for local variables and through equation
+// watch lists for installed equations.
+func (e *Engine) assumptionDependent() *depSet {
+	nq := e.q.NumNodes()
+	d := &depSet{e: e, ext: make(map[varKey]bool)}
+	d.vis = make([][]bool, nq)
+	for u := range d.vis {
+		d.vis[u] = make([]bool, len(e.vis))
+	}
+	var queue []varKey
+	markVis := func(u pattern.QNode, vi int32) {
+		if !d.vis[u][vi] {
+			d.vis[u][vi] = true
+			queue = append(queue, key(u, e.vis[vi]))
+		}
+	}
+	mark := func(k varKey) {
+		if vi, ok := e.visIdx[k.v()]; ok {
+			markVis(k.u(), vi)
+			return
+		}
+		if !d.ext[k] {
+			d.ext[k] = true
+			queue = append(queue, k)
+		}
+	}
+	// Seeds: alive, non-constant assumption variables — virtual nodes
+	// without an installed equation, plus pushed leaves.
+	nvis := int32(len(e.vis))
+	for u := 0; u < nq; u++ {
+		if e.constTrue[u] {
+			continue
+		}
+		for vi := e.nl; vi < nvis; vi++ {
+			if !e.alive[u][vi] {
+				continue
+			}
+			if x, ok := e.ext[key(pattern.QNode(u), e.vis[vi])]; ok && x.hasEq {
+				continue // derived, not an assumption
+			}
+			markVis(pattern.QNode(u), vi)
+		}
+	}
+	for k, x := range e.ext {
+		if _, visible := e.visIdx[k.v()]; visible {
+			continue
+		}
+		if x.alive && !x.hasEq {
+			mark(k)
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		uc := k.u()
+		if vi, ok := e.visIdx[k.v()]; ok {
+			for _, ei := range e.eIn[uc] {
+				up := e.qedges[ei].parent
+				if e.constTrue[up] {
+					continue
+				}
+				arow := e.alive[up]
+				for _, lp := range e.pred[vi] {
+					if arow[lp] {
+						markVis(up, lp)
+					}
+				}
+			}
+		}
+		for _, w := range e.eqWatch[k] {
+			if e.isAlive(w.target) {
+				mark(w.target)
+			}
+		}
+	}
+	return d
+}
+
+// ExtractSubsystem computes the equations defining every alive,
+// assumption-dependent variable X(u,v) for the requested in-nodes, closed
+// under local dependencies: referenced local (and previously installed
+// equation) variables contribute their own equations; pure assumption
+// variables stay as leaves. It returns the equations plus the leaf node
+// IDs (whose owners must be asked to reroute falsifications).
+//
+// Alive variables with no transitive dependence on an assumption are
+// settled true at the local fixpoint (their subsystem is closed, so local
+// truth is global truth); they satisfy their OR groups like constants and
+// are never shipped. On trees this prunes extraction down to the
+// root→virtual paths, giving Corollary 4's O(|Q||F|) shipment.
+func (e *Engine) ExtractSubsystem(requested []graph.NodeID) ([]wire.Equation, []graph.NodeID) {
+	dep := e.assumptionDependent()
+	visited := make(map[varKey]bool)
+	leafNodes := make(map[graph.NodeID]bool)
+	var eqs []wire.Equation
+	var stack []varKey
+
+	push := func(k varKey) {
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+		stack = append(stack, k)
+	}
+
+	for _, v := range requested {
+		for u := 0; u < e.q.NumNodes(); u++ {
+			k := key(pattern.QNode(u), v)
+			if e.isAlive(k) && !e.isConst(k) && dep.has(k) {
+				push(k)
+			}
+		}
+	}
+
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		groups, isLeaf := e.groupsOf(k)
+		if isLeaf {
+			leafNodes[k.v()] = true
+			continue
+		}
+		eq := wire.Equation{Target: k.ref()}
+		for _, g := range groups {
+			refs := make([]wire.VarRef, 0, len(g))
+			satisfied := false
+			for _, rk := range g {
+				if !dep.has(rk) {
+					// Settled-true reference satisfies the OR group.
+					satisfied = true
+					break
+				}
+				refs = append(refs, rk.ref())
+			}
+			if satisfied {
+				continue
+			}
+			for _, rk := range g {
+				push(rk)
+			}
+			eq.Groups = append(eq.Groups, refs)
+		}
+		eqs = append(eqs, eq)
+	}
+	leaves := make([]graph.NodeID, 0, len(leafNodes))
+	for v := range leafNodes {
+		leaves = append(leaves, v)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	// Deterministic order helps tests and keeps message bytes stable.
+	sort.Slice(eqs, func(i, j int) bool {
+		a, b := eqs[i].Target, eqs[j].Target
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.U < b.U
+	})
+	return eqs, leaves
+}
+
+// groupsOf returns the current unsatisfied OR groups of an alive
+// variable, or isLeaf=true when k is a pure assumption. Dead references
+// are pruned; groups containing a constant-true reference are dropped as
+// satisfied.
+func (e *Engine) groupsOf(k varKey) (groups [][]varKey, isLeaf bool) {
+	vi, visible := e.visIdx[k.v()]
+	if visible && vi < e.nl {
+		// Local variable: groups come from the fragment adjacency.
+		for _, ei := range e.eOut[k.u()] {
+			uc := e.qedges[ei].child
+			if e.constTrue[uc] {
+				// Any alive successor is a constant-true witness; the var
+				// is alive, so its counter is positive: group satisfied.
+				continue
+			}
+			var g []varKey
+			arow := e.alive[uc]
+			for _, wi := range e.succ[vi] {
+				if arow[wi] {
+					g = append(g, key(uc, e.vis[wi]))
+				}
+			}
+			groups = append(groups, g)
+		}
+		return groups, false
+	}
+	if x, ok := e.ext[k]; ok && x.hasEq {
+		// Prune references that died since installation: a dead reference
+		// contributes false to its OR and must not leak into a shipped
+		// subsystem (the receiver may have no way to learn of its death).
+		for _, g := range x.groups {
+			var live []varKey
+			for _, rk := range g {
+				if e.isAlive(rk) {
+					live = append(live, rk)
+				}
+			}
+			groups = append(groups, live)
+		}
+		return groups, false
+	}
+	return nil, true
+}
+
+// InstallEquations adds a pushed subsystem to the engine. Targets are
+// created (or upgraded from assumptions) as equation variables; already
+// falsified targets stay dead. References resolve against the engine's
+// current knowledge: dead references are pruned, constant-true references
+// satisfy their group. Installation is two-phase (create all targets,
+// then wire references) so mutually recursive equations — cross-fragment
+// cycles — install correctly.
+func (e *Engine) InstallEquations(eqs []wire.Equation) {
+	// Phase 1: admit targets.
+	installed := make(map[varKey]bool, len(eqs))
+	for _, eq := range eqs {
+		k := refKey(eq.Target)
+		if vi, ok := e.visIdx[k.v()]; ok && vi < e.nl {
+			// A pushed equation never targets our own node; if a routing
+			// anomaly delivers one, our local derivation is authoritative.
+			continue
+		}
+		if !e.isAlive(k) {
+			continue // already resolved
+		}
+		x, ok := e.ext[k]
+		if !ok {
+			x = &extVar{alive: true}
+			e.ext[k] = x
+		}
+		if x.hasEq {
+			continue // duplicate push
+		}
+		installed[k] = true
+	}
+	// Phase 2: wire groups.
+	for _, eq := range eqs {
+		k := refKey(eq.Target)
+		if !installed[k] {
+			continue
+		}
+		x := e.ext[k]
+		x.hasEq = true
+		dead := false
+		for _, g := range eq.Groups {
+			var refs []varKey
+			satisfied := false
+			for _, r := range g {
+				rk := refKey(r)
+				if e.isConst(rk) {
+					satisfied = true
+					break
+				}
+				if !e.isAlive(rk) {
+					continue
+				}
+				refs = append(refs, rk)
+			}
+			if satisfied {
+				continue
+			}
+			if len(refs) == 0 {
+				dead = true
+				break
+			}
+			gi := int32(len(x.groups))
+			x.groups = append(x.groups, refs)
+			x.groupCnt = append(x.groupCnt, int32(len(refs)))
+			for _, rk := range refs {
+				e.eqWatch[rk] = append(e.eqWatch[rk], eqWatcher{target: k, group: gi})
+			}
+		}
+		if dead {
+			e.killVar(k)
+		}
+	}
+	e.propagate()
+	e.Evals++
+}

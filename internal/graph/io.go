@@ -1,0 +1,244 @@
+package graph
+
+// Binary and text serialization. The binary format is what Match and
+// disHHK "ship over the wire" in the experiments, so its exact byte size
+// matters: data-shipment numbers for the ship-the-graph baselines are the
+// encoded sizes produced here (§3.1, §6).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+const binMagic = "DGSG1\n"
+
+// EncodedSize reports the exact number of bytes WriteBinary will emit,
+// without encoding. Used for data-shipment accounting.
+func EncodedSize(g *Graph) int64 {
+	sz := int64(len(binMagic))
+	sz += 8 // numNodes
+	sz += 8 // numEdges
+	sz += 4 // numLabels
+	for _, name := range g.dict.names {
+		sz += int64(4 + len(name))
+	}
+	sz += int64(2 * g.NumNodes())       // labels
+	sz += int64(8 * (g.NumNodes() + 1)) // succOff
+	sz += int64(4 * g.NumEdges())       // succ
+	return sz
+}
+
+// WriteBinary encodes g in the DGSG1 format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var buf [8]byte
+	put64 := func(x uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		_, err := bw.Write(buf[:8])
+		return err
+	}
+	put32 := func(x uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], x)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	if err := put64(uint64(g.NumNodes())); err != nil {
+		return err
+	}
+	if err := put64(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(g.dict.names))); err != nil {
+		return err
+	}
+	for _, name := range g.dict.names {
+		if err := put32(uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	for _, l := range g.labels {
+		binary.LittleEndian.PutUint16(buf[:2], uint16(l))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return err
+		}
+	}
+	for _, off := range g.succOff {
+		if err := put64(off); err != nil {
+			return err
+		}
+	}
+	for _, w := range g.succ {
+		if err := put32(w); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a DGSG1 graph.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var buf [8]byte
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:8]), nil
+	}
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	nn, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	ne, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	nl, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nl == 0 {
+		return nil, fmt.Errorf("graph: dictionary must contain the reserved label")
+	}
+	dict := &Dict{byName: make(map[string]Label, nl)}
+	for i := uint32(0); i < nl; i++ {
+		ln, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		dict.names = append(dict.names, string(name))
+		dict.byName[string(name)] = Label(i)
+	}
+	g := &Graph{dict: dict}
+	g.labels = make([]Label, nn)
+	for i := range g.labels {
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return nil, err
+		}
+		g.labels[i] = Label(binary.LittleEndian.Uint16(buf[:2]))
+	}
+	g.succOff = make([]uint64, nn+1)
+	for i := range g.succOff {
+		x, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		g.succOff[i] = x
+	}
+	if g.succOff[nn] != ne {
+		return nil, fmt.Errorf("graph: offset table inconsistent with edge count")
+	}
+	g.succ = make([]NodeID, ne)
+	for i := range g.succ {
+		x, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(x) >= nn {
+			return nil, fmt.Errorf("graph: edge target %d out of range", x)
+		}
+		g.succ[i] = x
+	}
+	return g, nil
+}
+
+// WriteText emits a human-readable edge-list form:
+//
+//	node <id> <label>
+//	edge <src> <dst>
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "node %d %s\n", v, g.LabelName(NodeID(v))); err != nil {
+			return err
+		}
+	}
+	var outerr error
+	g.Edges(func(v, w2 NodeID) bool {
+		_, outerr = fmt.Fprintf(bw, "edge %d %d\n", v, w2)
+		return outerr == nil
+	})
+	if outerr != nil {
+		return outerr
+	}
+	return bw.Flush()
+}
+
+// ParseText reads the WriteText format. Node lines must precede edges that
+// use them; node IDs must be dense and ascending from 0.
+func ParseText(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: node needs an id", lineno)
+			}
+			var id int
+			if _, err := fmt.Sscanf(fields[1], "%d", &id); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+			}
+			if id != b.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: node ids must be dense ascending (got %d want %d)", lineno, id, b.NumNodes())
+			}
+			label := ""
+			if len(fields) >= 3 {
+				label = fields[2]
+			}
+			b.AddNode(label)
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs src and dst", lineno)
+			}
+			var s, d int
+			if _, err := fmt.Sscanf(fields[1], "%d", &s); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &d); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+			}
+			b.AddEdge(NodeID(s), NodeID(d))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,286 @@
+// Package partition implements graph fragmentation (§2.2 of the paper).
+//
+// A fragmentation F of G = (V,E,L) is (F1,...,Fn) where each fragment
+// Fi = (Vi ∪ Fi.O, Ei, Li):
+//
+//   - (V1,...,Vn) partitions V;
+//   - Fi.O ("virtual nodes") are nodes v' in other fragments with a
+//     crossing edge (v,v'), v ∈ Vi;
+//   - Fi.I ("in-nodes") are nodes v' ∈ Vi with an incoming crossing edge;
+//   - Ei holds the edges among Vi plus crossing edges from Vi to Fi.O.
+//
+// Vf = ∪ Fi.O is the set of all virtual nodes, Ef the set of all crossing
+// edges. The partition-bounded guarantees of the paper are stated in
+// |Vf|, |Ef|, |Fm| (largest fragment) and |F| (fragment count).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"dgs/internal/graph"
+)
+
+// Fragment is one site's share of the graph. Node IDs are global; each
+// fragment stores local adjacency restricted to its local nodes, including
+// crossing edges to virtual nodes. A site must only touch its Fragment —
+// the runtime never hands it the whole graph.
+type Fragment struct {
+	ID int
+
+	// Local lists the fragment's own nodes Vi (sorted, global IDs).
+	Local []graph.NodeID
+	// Virtual lists Fi.O (sorted): other fragments' nodes that local
+	// crossing edges point to. The fragment knows their labels and owners.
+	Virtual []graph.NodeID
+	// InNodes lists Fi.I (sorted): local nodes with an incoming crossing
+	// edge; these are exactly the nodes other sites hold as virtual.
+	InNodes []graph.NodeID
+
+	// Succ maps a local node (global ID) to its out-neighbors (global
+	// IDs), covering local→local and local→virtual (crossing) edges.
+	Succ map[graph.NodeID][]graph.NodeID
+
+	// Labels of every node the fragment can see (local + virtual).
+	Labels map[graph.NodeID]graph.Label
+
+	// Owner[v] gives the owning fragment of each virtual node. Crossing
+	// edges carry IRIs/IDs in real systems [26,28]; the owner directory
+	// is the stand-in for that routing metadata.
+	Owner map[graph.NodeID]int
+
+	// InWatchers[v] lists the fragment IDs that hold in-node v as a
+	// virtual node — i.e. the sites to notify when v's status changes.
+	// This is the annotation A_d(Sj, Si) of the local dependency graph.
+	InWatchers map[graph.NodeID][]int
+
+	numEdges    int
+	numCrossing int
+}
+
+// NumNodes reports |Vi| (local nodes only).
+func (f *Fragment) NumNodes() int { return len(f.Local) }
+
+// NumEdges reports |Ei| including crossing edges.
+func (f *Fragment) NumEdges() int { return f.numEdges }
+
+// NumCrossing reports the number of crossing edges leaving this fragment.
+func (f *Fragment) NumCrossing() int { return f.numCrossing }
+
+// Size reports |Fi| = |Vi ∪ Fi.O| + |Ei|.
+func (f *Fragment) Size() int { return len(f.Local) + len(f.Virtual) + f.numEdges }
+
+// IsLocal reports whether v is one of the fragment's own nodes.
+func (f *Fragment) IsLocal(v graph.NodeID) bool {
+	i := sort.Search(len(f.Local), func(i int) bool { return f.Local[i] >= v })
+	return i < len(f.Local) && f.Local[i] == v
+}
+
+// IsVirtual reports whether v is one of the fragment's virtual nodes.
+func (f *Fragment) IsVirtual(v graph.NodeID) bool {
+	i := sort.Search(len(f.Virtual), func(i int) bool { return f.Virtual[i] >= v })
+	return i < len(f.Virtual) && f.Virtual[i] == v
+}
+
+// Fragmentation is a partition of a graph plus derived statistics.
+type Fragmentation struct {
+	G      *graph.Graph
+	Assign []int32 // node -> fragment ID
+	Frags  []*Fragment
+
+	vf int // |Vf| = |∪ Fi.O|
+	ef int // |Ef| = number of crossing edges
+}
+
+// NumFragments reports |F|.
+func (fr *Fragmentation) NumFragments() int { return len(fr.Frags) }
+
+// Vf reports |Vf|, the number of distinct virtual nodes across fragments.
+func (fr *Fragmentation) Vf() int { return fr.vf }
+
+// Ef reports |Ef|, the total number of crossing edges.
+func (fr *Fragmentation) Ef() int { return fr.ef }
+
+// MaxFragmentSize reports |Fm|, the size of the largest fragment.
+func (fr *Fragmentation) MaxFragmentSize() int {
+	m := 0
+	for _, f := range fr.Frags {
+		if s := f.Size(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// VfRatio reports |Vf| / |V|, the knob Exp-1/2 vary (25%..50%).
+func (fr *Fragmentation) VfRatio() float64 {
+	if fr.G.NumNodes() == 0 {
+		return 0
+	}
+	return float64(fr.vf) / float64(fr.G.NumNodes())
+}
+
+// EfRatio reports |Ef| / |E|.
+func (fr *Fragmentation) EfRatio() float64 {
+	if fr.G.NumEdges() == 0 {
+		return 0
+	}
+	return float64(fr.ef) / float64(fr.G.NumEdges())
+}
+
+func (fr *Fragmentation) String() string {
+	return fmt.Sprintf("Fragmentation(|F|=%d, |Vf|=%d (%.1f%%), |Ef|=%d (%.1f%%), |Fm|=%d)",
+		fr.NumFragments(), fr.vf, 100*fr.VfRatio(), fr.ef, 100*fr.EfRatio(), fr.MaxFragmentSize())
+}
+
+// Build constructs a Fragmentation from an assignment vector. assign[v]
+// must be in [0, n). Fragments with no local nodes are allowed (they just
+// sit idle), matching the paper's "multiple fragments on one site are one
+// fragment" convention in reverse.
+func Build(g *graph.Graph, assign []int32, n int) (*Fragmentation, error) {
+	if len(assign) != g.NumNodes() {
+		return nil, fmt.Errorf("partition: assign length %d != |V| %d", len(assign), g.NumNodes())
+	}
+	fr := &Fragmentation{G: g, Assign: assign}
+	fr.Frags = make([]*Fragment, n)
+	for i := 0; i < n; i++ {
+		fr.Frags[i] = &Fragment{
+			ID:         i,
+			Succ:       make(map[graph.NodeID][]graph.NodeID),
+			Labels:     make(map[graph.NodeID]graph.Label),
+			Owner:      make(map[graph.NodeID]int),
+			InWatchers: make(map[graph.NodeID][]int),
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		fi := assign[v]
+		if fi < 0 || int(fi) >= n {
+			return nil, fmt.Errorf("partition: node %d assigned to invalid fragment %d", v, fi)
+		}
+		f := fr.Frags[fi]
+		f.Local = append(f.Local, graph.NodeID(v))
+		f.Labels[graph.NodeID(v)] = g.Label(graph.NodeID(v))
+	}
+
+	virtSeen := make(map[graph.NodeID]bool) // global Vf dedup
+	inSeen := make([]map[graph.NodeID]bool, n)
+	virtSeenPer := make([]map[graph.NodeID]bool, n)
+	watcherSeen := make(map[uint64]bool) // (node, watcher) dedup
+	for i := 0; i < n; i++ {
+		inSeen[i] = make(map[graph.NodeID]bool)
+		virtSeenPer[i] = make(map[graph.NodeID]bool)
+	}
+
+	for v := 0; v < g.NumNodes(); v++ {
+		src := graph.NodeID(v)
+		fi := int(assign[v])
+		f := fr.Frags[fi]
+		succ := g.Succ(src)
+		if len(succ) > 0 {
+			f.Succ[src] = succ // CSR slice is immutable; safe to share
+			f.numEdges += len(succ)
+		}
+		for _, w := range succ {
+			fj := int(assign[w])
+			if fj == fi {
+				continue
+			}
+			// (src, w) is a crossing edge: w is virtual in Fi, in-node in Fj.
+			f.numCrossing++
+			fr.ef++
+			if !virtSeenPer[fi][w] {
+				virtSeenPer[fi][w] = true
+				f.Virtual = append(f.Virtual, w)
+				f.Labels[w] = g.Label(w)
+				f.Owner[w] = fj
+			}
+			if !virtSeen[w] {
+				virtSeen[w] = true
+				fr.vf++
+			}
+			fj2 := fr.Frags[fj]
+			if !inSeen[fj][w] {
+				inSeen[fj][w] = true
+				fj2.InNodes = append(fj2.InNodes, w)
+			}
+			key := uint64(w)<<16 | uint64(fi)
+			if !watcherSeen[key] {
+				watcherSeen[key] = true
+				fj2.InWatchers[w] = append(fj2.InWatchers[w], fi)
+			}
+		}
+	}
+	for _, f := range fr.Frags {
+		sort.Slice(f.Local, func(i, j int) bool { return f.Local[i] < f.Local[j] })
+		sort.Slice(f.Virtual, func(i, j int) bool { return f.Virtual[i] < f.Virtual[j] })
+		sort.Slice(f.InNodes, func(i, j int) bool { return f.InNodes[i] < f.InNodes[j] })
+		for _, ws := range f.InWatchers {
+			sort.Ints(ws)
+		}
+	}
+	return fr, nil
+}
+
+// Validate checks the structural invariants of §2.2; used in tests and
+// after partition refinement.
+func (fr *Fragmentation) Validate() error {
+	seen := make([]bool, fr.G.NumNodes())
+	for _, f := range fr.Frags {
+		for _, v := range f.Local {
+			if seen[v] {
+				return fmt.Errorf("node %d in two fragments", v)
+			}
+			seen[v] = true
+			if int(fr.Assign[v]) != f.ID {
+				return fmt.Errorf("node %d assign mismatch", v)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return fmt.Errorf("node %d in no fragment", v)
+		}
+	}
+	// ∪ Fi.O == ∪ Fi.I as sets (paper remark).
+	virt := map[graph.NodeID]bool{}
+	ins := map[graph.NodeID]bool{}
+	for _, f := range fr.Frags {
+		for _, v := range f.Virtual {
+			virt[v] = true
+			if fr.Assign[v] == int32(f.ID) {
+				return fmt.Errorf("fragment %d holds own node %d as virtual", f.ID, v)
+			}
+			if f.Owner[v] != int(fr.Assign[v]) {
+				return fmt.Errorf("fragment %d has wrong owner for %d", f.ID, v)
+			}
+		}
+		for _, v := range f.InNodes {
+			ins[v] = true
+			if fr.Assign[v] != int32(f.ID) {
+				return fmt.Errorf("fragment %d lists foreign in-node %d", f.ID, v)
+			}
+		}
+	}
+	if len(virt) != len(ins) || len(virt) != fr.vf {
+		return fmt.Errorf("|∪Fi.O|=%d |∪Fi.I|=%d vf=%d must all agree", len(virt), len(ins), fr.vf)
+	}
+	for v := range virt {
+		if !ins[v] {
+			return fmt.Errorf("virtual node %d is not an in-node anywhere", v)
+		}
+	}
+	// Edge coverage: every edge of G appears in exactly its source's fragment.
+	total := 0
+	for _, f := range fr.Frags {
+		for v, succ := range f.Succ {
+			if !f.IsLocal(v) {
+				return fmt.Errorf("fragment %d stores adjacency of foreign node %d", f.ID, v)
+			}
+			total += len(succ)
+		}
+	}
+	if total != fr.G.NumEdges() {
+		return fmt.Errorf("edge coverage %d != |E| %d", total, fr.G.NumEdges())
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"dgs/internal/graph"
+)
+
+// fig1Query is the pattern of Fig. 1: YB with edges to F and YF; SP, F, YF
+// form a cycle (SP→YF→F→SP per Example 6's equations: X(YF,yf1)=X(F,f2)
+// follows query edge (YF,F); sp.rvec[SP] from edge (SP,YF); X(F,f2)=X(SP,sp1)
+// from edge (F,SP)).
+const fig1Query = `
+node YB YB
+node YF YF
+node F  F
+node SP SP
+edge YB YF
+edge YB F
+edge SP YF
+edge YF F
+edge F  SP
+`
+
+func TestParseAndMeasures(t *testing.T) {
+	d := graph.NewDict()
+	p := MustParse(d, fig1Query)
+	if p.NumNodes() != 4 || p.NumEdges() != 5 {
+		t.Fatalf("|Vq|=%d |Eq|=%d", p.NumNodes(), p.NumEdges())
+	}
+	if p.Size() != 9 {
+		t.Fatalf("Size=%d", p.Size())
+	}
+	if p.IsDAG() {
+		t.Fatal("Fig-1 query has a cycle")
+	}
+	if p.MaxRank() != -1 {
+		t.Fatal("cyclic pattern must have no ranks")
+	}
+	if p.LabelName(0) != "YB" {
+		t.Fatalf("label of node 0 = %q", p.LabelName(0))
+	}
+	if p.NodeName(2) != "F" {
+		t.Fatalf("name of node 2 = %q", p.NodeName(2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := graph.NewDict()
+	bad := []string{
+		"node a",             // missing label
+		"edge a b",           // unknown nodes
+		"node a A\nedge a b", // unknown target
+		"zap a b",            // unknown directive
+		"node a A\nnode a B", // duplicate name
+		"",                   // empty pattern
+	}
+	for _, src := range bad {
+		if _, err := Parse(d, src); err == nil {
+			t.Fatalf("input %q: expected error", src)
+		}
+	}
+}
+
+func TestRanksChain(t *testing.T) {
+	d := graph.NewDict()
+	p := MustParse(d, `
+node a A
+node b B
+node c C
+edge a b
+edge b c
+`)
+	r, ok := p.Ranks()
+	if !ok {
+		t.Fatal("chain is a DAG")
+	}
+	if r[0] != 2 || r[1] != 1 || r[2] != 0 {
+		t.Fatalf("ranks = %v", r)
+	}
+	if p.MaxRank() != 2 {
+		t.Fatalf("MaxRank = %d", p.MaxRank())
+	}
+	if p.Diameter() != 2 {
+		t.Fatalf("Diameter = %d", p.Diameter())
+	}
+}
+
+func TestRanksFig5(t *testing.T) {
+	// Example 9: Q'' with r(FB)=0, r(YB2)=1, r(SP)=2, r(YF)=r(F)=3, r(YB1)=4.
+	d := graph.NewDict()
+	p := MustParse(d, `
+node YB1 YB
+node YF  YF
+node F   F
+node SP  SP
+node YB2 YB
+node FB  FB
+edge YB1 YF
+edge YB1 F
+edge YF  SP
+edge F   SP
+edge SP  YB2
+edge YB2 FB
+`)
+	r, ok := p.Ranks()
+	if !ok {
+		t.Fatal("Q'' is a DAG")
+	}
+	want := []int{4, 3, 3, 2, 1, 0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d (all=%v)", i, r[i], want[i], r)
+		}
+	}
+	if p.MaxRank() != 4 {
+		t.Fatalf("MaxRank = %d", p.MaxRank())
+	}
+}
+
+func TestDiameterDisconnectedPiece(t *testing.T) {
+	d := graph.NewDict()
+	p := MustParse(d, "node a A\nnode b B\nedge a b")
+	if p.Diameter() != 1 {
+		t.Fatalf("Diameter = %d", p.Diameter())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d := graph.NewDict()
+	p := MustParse(d, fig1Query)
+	p2, err := Parse(graph.NewDict(), p.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if p2.NumNodes() != p.NumNodes() || p2.NumEdges() != p.NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		if p.LabelName(QNode(u)) != p2.LabelName(QNode(u)) {
+			t.Fatal("round trip changed labels")
+		}
+	}
+}
+
+func TestAsGraphSharesStructure(t *testing.T) {
+	d := graph.NewDict()
+	p := MustParse(d, fig1Query)
+	g := p.AsGraph()
+	if g.NumNodes() != p.NumNodes() || g.NumEdges() != p.NumEdges() {
+		t.Fatal("AsGraph shape mismatch")
+	}
+	if g.LabelName(3) != "SP" {
+		t.Fatal("AsGraph labels mismatch")
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	d := graph.NewDict()
+	p := New(d)
+	a := p.AddNode("A", "")
+	b := p.AddNode("B", "")
+	p.MustAddEdge(a, b)
+	p.MustAddEdge(a, b)
+	if p.NumEdges() != 1 {
+		t.Fatalf("|Eq| = %d", p.NumEdges())
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	p := New(graph.NewDict())
+	p.AddNode("A", "")
+	if err := p.AddEdge(0, 5); err == nil || !strings.Contains(err.Error(), "missing node") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+package simulation
+
+// Dual simulation — the symmetric refinement of graph simulation used by
+// strong simulation [24] (Ma et al., PVLDB 2011), which the paper's
+// conclusion names as the next target for parallel-scalability analysis.
+// A dual simulation additionally requires parent witnesses: for every
+// (u,v) in R and every query edge (u',u), some edge (v',v) of G has
+// (u',v') in R. Dual simulation tightens plain simulation (R_dual ⊆
+// R_sim) and still admits a unique maximum relation computable by
+// counter refinement in O((|Vq|+|V|)(|Eq|+|E|)).
+
+import (
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+// DualNaive computes the maximum dual simulation by repeated full scans —
+// the oracle for DualHHK.
+func DualNaive(q *pattern.Pattern, g *graph.Graph) *Match {
+	g.EnsureReverse()
+	nq := q.NumNodes()
+	nv := g.NumNodes()
+	sim := make([][]bool, nq)
+	for u := 0; u < nq; u++ {
+		sim[u] = make([]bool, nv)
+		for v := 0; v < nv; v++ {
+			sim[u][v] = q.Label(pattern.QNode(u)) == g.Label(graph.NodeID(v))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < nq; u++ {
+			for v := 0; v < nv; v++ {
+				if !sim[u][v] {
+					continue
+				}
+				ok := true
+				for _, uc := range q.Succ(pattern.QNode(u)) {
+					found := false
+					for _, vc := range g.Succ(graph.NodeID(v)) {
+						if sim[uc][vc] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for _, up := range q.Pred(pattern.QNode(u)) {
+						found := false
+						for _, vp := range g.Pred(graph.NodeID(v)) {
+							if sim[up][vp] {
+								found = true
+								break
+							}
+						}
+						if !found {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					sim[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	m := NewMatch(nq)
+	for u := 0; u < nq; u++ {
+		for v := 0; v < nv; v++ {
+			if sim[u][v] {
+				m.Sets[u] = append(m.Sets[u], graph.NodeID(v))
+			}
+		}
+	}
+	return m.Canonical()
+}
+
+// DualHHK computes the maximum dual simulation with counter refinement:
+// the forward counters of HHK plus symmetric backward counters over
+// reverse adjacency.
+func DualHHK(q *pattern.Pattern, g *graph.Graph) *Match {
+	g.EnsureReverse()
+	nq := q.NumNodes()
+	nv := g.NumNodes()
+
+	type dEdge struct{ parent, child pattern.QNode }
+	var qedges []dEdge
+	eOut := make([][]int, nq) // edges where u is parent (forward condition)
+	eIn := make([][]int, nq)  // edges where u is child (backward condition)
+	for u := 0; u < nq; u++ {
+		for _, uc := range q.Succ(pattern.QNode(u)) {
+			idx := len(qedges)
+			qedges = append(qedges, dEdge{pattern.QNode(u), uc})
+			eOut[u] = append(eOut[u], idx)
+			eIn[uc] = append(eIn[uc], idx)
+		}
+	}
+
+	alive := make([][]bool, nq)
+	for u := 0; u < nq; u++ {
+		alive[u] = make([]bool, nv)
+		for v := 0; v < nv; v++ {
+			alive[u][v] = q.Label(pattern.QNode(u)) == g.Label(graph.NodeID(v))
+		}
+	}
+	// fwd[e][v] = #alive successors of v matching e.child.
+	// bwd[e][v] = #alive predecessors of v matching e.parent.
+	fwd := make([][]int32, len(qedges))
+	bwd := make([][]int32, len(qedges))
+	for e := range qedges {
+		fwd[e] = make([]int32, nv)
+		bwd[e] = make([]int32, nv)
+	}
+	for v := 0; v < nv; v++ {
+		for _, vc := range g.Succ(graph.NodeID(v)) {
+			for e, qe := range qedges {
+				if alive[qe.child][vc] {
+					fwd[e][v]++
+				}
+			}
+		}
+		for _, vp := range g.Pred(graph.NodeID(v)) {
+			for e, qe := range qedges {
+				if alive[qe.parent][vp] {
+					bwd[e][v]++
+				}
+			}
+		}
+	}
+
+	var queue []pair
+	kill := func(u pattern.QNode, v graph.NodeID) {
+		if alive[u][v] {
+			alive[u][v] = false
+			queue = append(queue, pair{u, v})
+		}
+	}
+	for u := 0; u < nq; u++ {
+		for v := 0; v < nv; v++ {
+			if !alive[u][v] {
+				continue
+			}
+			dead := false
+			for _, e := range eOut[u] {
+				if fwd[e][v] == 0 {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				for _, e := range eIn[u] {
+					if bwd[e][v] == 0 {
+						dead = true
+						break
+					}
+				}
+			}
+			if dead {
+				kill(pattern.QNode(u), graph.NodeID(v))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// Forward condition of predecessors: (up, vp) loses a child
+		// witness for each query edge (up, p.u).
+		for _, e := range eIn[p.u] {
+			up := qedges[e].parent
+			for _, vp := range g.Pred(p.v) {
+				fwd[e][vp]--
+				if fwd[e][vp] == 0 && alive[up][vp] {
+					kill(up, vp)
+				}
+			}
+		}
+		// Backward condition of successors: (uc, vc) loses a parent
+		// witness for each query edge (p.u, uc).
+		for _, e := range eOut[p.u] {
+			uc := qedges[e].child
+			for _, vc := range g.Succ(p.v) {
+				bwd[e][vc]--
+				if bwd[e][vc] == 0 && alive[uc][vc] {
+					kill(uc, vc)
+				}
+			}
+		}
+	}
+
+	m := NewMatch(nq)
+	for u := 0; u < nq; u++ {
+		for v := 0; v < nv; v++ {
+			if alive[u][v] {
+				m.Sets[u] = append(m.Sets[u], graph.NodeID(v))
+			}
+		}
+	}
+	return m.Canonical()
+}
+
+// VerifyDual checks that m is a dual simulation (soundness witness).
+func VerifyDual(q *pattern.Pattern, g *graph.Graph, m *Match) error {
+	if err := Verify(q, g, m); err != nil {
+		return err
+	}
+	g.EnsureReverse()
+	for u := range m.Sets {
+		for _, v := range m.Sets[u] {
+			for _, up := range q.Pred(pattern.QNode(u)) {
+				ok := false
+				for _, vp := range g.Pred(v) {
+					if m.Contains(up, vp) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return errParent(u, v, int(up))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type dualErr struct{ u, v, up int }
+
+func errParent(u int, v graph.NodeID, up int) error {
+	return &dualErr{u, int(v), up}
+}
+
+func (e *dualErr) Error() string {
+	return "pair (u" + itoa(e.u) + "," + itoa(e.v) + ") lacks parent witness for query edge from u" + itoa(e.up)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

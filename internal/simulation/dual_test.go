@@ -1,0 +1,124 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+func TestDualTightensSimulation(t *testing.T) {
+	// Chain graph A->B, plus an isolated B. Query A->B.
+	// Plain simulation: isolated B matches b (no child condition on b).
+	// Dual simulation: it does not (b needs an A parent).
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a A\nnode b B\nedge a b")
+	b := graph.NewBuilderDict(d)
+	va := b.AddNode("A")
+	vb := b.AddNode("B")
+	iso := b.AddNode("B")
+	b.AddEdge(va, vb)
+	g := b.MustBuild()
+
+	plain := HHK(q, g)
+	if !plain.Contains(1, iso) {
+		t.Fatal("plain simulation should keep the isolated B")
+	}
+	dual := DualHHK(q, g)
+	if dual.Contains(1, iso) {
+		t.Fatal("dual simulation must drop the parentless B")
+	}
+	if !dual.Contains(0, va) || !dual.Contains(1, vb) {
+		t.Fatalf("dual lost the real match: %v", dual)
+	}
+	if err := VerifyDual(q, g, dual); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualContainedInPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 40; iter++ {
+		q, g := randomCase(r)
+		plain := HHK(q, g)
+		dual := DualHHK(q, g)
+		for u := range dual.Sets {
+			for _, v := range dual.Sets[u] {
+				if !plain.Contains(pattern.QNode(u), v) {
+					t.Fatalf("iter %d: dual pair (u%d,%d) missing from plain simulation", iter, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickDualHHKEqualsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomCase(r)
+		a := DualNaive(q, g)
+		b := DualHHK(q, g)
+		if !a.Equal(b) {
+			t.Logf("seed %d: naive=%v hhk=%v", seed, a, b)
+			return false
+		}
+		if a.Ok() {
+			return VerifyDual(q, g, b) == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualOnCycle(t *testing.T) {
+	// Q0 = A⇄B on a closed chain: dual simulation keeps everything, like
+	// plain simulation (every node has both witnesses).
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node A A\nnode B B\nedge A B\nedge B A")
+	b := graph.NewBuilderDict(d)
+	n := 6
+	for i := 0; i < n; i++ {
+		b.AddNode("A")
+		b.AddNode("B")
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(2*i), graph.NodeID(2*i+1))
+		b.AddEdge(graph.NodeID(2*i+1), graph.NodeID((2*i+2)%(2*n)))
+	}
+	g := b.MustBuild()
+	dual := DualHHK(q, g)
+	if !dual.Ok() || dual.NumPairs() != 2*n {
+		t.Fatalf("dual on cycle: %v", dual)
+	}
+}
+
+func BenchmarkDualHHKMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	d := graph.NewDict()
+	labels := []string{"A", "B", "C", "D", "E"}
+	q := pattern.New(d)
+	for i := 0; i < 5; i++ {
+		q.AddNode(labels[i%len(labels)], "")
+	}
+	for i := 0; i < 10; i++ {
+		q.MustAddEdge(pattern.QNode(r.Intn(5)), pattern.QNode(r.Intn(5)))
+	}
+	gb := graph.NewBuilderDict(d)
+	n := 20000
+	for i := 0; i < n; i++ {
+		gb.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < 4*n; i++ {
+		gb.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	g := gb.MustBuild()
+	g.EnsureReverse()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DualHHK(q, g)
+	}
+}

@@ -1,0 +1,118 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+func TestIncrementalSingleDeletion(t *testing.T) {
+	// A -> B; deleting the edge kills the match of a.
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a A\nnode b B\nedge a b")
+	b := graph.NewBuilderDict(d)
+	va := b.AddNode("A")
+	vb := b.AddNode("B")
+	b.AddEdge(va, vb)
+	g := b.MustBuild()
+	inc := NewIncremental(q, g)
+	if !inc.Current().Ok() {
+		t.Fatal("initial state must match")
+	}
+	if err := inc.DeleteEdge(va, vb); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Current().Ok() {
+		t.Fatal("deleting the only witness must empty the relation")
+	}
+	if inc.Affected() == 0 {
+		t.Fatal("AFF must be positive")
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a A")
+	b := graph.NewBuilderDict(d)
+	v0 := b.AddNode("A")
+	v1 := b.AddNode("A")
+	b.AddEdge(v0, v1)
+	g := b.MustBuild()
+	inc := NewIncremental(q, g)
+	if err := inc.DeleteEdge(v1, v0); err == nil {
+		t.Fatal("deleting a non-edge must error")
+	}
+	if err := inc.DeleteEdge(v0, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.DeleteEdge(v0, v1); err == nil {
+		t.Fatal("double deletion must error")
+	}
+}
+
+// The central property: after any random deletion sequence, the
+// incrementally maintained relation equals a from-scratch recomputation.
+func TestQuickIncrementalEqualsRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomCase(r)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		inc := NewIncremental(q, g)
+		// Collect the edge list and delete a random subset one by one.
+		var edges [][2]graph.NodeID
+		g.Edges(func(v, w graph.NodeID) bool {
+			edges = append(edges, [2]graph.NodeID{v, w})
+			return true
+		})
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for _, e := range edges[:r.Intn(len(edges)+1)] {
+			if err := inc.DeleteEdge(e[0], e[1]); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if !inc.Current().Equal(inc.Resimulate()) {
+				t.Logf("seed %d: incremental diverged after deleting (%d,%d)", seed, e[0], e[1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalMonotone(t *testing.T) {
+	// The relation only ever shrinks under deletions.
+	r := rand.New(rand.NewSource(31))
+	q, g := randomCase(r)
+	inc := NewIncremental(q, g)
+	prev := inc.Current().NumPairs()
+	var edges [][2]graph.NodeID
+	g.Edges(func(v, w graph.NodeID) bool {
+		edges = append(edges, [2]graph.NodeID{v, w})
+		return true
+	})
+	for _, e := range edges {
+		if err := inc.DeleteEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		cur := inc.Current().NumPairs()
+		if cur > prev {
+			t.Fatalf("relation grew after a deletion: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	// All edges gone: only constant (leaf-query-node) matches survive.
+	final := inc.Current()
+	for u := 0; u < q.NumNodes(); u++ {
+		if len(q.Succ(pattern.QNode(u))) > 0 && len(final.Sets[u]) > 0 && final.Ok() {
+			t.Fatalf("non-leaf query node u%d still matched in an edgeless graph: %v", u, final)
+		}
+	}
+}

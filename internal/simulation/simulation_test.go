@@ -1,0 +1,358 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+// fig1 builds the data graph and query of Fig. 1 of the paper.
+// Expected maximum match (Example 2): yb2,yb3 match YB; f2,f3,f4 match F;
+// all yf match YF; all sp match SP; f1 and yb1 do not match.
+func fig1(t testing.TB) (*pattern.Pattern, *graph.Graph, map[string]graph.NodeID) {
+	t.Helper()
+	d := graph.NewDict()
+	q := pattern.MustParse(d, `
+node YB YB
+node YF YF
+node F  F
+node SP SP
+edge YB YF
+edge YB F
+edge SP YF
+edge YF F
+edge F  SP
+`)
+	b := graph.NewBuilderDict(d)
+	ids := map[string]graph.NodeID{}
+	add := func(name, label string) {
+		ids[name] = b.AddNode(label)
+	}
+	// Fragment F1 (site S1): yb1, yf1, sp1, f1; F2 (S2): f3, yb2, sp2, yf3,
+	// f2, sp3... we place all nodes in one graph here; partitioning is
+	// exercised elsewhere. Edges follow Example 6/7's equations.
+	add("yb1", "YB")
+	add("yf1", "YF")
+	add("sp1", "SP")
+	add("f1", "F")
+	add("f2", "F")
+	add("f3", "F")
+	add("f4", "F")
+	add("yb2", "YB")
+	add("sp2", "SP")
+	add("yf2", "YF")
+	add("yf3", "YF")
+	add("sp3", "SP")
+	add("yb3", "YB")
+	e := func(a, bn string) { b.AddEdge(ids[a], ids[bn]) }
+	// Derived from the example's Boolean equations and the described cycle
+	// f3,sp2,yf3,f4,sp3,yf1,f2,sp1,yf2(,f2):
+	e("yf1", "f2")  // X(YF,yf1) = X(F,f2)
+	e("sp1", "yf2") // X(SP,sp1) = X(YF,yf2) ∨ X(F,f2): edge (SP,YF)... sp1→yf2
+	e("sp1", "f2")  // crossing edge (sp1,f2) listed in Example 4
+	e("f2", "sp1")  // X(F,f2) = X(SP,sp1)
+	e("yf2", "f2")  // cycle closure: yf2→f2 (YF→F query edge)
+	e("f3", "sp2")  // f3's witness: sp2 trusts f3
+	e("sp2", "yf3") // cycle
+	e("yf3", "f4")  // cycle
+	e("f4", "sp3")  // cycle
+	e("sp3", "yf1") // cycle
+	e("yb2", "yf3") // YB→YF witness for yb2
+	e("yb2", "f3")  // YB→F witness for yb2
+	e("yb3", "yf1") // YB→YF witness for yb3
+	e("yb3", "f4")  // YB→F witness for yb3
+	e("yb1", "f1")  // yb1 points at f1 only: f1 has no sp child
+	e("f1", "f4")   // f1→f4 (crossing edge in Example 4) — F children don't help F
+	g := b.MustBuild()
+	return q, g, ids
+}
+
+func TestFig1NaiveMatchesPaper(t *testing.T) {
+	q, g, ids := fig1(t)
+	m := NaiveFixpoint(q, g)
+	if !m.Ok() {
+		t.Fatal("Fig-1 graph must match the query")
+	}
+	// YB = query node 0, YF = 1, F = 2, SP = 3.
+	wantF := []string{"f2", "f3", "f4"}
+	for _, n := range wantF {
+		if !m.Contains(2, ids[n]) {
+			t.Fatalf("%s should match F; relation: %v", n, m)
+		}
+	}
+	if m.Contains(2, ids["f1"]) {
+		t.Fatal("f1 must not match F (no SP child)")
+	}
+	if m.Contains(0, ids["yb1"]) {
+		t.Fatal("yb1 must not match YB")
+	}
+	for _, n := range []string{"yb2", "yb3"} {
+		if !m.Contains(0, ids[n]) {
+			t.Fatalf("%s should match YB", n)
+		}
+	}
+	for _, n := range []string{"yf1", "yf2", "yf3"} {
+		if !m.Contains(1, ids[n]) {
+			t.Fatalf("%s should match YF", n)
+		}
+	}
+	for _, n := range []string{"sp1", "sp2", "sp3"} {
+		if !m.Contains(3, ids[n]) {
+			t.Fatalf("%s should match SP", n)
+		}
+	}
+}
+
+func TestHHKAgreesOnFig1(t *testing.T) {
+	q, g, _ := fig1(t)
+	a := NaiveFixpoint(q, g)
+	b := HHK(q, g)
+	if !a.Equal(b) {
+		t.Fatalf("naive=%v hhk=%v", a, b)
+	}
+	if err := Verify(q, g, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fig. 2 of the paper: Q0 = A→B, B→A (2-cycle); G0 = cycle
+// A1→B1→A2→B2→...→An→A1... Actually G0: Ai→Bi and Bi→Ai+1 cyclically.
+// As a Boolean query Q0(G0) = true and every node matches.
+func TestFig2CycleMatches(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node A A\nnode B B\nedge A B\nedge B A")
+	for _, n := range []int{1, 2, 5, 17} {
+		b := graph.NewBuilderDict(d)
+		as := make([]graph.NodeID, n)
+		bs := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			as[i] = b.AddNode("A")
+			bs[i] = b.AddNode("B")
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdge(as[i], bs[i])
+			b.AddEdge(bs[i], as[(i+1)%n])
+		}
+		g := b.MustBuild()
+		m := HHK(q, g)
+		if !m.Ok() {
+			t.Fatalf("n=%d: cycle should match", n)
+		}
+		if m.NumPairs() != 2*n {
+			t.Fatalf("n=%d: want all %d pairs, got %d", n, 2*n, m.NumPairs())
+		}
+		if !m.Equal(NaiveFixpoint(q, g)) {
+			t.Fatalf("n=%d: naive/HHK disagree", n)
+		}
+	}
+}
+
+// Broken chain (no cycle closure): with Q0 = A⇄B, a finite chain cannot
+// match — the last node has no successor matching the other query node.
+func TestFig2BrokenChainEmpty(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node A A\nnode B B\nedge A B\nedge B A")
+	b := graph.NewBuilderDict(d)
+	n := 9
+	var prev graph.NodeID
+	for i := 0; i < n; i++ {
+		a := b.AddNode("A")
+		bb := b.AddNode("B")
+		if i > 0 {
+			b.AddEdge(prev, a)
+		}
+		b.AddEdge(a, bb)
+		prev = bb
+	}
+	g := b.MustBuild()
+	m := HHK(q, g)
+	if m.Ok() || m.NumPairs() != 0 {
+		t.Fatalf("broken chain should have empty result, got %v", m)
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a Z")
+	b := graph.NewBuilderDict(d)
+	b.AddNode("A")
+	g := b.MustBuild()
+	if m := HHK(q, g); m.Ok() {
+		t.Fatal("no Z nodes; must not match")
+	}
+}
+
+func TestSingleNodePatternNoEdges(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a A")
+	b := graph.NewBuilderDict(d)
+	b.AddNode("A")
+	b.AddNode("B")
+	b.AddNode("A")
+	g := b.MustBuild()
+	m := HHK(q, g)
+	if !m.Ok() || len(m.Sets[0]) != 2 {
+		t.Fatalf("want the two A nodes, got %v", m)
+	}
+}
+
+func TestSelfLoopPattern(t *testing.T) {
+	d := graph.NewDict()
+	q := pattern.MustParse(d, "node a A\nedge a a")
+	b := graph.NewBuilderDict(d)
+	v0 := b.AddNode("A") // self loop: matches
+	b.AddEdge(v0, v0)
+	v1 := b.AddNode("A") // chain into the loop: matches
+	b.AddEdge(v1, v0)
+	b.AddNode("A") // isolated: no
+	g := b.MustBuild()
+	m := HHK(q, g)
+	if !m.Contains(0, v0) || !m.Contains(0, v1) || m.Contains(0, 2) {
+		t.Fatalf("self-loop result wrong: %v", m)
+	}
+	if !m.Equal(NaiveFixpoint(q, g)) {
+		t.Fatal("naive/HHK disagree")
+	}
+}
+
+func randomCase(r *rand.Rand) (*pattern.Pattern, *graph.Graph) {
+	d := graph.NewDict()
+	labels := []string{"A", "B", "C"}
+	nq := 1 + r.Intn(5)
+	q := pattern.New(d)
+	for i := 0; i < nq; i++ {
+		q.AddNode(labels[r.Intn(len(labels))], "")
+	}
+	for i := 0; i < nq*2; i++ {
+		q.MustAddEdge(pattern.QNode(r.Intn(nq)), pattern.QNode(r.Intn(nq)))
+	}
+	b := graph.NewBuilderDict(d)
+	nv := 1 + r.Intn(30)
+	for i := 0; i < nv; i++ {
+		b.AddNode(labels[r.Intn(len(labels))])
+	}
+	ne := r.Intn(4 * nv)
+	for i := 0; i < ne; i++ {
+		b.AddEdge(graph.NodeID(r.Intn(nv)), graph.NodeID(r.Intn(nv)))
+	}
+	return q, b.MustBuild()
+}
+
+// The central property test: HHK == naive fixpoint on random cases, and
+// the result is a valid simulation relation.
+func TestQuickHHKEqualsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomCase(r)
+		a := NaiveFixpoint(q, g)
+		b := HHK(q, g)
+		if !a.Equal(b) {
+			t.Logf("seed %d: naive=%v hhk=%v", seed, a, b)
+			return false
+		}
+		return Verify(q, g, b) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Maximality: adding any label-consistent pair to the result must break
+// the simulation condition (otherwise the result wasn't maximum).
+func TestQuickMaximality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomCase(r)
+		m := HHK(q, g)
+		if !m.Ok() {
+			return true // empty canonical result; maximality vacuous here
+		}
+		for u := 0; u < q.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if q.Label(pattern.QNode(u)) != g.Label(graph.NodeID(v)) || m.Contains(pattern.QNode(u), graph.NodeID(v)) {
+					continue
+				}
+				// Try to extend: (u,v) must violate some child condition.
+				ok := true
+				for _, uc := range q.Succ(pattern.QNode(u)) {
+					found := false
+					for _, vc := range g.Succ(graph.NodeID(v)) {
+						if m.Contains(uc, vc) || (uc == pattern.QNode(u) && vc == graph.NodeID(v)) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					t.Logf("seed %d: pair (u%d,%d) could be added", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchHelpers(t *testing.T) {
+	m := NewMatch(2)
+	m.Sets[0] = []graph.NodeID{3, 1}
+	m.Sort()
+	if m.Sets[0][0] != 1 {
+		t.Fatal("Sort failed")
+	}
+	if m.Ok() {
+		t.Fatal("query node 1 empty; Ok must be false")
+	}
+	c := m.Canonical()
+	if c.NumPairs() != 0 {
+		t.Fatal("Canonical of non-match must be empty")
+	}
+	m.Sets[1] = []graph.NodeID{0}
+	if !m.Ok() || m.NumPairs() != 3 {
+		t.Fatal("Ok/NumPairs wrong")
+	}
+	if m.String() == "" {
+		t.Fatal("String empty")
+	}
+	o := NewMatch(2)
+	if m.Equal(o) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func BenchmarkHHKMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	d := graph.NewDict()
+	labels := []string{"A", "B", "C", "D", "E"}
+	q := pattern.New(d)
+	for i := 0; i < 5; i++ {
+		q.AddNode(labels[i%len(labels)], "")
+	}
+	for i := 0; i < 10; i++ {
+		q.MustAddEdge(pattern.QNode(r.Intn(5)), pattern.QNode(r.Intn(5)))
+	}
+	gb := graph.NewBuilderDict(d)
+	n := 20000
+	for i := 0; i < n; i++ {
+		gb.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < 4*n; i++ {
+		gb.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	g := gb.MustBuild()
+	g.EnsureReverse()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HHK(q, g)
+	}
+}

@@ -1,0 +1,229 @@
+// Package wire defines the on-the-wire encoding of every message the
+// distributed algorithms exchange. Data-shipment (DS) numbers reported by
+// the benchmarks are the exact encoded byte counts produced here — the
+// runtime really serializes each message at the sender and decodes it at
+// the receiver, like the EC2 deployment in §6 of the paper.
+//
+// Variables are the paper's X(u,v): u a query node, v a (global) data
+// node. A falsification message carries the pairs whose truth value
+// changed to false — dGPM "only ships the truth values among the sites"
+// (§1), which is why its DS is orders of magnitude below subgraph-shipping
+// baselines.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind tags a payload type.
+type Kind uint8
+
+const (
+	// KindFalsify carries variables newly evaluated to false (dGPM lMsg).
+	KindFalsify Kind = iota + 1
+	// KindRankBatch carries falsified variables of one topological rank,
+	// shipped in a single batch (dGPMd lMsgd, §5.1).
+	KindRankBatch
+	// KindPush carries Boolean equations outsourced to a parent site
+	// (the push operation of §4.2).
+	KindPush
+	// KindReroute tells a site to also deliver falsifications of certain
+	// in-nodes to an extra destination (dependency-graph rewiring after a
+	// push).
+	KindReroute
+	// KindSubgraph carries a serialized subgraph (disHHK candidate
+	// subgraphs; Match ships whole fragments).
+	KindSubgraph
+	// KindVectors carries per-vertex candidate bit vectors (dMes).
+	KindVectors
+	// KindEqSystem carries a fragment's Boolean equation system to the
+	// coordinator (dGPMt round 1).
+	KindEqSystem
+	// KindValues carries instantiated variable values back to sites
+	// (dGPMt round 2): the listed variables are false, all others true.
+	KindValues
+	// KindMatches carries a site's local match relation to the
+	// coordinator (result assembly; counted as result bytes, not DS).
+	KindMatches
+	// KindControl carries coordinator/protocol control traffic (query
+	// posting, changed flags, superstep votes); counted separately.
+	KindControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFalsify:
+		return "falsify"
+	case KindRankBatch:
+		return "rankbatch"
+	case KindPush:
+		return "push"
+	case KindReroute:
+		return "reroute"
+	case KindSubgraph:
+		return "subgraph"
+	case KindVectors:
+		return "vectors"
+	case KindEqSystem:
+		return "eqsystem"
+	case KindValues:
+		return "values"
+	case KindMatches:
+		return "matches"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsData reports whether a payload kind counts toward the paper's
+// data-shipment metric. Result assembly and control flags are accounted
+// separately (§4 "Analyses" measures protocol traffic; the final match
+// collection is the query answer itself).
+func (k Kind) IsData() bool {
+	switch k {
+	case KindMatches, KindControl:
+		return false
+	default:
+		return true
+	}
+}
+
+// VarRef identifies a Boolean variable X(u,v) on the wire: 2 bytes for
+// the query node, 4 for the data node.
+type VarRef struct {
+	U uint16 // query node
+	V uint32 // global data node ID
+}
+
+const varRefSize = 6
+
+// Payload is a message body that knows how to encode itself.
+type Payload interface {
+	Kind() Kind
+	// AppendTo appends the body encoding (excluding the kind byte).
+	AppendTo(dst []byte) []byte
+}
+
+// Encode prepends the kind byte to the payload body.
+func Encode(p Payload) []byte {
+	out := make([]byte, 1, 64)
+	out[0] = byte(p.Kind())
+	return p.AppendTo(out)
+}
+
+// Decode parses a message produced by Encode.
+func Decode(data []byte) (Payload, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	body := data[1:]
+	switch Kind(data[0]) {
+	case KindFalsify:
+		return decodeFalsify(body)
+	case KindRankBatch:
+		return decodeRankBatch(body)
+	case KindPush:
+		return decodePush(body)
+	case KindReroute:
+		return decodeReroute(body)
+	case KindSubgraph:
+		return decodeSubgraph(body)
+	case KindVectors:
+		return decodeVectors(body)
+	case KindEqSystem:
+		return decodeEqSystem(body)
+	case KindValues:
+		return decodeValues(body)
+	case KindMatches:
+		return decodeMatches(body)
+	case KindControl:
+		return decodeControl(body)
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
+	}
+}
+
+// --- primitive helpers ---
+
+func appendU16(dst []byte, x uint16) []byte {
+	return append(dst, byte(x), byte(x>>8))
+}
+
+func appendU32(dst []byte, x uint32) []byte {
+	return append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+func appendRef(dst []byte, r VarRef) []byte {
+	dst = appendU16(dst, r.U)
+	return appendU32(dst, r.V)
+}
+
+func appendRefs(dst []byte, rs []VarRef) []byte {
+	dst = appendU32(dst, uint32(len(rs)))
+	for _, r := range rs {
+		dst = appendRef(dst, r)
+	}
+	return dst
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.off+2 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated u16")
+	}
+	x := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return x, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated u32")
+	}
+	x := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return x, nil
+}
+
+func (r *reader) ref() (VarRef, error) {
+	u, err := r.u16()
+	if err != nil {
+		return VarRef{}, err
+	}
+	v, err := r.u32()
+	if err != nil {
+		return VarRef{}, err
+	}
+	return VarRef{u, v}, nil
+}
+
+func (r *reader) refs() ([]VarRef, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*varRefSize > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("wire: ref count %d exceeds buffer", n)
+	}
+	out := make([]VarRef, n)
+	for i := range out {
+		if out[i], err = r.ref(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

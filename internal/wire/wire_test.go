@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, p Payload) Payload {
+	t.Helper()
+	data := Encode(p)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", p.Kind(), err)
+	}
+	if got.Kind() != p.Kind() {
+		t.Fatalf("kind changed: %s -> %s", p.Kind(), got.Kind())
+	}
+	return got
+}
+
+func TestFalsifyRoundTrip(t *testing.T) {
+	m := &Falsify{Pairs: []VarRef{{1, 2}, {3, 400000}, {65535, 4294967295}}}
+	got := roundTrip(t, m).(*Falsify)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v", got)
+	}
+	// Empty is legal.
+	e := roundTrip(t, &Falsify{}).(*Falsify)
+	if len(e.Pairs) != 0 {
+		t.Fatal("empty falsify grew pairs")
+	}
+}
+
+func TestRankBatchRoundTrip(t *testing.T) {
+	m := &RankBatch{Rank: 3, Pairs: []VarRef{{0, 9}}}
+	got := roundTrip(t, m).(*RankBatch)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPushRoundTrip(t *testing.T) {
+	m := &Push{
+		Origin: 2,
+		Eqs: []Equation{
+			{Target: VarRef{1, 10}, Groups: [][]VarRef{{{2, 11}, {2, 12}}, {{3, 13}}}},
+			{Target: VarRef{0, 14}, Groups: nil}, // constant true
+		},
+	}
+	got := roundTrip(t, m).(*Push)
+	if got.Origin != 2 || len(got.Eqs) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Eqs[0].Groups) != 2 || len(got.Eqs[0].Groups[0]) != 2 {
+		t.Fatalf("groups mangled: %+v", got.Eqs[0])
+	}
+	if len(got.Eqs[1].Groups) != 0 {
+		t.Fatal("constant-true equation grew groups")
+	}
+}
+
+func TestEquationEncodedSize(t *testing.T) {
+	e := Equation{Target: VarRef{1, 1}, Groups: [][]VarRef{{{1, 2}}, {{1, 3}, {1, 4}}}}
+	// target 6 + ngroups 2 + (4 + 6) + (4 + 12) = 34.
+	if e.EncodedSize() != 34 {
+		t.Fatalf("EncodedSize = %d", e.EncodedSize())
+	}
+	// Must agree with actual encoding length.
+	enc := appendEquations(nil, []Equation{e})
+	if len(enc)-4 != e.EncodedSize() { // minus the count header
+		t.Fatalf("encoding length %d vs size %d", len(enc)-4, e.EncodedSize())
+	}
+}
+
+func TestRerouteRoundTrip(t *testing.T) {
+	m := &Reroute{Dest: 7, Nodes: []uint32{1, 2, 3}}
+	got := roundTrip(t, m).(*Reroute)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSubgraphRoundTrip(t *testing.T) {
+	m := &Subgraph{
+		Nodes:  []uint32{5, 9, 11},
+		Labels: []uint16{1, 2, 1},
+		Edges:  [][2]uint32{{5, 9}, {9, 11}},
+	}
+	got := roundTrip(t, m).(*Subgraph)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestVectorsRoundTrip(t *testing.T) {
+	m := &Vectors{
+		NumQ:    10, // 2-byte bitsets
+		Nodes:   []uint32{3, 4},
+		Bitsets: [][]byte{{0xff, 0x03}, {0x01, 0x00}},
+	}
+	got := roundTrip(t, m).(*Vectors)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEqSystemRoundTrip(t *testing.T) {
+	m := &EqSystem{
+		Frag:      4,
+		Eqs:       []Equation{{Target: VarRef{0, 1}, Groups: [][]VarRef{{{1, 2}}}}},
+		FalseVars: []VarRef{{2, 3}},
+	}
+	got := roundTrip(t, m).(*EqSystem)
+	if got.Frag != 4 || len(got.Eqs) != 1 || len(got.FalseVars) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestValuesMatchesControl(t *testing.T) {
+	v := roundTrip(t, &Values{False: []VarRef{{1, 2}}}).(*Values)
+	if len(v.False) != 1 || v.False[0] != (VarRef{1, 2}) {
+		t.Fatalf("got %+v", v)
+	}
+	mm := roundTrip(t, &Matches{Frag: 3, Pairs: []VarRef{{0, 0}}}).(*Matches)
+	if mm.Frag != 3 || len(mm.Pairs) != 1 {
+		t.Fatalf("got %+v", mm)
+	}
+	c := roundTrip(t, &Control{Op: 9, Arg: 77, Flag: true}).(*Control)
+	if c.Op != 9 || c.Arg != 77 || !c.Flag {
+		t.Fatalf("got %+v", c)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                                     // kind 0 invalid
+		{99},                                    // unknown kind
+		{byte(KindFalsify)},                     // truncated count
+		{byte(KindFalsify), 255, 255, 255, 255}, // absurd count
+		{byte(KindControl), 1},                  // short control
+		append(Encode(&Falsify{Pairs: []VarRef{{1, 2}}}), 0xEE), // trailing
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	data := []Kind{KindFalsify, KindRankBatch, KindPush, KindReroute, KindSubgraph, KindVectors, KindEqSystem, KindValues}
+	for _, k := range data {
+		if !k.IsData() {
+			t.Fatalf("%s should count as data shipment", k)
+		}
+	}
+	for _, k := range []Kind{KindMatches, KindControl} {
+		if k.IsData() {
+			t.Fatalf("%s should not count as data shipment", k)
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Fatal("unknown kind String")
+	}
+}
+
+// Property: random falsify and subgraph payloads round trip bit-exactly.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fal := &Falsify{}
+		for i := r.Intn(20); i > 0; i-- {
+			fal.Pairs = append(fal.Pairs, VarRef{uint16(r.Intn(1 << 16)), r.Uint32()})
+		}
+		d1 := Encode(fal)
+		p1, err := Decode(d1)
+		if err != nil {
+			return false
+		}
+		got1 := p1.(*Falsify)
+		if len(got1.Pairs) != len(fal.Pairs) {
+			return false
+		}
+		for i := range fal.Pairs {
+			if got1.Pairs[i] != fal.Pairs[i] {
+				return false
+			}
+		}
+		// Re-encoding must be byte-identical (canonical form).
+		if !bytes.Equal(Encode(p1), d1) {
+			return false
+		}
+		sg := &Subgraph{}
+		for i := r.Intn(12); i > 0; i-- {
+			sg.Nodes = append(sg.Nodes, r.Uint32())
+			sg.Labels = append(sg.Labels, uint16(r.Intn(1<<16)))
+		}
+		for i := r.Intn(12); i > 0; i-- {
+			sg.Edges = append(sg.Edges, [2]uint32{r.Uint32(), r.Uint32()})
+		}
+		d2 := Encode(sg)
+		p2, err := Decode(d2)
+		if err != nil {
+			return false
+		}
+		got := p2.(*Subgraph)
+		if len(got.Nodes) != len(sg.Nodes) || len(got.Edges) != len(sg.Edges) {
+			return false
+		}
+		return bytes.Equal(Encode(p2), d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsifySizeIsSmall(t *testing.T) {
+	// The whole point of dGPM: a falsification costs 6 bytes, not a
+	// subgraph. 100 falsifications ≈ 605 bytes.
+	m := &Falsify{Pairs: make([]VarRef, 100)}
+	if n := len(Encode(m)); n != 1+4+600 {
+		t.Fatalf("encoded size = %d", n)
+	}
+}

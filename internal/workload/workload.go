@@ -1,0 +1,304 @@
+// Package workload generates the data graphs and pattern queries of the
+// paper's evaluation (§6).
+//
+// The real datasets (Yahoo web graph, 3M/15M; AMiner Citation, 1.4M/3M)
+// are not redistributable, so the package provides generators that
+// reproduce the properties the algorithms are sensitive to — label
+// frequencies (candidate-set sizes), degree distribution (local
+// refinement cost), acyclicity (dGPMd's precondition), and ID locality
+// (so partition.Blocks starts from a low boundary that
+// partition.TargetRatio can dial up to the experiments' |Vf| settings).
+// The default sizes are scaled ~1/10 from the paper; see DESIGN.md §2.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+// Labels returns the experiment alphabet: n labels "l0".."l<n-1>".
+// The paper's synthetic Σ has 15 labels.
+func Labels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("l%d", i)
+	}
+	return out
+}
+
+// Synthetic generates the paper's synthetic G = (V, E, L): nv nodes, ne
+// edges, labels drawn uniformly from the given set. Edge endpoints are
+// locality-biased (a geometric window around the source) so that block
+// partitions have a controllable boundary.
+func Synthetic(nv, ne int, labels []string, seed int64) *graph.Graph {
+	return SyntheticDict(graph.NewDict(), nv, ne, labels, seed)
+}
+
+// SyntheticDict is Synthetic with a caller-provided label dictionary, so
+// patterns can share the alphabet.
+func SyntheticDict(d *graph.Dict, nv, ne int, labels []string, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilderDict(d)
+	for i := 0; i < nv; i++ {
+		b.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < ne; i++ {
+		v := r.Intn(nv)
+		w := localTarget(r, v, nv, localityWindow)
+		b.AddEdge(graph.NodeID(v), graph.NodeID(w))
+	}
+	return b.MustBuild()
+}
+
+// localityWindow is the short-range edge span. It is a constant so that
+// the boundary of a block partition shrinks as fragments grow — the
+// regime where the paper's |Vf| = 25% starting point is reachable.
+const localityWindow = 16
+
+// localTarget picks an endpoint near v (short-range edge) with occasional
+// long-range jumps, small-world style.
+func localTarget(r *rand.Rand, v, nv, window int) int {
+	if r.Intn(50) == 0 { // 2% long-range
+		return r.Intn(nv)
+	}
+	w := v + r.Intn(2*window+1) - window
+	switch {
+	case w < 0:
+		return w + nv
+	case w >= nv:
+		return w - nv
+	default:
+		return w
+	}
+}
+
+// Web generates the Yahoo-web-graph stand-in: power-law out-degrees
+// (many leaves, few hubs) over 15 "domain" labels, with ID locality.
+// The paper's Yahoo graph is (3M, 15M); the benchmarks default to a
+// 1/10-scale (300K, 1.5M).
+func Web(nv, ne int, seed int64) *graph.Graph {
+	return WebDict(graph.NewDict(), nv, ne, seed)
+}
+
+// WebDict is Web with a shared dictionary.
+func WebDict(d *graph.Dict, nv, ne int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	labels := Labels(15)
+	b := graph.NewBuilderDict(d)
+	// Zipf-ish label skew: low label indices are common domains.
+	for i := 0; i < nv; i++ {
+		l := int(float64(len(labels)) * r.Float64() * r.Float64())
+		if l >= len(labels) {
+			l = len(labels) - 1
+		}
+		b.AddNode(labels[l])
+	}
+	// Power-law out-degrees with hubs spread across the ID space: pick a
+	// uniform zone, then quadratic preference toward the zone's first IDs
+	// (the zone's hubs). Keeps per-fragment work balanced while giving
+	// the web graph's degree skew.
+	const zone = 1024
+	for i := 0; i < ne; i++ {
+		base := (r.Intn(nv) / zone) * zone
+		off := int(float64(zone) * r.Float64() * r.Float64())
+		v := base + off
+		if v >= nv {
+			v = nv - 1
+		}
+		w := localTarget(r, v, nv, localityWindow)
+		b.AddEdge(graph.NodeID(v), graph.NodeID(w))
+	}
+	return b.MustBuild()
+}
+
+// Citation generates the AMiner-citation stand-in: a DAG whose edges
+// point strictly to smaller IDs ("papers cite older papers"), with
+// recency bias, over venue labels. The paper's Citation graph is
+// (1.4M, 3M); benchmarks default to 1/10 scale.
+func Citation(nv, ne int, seed int64) *graph.Graph {
+	return CitationDict(graph.NewDict(), nv, ne, seed)
+}
+
+// CitationDict is Citation with a shared dictionary.
+func CitationDict(d *graph.Dict, nv, ne int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	labels := Labels(15)
+	b := graph.NewBuilderDict(d)
+	for i := 0; i < nv; i++ {
+		b.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < ne; i++ {
+		v := 1 + r.Intn(nv-1)
+		// Cite a strictly older paper, biased toward recent ones; rare
+		// long-range citations reach back uniformly.
+		var gap int
+		if r.Intn(50) == 0 {
+			gap = 1 + r.Intn(v)
+		} else {
+			span := 8 * localityWindow
+			if span > v {
+				span = v
+			}
+			gap = 1 + int(float64(span)*r.Float64()*r.Float64()*r.Float64())
+		}
+		w := v - gap
+		if w < 0 {
+			w = 0
+		}
+		b.AddEdge(graph.NodeID(v), graph.NodeID(w))
+	}
+	return b.MustBuild()
+}
+
+// Tree generates a random rooted tree: the parent of node i is a random
+// smaller ID within a locality window, so ConnectedTree splits cheaply.
+func Tree(nv int, labels []string, seed int64) *graph.Graph {
+	return TreeDict(graph.NewDict(), nv, labels, seed)
+}
+
+// TreeDict is Tree with a shared dictionary.
+func TreeDict(d *graph.Dict, nv int, labels []string, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilderDict(d)
+	for i := 0; i < nv; i++ {
+		b.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < nv; i++ {
+		lo := i - i/8 - 4
+		if lo < 0 {
+			lo = 0
+		}
+		p := lo + r.Intn(i-lo)
+		b.AddEdge(graph.NodeID(p), graph.NodeID(i))
+	}
+	return b.MustBuild()
+}
+
+// Chain generates the Fig-2 graph G0 family: n (Ai, Bi) pairs with edges
+// Ai→Bi and Bi→Ai+1. closed=true adds Bn→A1, producing the cycle where
+// Q0 = A⇄B matches everything; closed=false leaves the chain broken so
+// falsification must travel the whole chain (the Theorem-1 witness).
+// Node IDs alternate A0,B0,A1,B1,..., so partition.Chain with n fragments
+// puts one pair per site — the paper's extreme fragmentation.
+func Chain(d *graph.Dict, n int, closed bool) *graph.Graph {
+	b := graph.NewBuilderDict(d)
+	for i := 0; i < n; i++ {
+		b.AddNode("A")
+		b.AddNode("B")
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(2*i), graph.NodeID(2*i+1))
+		if i < n-1 {
+			b.AddEdge(graph.NodeID(2*i+1), graph.NodeID(2*i+2))
+		} else if closed {
+			b.AddEdge(graph.NodeID(2*i+1), graph.NodeID(0))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ChainQuery returns Q0 of Fig. 2: A⇄B.
+func ChainQuery(d *graph.Dict) *pattern.Pattern {
+	return pattern.MustParse(d, "node A A\nnode B B\nedge A B\nedge B A")
+}
+
+// CyclicPattern generates a connected pattern with nv nodes, ne edges and
+// at least one directed cycle, labels drawn from the given set — the
+// "cyclic patterns" of Exp-1. ne must be ≥ nv.
+func CyclicPattern(d *graph.Dict, nv, ne int, labels []string, seed int64) *pattern.Pattern {
+	if ne < nv {
+		ne = nv
+	}
+	r := rand.New(rand.NewSource(seed))
+	q := pattern.New(d)
+	for i := 0; i < nv; i++ {
+		q.AddNode(labels[r.Intn(len(labels))], "")
+	}
+	// Spanning cycle through all nodes: connected + cyclic.
+	perm := r.Perm(nv)
+	for i := 0; i < nv; i++ {
+		q.MustAddEdge(pattern.QNode(perm[i]), pattern.QNode(perm[(i+1)%nv]))
+	}
+	for q.NumEdges() < ne {
+		a, b := r.Intn(nv), r.Intn(nv)
+		q.MustAddEdge(pattern.QNode(a), pattern.QNode(b))
+	}
+	return q
+}
+
+// DAGPattern generates a DAG pattern with nv nodes, ne edges and maximum
+// topological rank exactly diam (the d of §5.1): a spine of diam+1 nodes
+// fixes the longest chain; remaining nodes get levels in [0, diam] and
+// extra edges only go from higher to strictly lower levels, so no chain
+// exceeds diam. Requires nv ≥ diam+1.
+func DAGPattern(d *graph.Dict, nv, ne, diam int, labels []string, seed int64) (*pattern.Pattern, error) {
+	if nv < diam+1 {
+		return nil, fmt.Errorf("workload: DAGPattern needs nv ≥ diam+1 (%d < %d)", nv, diam+1)
+	}
+	r := rand.New(rand.NewSource(seed))
+	q := pattern.New(d)
+	level := make([]int, nv)
+	for i := 0; i < nv; i++ {
+		q.AddNode(labels[r.Intn(len(labels))], "")
+		if i <= diam {
+			level[i] = diam - i // spine: node 0 at level diam … node diam at 0
+		} else {
+			level[i] = r.Intn(diam + 1)
+		}
+	}
+	if diam == 0 {
+		return q, nil // isolated nodes; no downhill edge can exist
+	}
+	for i := 0; i < diam; i++ {
+		q.MustAddEdge(pattern.QNode(i), pattern.QNode(i+1))
+	}
+	// Connect non-spine nodes and fill to ne edges, always downhill.
+	for i := diam + 1; i < nv; i++ {
+		j := pickLevelNeighbor(r, level, i, nv)
+		if level[i] > level[j] {
+			q.MustAddEdge(pattern.QNode(i), pattern.QNode(j))
+		} else {
+			q.MustAddEdge(pattern.QNode(j), pattern.QNode(i))
+		}
+	}
+	for tries := 0; q.NumEdges() < ne && tries < 50*ne; tries++ {
+		a, b := r.Intn(nv), r.Intn(nv)
+		if level[a] > level[b] {
+			q.MustAddEdge(pattern.QNode(a), pattern.QNode(b))
+		}
+	}
+	return q, nil
+}
+
+// pickLevelNeighbor finds a node with a level different from i's (so an
+// edge direction exists).
+func pickLevelNeighbor(r *rand.Rand, level []int, i, nv int) int {
+	for {
+		j := r.Intn(nv)
+		if j != i && level[j] != level[i] {
+			return j
+		}
+		// Levels span [0,diam] with diam ≥ 1 thanks to the spine, so a
+		// different level always exists.
+		if len(level) == 1 {
+			return i
+		}
+	}
+}
+
+// TreePattern generates a rooted tree-shaped DAG pattern (useful with
+// dGPMt workloads).
+func TreePattern(d *graph.Dict, nv int, labels []string, seed int64) *pattern.Pattern {
+	r := rand.New(rand.NewSource(seed))
+	q := pattern.New(d)
+	for i := 0; i < nv; i++ {
+		q.AddNode(labels[r.Intn(len(labels))], "")
+	}
+	for i := 1; i < nv; i++ {
+		q.MustAddEdge(pattern.QNode(r.Intn(i)), pattern.QNode(i))
+	}
+	return q
+}

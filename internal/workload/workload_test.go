@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"dgs/internal/graph"
+	"dgs/internal/partition"
+	"dgs/internal/simulation"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	g := Synthetic(1000, 4000, Labels(15), 1)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	// Duplicate edges are coalesced, so |E| ≤ 4000 but close.
+	if g.NumEdges() < 3500 || g.NumEdges() > 4000 {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	// Locality: a block partition should have a small boundary.
+	fr, err := partition.Blocks(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.VfRatio() > 0.35 {
+		t.Fatalf("synthetic graph lacks locality: VfRatio = %f", fr.VfRatio())
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(200, 600, Labels(5), 7)
+	b := Synthetic(200, 600, Labels(5), 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	c := Synthetic(200, 600, Labels(5), 8)
+	if a.NumEdges() == c.NumEdges() {
+		// Edge dedup makes exact equality unlikely across seeds; a match
+		// here is suspicious but not definitive — check structure too.
+		same := true
+		for v := 0; v < 200 && same; v++ {
+			av, cv := a.Succ(graph.NodeID(v)), c.Succ(graph.NodeID(v))
+			if len(av) != len(cv) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestWebLabelSkew(t *testing.T) {
+	g := Web(5000, 20000, 3)
+	counts := map[string]int{}
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[g.LabelName(graph.NodeID(v))]++
+	}
+	if counts["l0"] <= counts["l14"] {
+		t.Fatalf("expected Zipf-like skew: l0=%d l14=%d", counts["l0"], counts["l14"])
+	}
+}
+
+func TestWebDegreeSkew(t *testing.T) {
+	g := Web(5000, 20000, 3)
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(graph.NodeID(v)); d > max {
+			max = d
+		}
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(max) < 5*avg {
+		t.Fatalf("expected hubs: max degree %d vs avg %.1f", max, avg)
+	}
+}
+
+func TestCitationIsDAG(t *testing.T) {
+	g := Citation(2000, 6000, 9)
+	if !graph.IsDAG(g) {
+		t.Fatal("citation generator must produce a DAG")
+	}
+}
+
+func TestTreeIsTree(t *testing.T) {
+	g := Tree(500, Labels(5), 11)
+	roots, ok := graph.IsTree(g)
+	if !ok || len(roots) != 1 {
+		t.Fatalf("tree generator broken: roots=%v ok=%v", roots, ok)
+	}
+}
+
+func TestChainClosedMatches(t *testing.T) {
+	d := graph.NewDict()
+	g := Chain(d, 10, true)
+	q := ChainQuery(d)
+	m := simulation.HHK(q, g)
+	if !m.Ok() || m.NumPairs() != 20 {
+		t.Fatalf("closed chain: %v", m)
+	}
+	g2 := Chain(d, 10, false)
+	m2 := simulation.HHK(q, g2)
+	if m2.NumPairs() != 0 {
+		t.Fatalf("broken chain must be empty: %v", m2)
+	}
+}
+
+func TestCyclicPattern(t *testing.T) {
+	d := graph.NewDict()
+	for _, sz := range [][2]int{{4, 8}, {5, 10}, {8, 16}} {
+		q := CyclicPattern(d, sz[0], sz[1], Labels(15), 21)
+		if q.NumNodes() != sz[0] {
+			t.Fatalf("|Vq| = %d", q.NumNodes())
+		}
+		if q.NumEdges() < sz[0] || q.NumEdges() > sz[1] {
+			t.Fatalf("|Eq| = %d for target %d", q.NumEdges(), sz[1])
+		}
+		if q.IsDAG() {
+			t.Fatal("cyclic pattern is a DAG")
+		}
+	}
+}
+
+func TestDAGPatternDiameters(t *testing.T) {
+	d := graph.NewDict()
+	for diam := 1; diam <= 8; diam++ {
+		q, err := DAGPattern(d, 9, 13, diam, Labels(15), int64(diam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsDAG() {
+			t.Fatalf("d=%d: not a DAG", diam)
+		}
+		if got := q.MaxRank(); got != diam {
+			t.Fatalf("d=%d: MaxRank = %d", diam, got)
+		}
+	}
+	if _, err := DAGPattern(d, 3, 5, 9, Labels(15), 1); err == nil {
+		t.Fatal("nv < diam+1 must error")
+	}
+	q, err := DAGPattern(d, 2, 0, 0, Labels(15), 1)
+	if err != nil || q.NumEdges() != 0 {
+		t.Fatalf("diam=0 should produce an edgeless pattern: %v %v", q, err)
+	}
+}
+
+func TestTreePatternIsDAG(t *testing.T) {
+	d := graph.NewDict()
+	q := TreePattern(d, 6, Labels(5), 2)
+	if !q.IsDAG() {
+		t.Fatal("tree pattern must be a DAG")
+	}
+	if q.NumEdges() != 5 {
+		t.Fatalf("|Eq| = %d", q.NumEdges())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	ls := Labels(15)
+	if len(ls) != 15 || ls[0] != "l0" || ls[14] != "l14" {
+		t.Fatalf("Labels = %v", ls)
+	}
+}

@@ -1,0 +1,178 @@
+package dgs
+
+import (
+	"time"
+
+	"dgs/internal/baseline"
+	"dgs/internal/cluster"
+	"dgs/internal/dagsim"
+	"dgs/internal/dgpm"
+	"dgs/internal/simulation"
+	"dgs/internal/treesim"
+)
+
+// Algorithm selects a distributed evaluation strategy.
+type Algorithm int
+
+const (
+	// AlgoDGPM is the paper's partition-bounded algorithm with both §4.2
+	// optimizations (incremental lEval + push, θ=0.2). Theorem 2.
+	AlgoDGPM Algorithm = iota
+	// AlgoDGPMNoOpt is dGPM without incremental evaluation or push — the
+	// dGPMNOpt baseline of §6.
+	AlgoDGPMNoOpt
+	// AlgoDGPMd is the rank-scheduled algorithm for DAG patterns or DAG
+	// data graphs. Theorem 3.
+	AlgoDGPMd
+	// AlgoDGPMt is the two-round algorithm for tree data graphs with
+	// connected fragments. Corollary 4.
+	AlgoDGPMt
+	// AlgoMatch ships every fragment to one site and evaluates centrally
+	// (the naive algorithm of §3.1).
+	AlgoMatch
+	// AlgoDisHHK is the candidate-subgraph-shipping algorithm of Ma et
+	// al. WWW'12 [25].
+	AlgoDisHHK
+	// AlgoDMes is the vertex-centric Pregel-style algorithm [14,26].
+	AlgoDMes
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoDGPM:
+		return "dGPM"
+	case AlgoDGPMNoOpt:
+		return "dGPMNOpt"
+	case AlgoDGPMd:
+		return "dGPMd"
+	case AlgoDGPMt:
+		return "dGPMt"
+	case AlgoMatch:
+		return "Match"
+	case AlgoDisHHK:
+		return "disHHK"
+	case AlgoDMes:
+		return "dMes"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats reports one run's cost metrics: PT (wall-clock response time) and
+// DS (exact encoded bytes of protocol data shipped between sites), the
+// two axes of every figure in §6, plus supporting detail.
+type Stats struct {
+	// Wall is the response time (PT): from posting Q to assembled Q(G).
+	Wall time.Duration
+	// DataBytes is the data shipment (DS): falsifications, rank batches,
+	// pushed equations, shipped subgraphs, candidate vectors.
+	DataBytes int64
+	// DataMsgs counts data messages.
+	DataMsgs int64
+	// ControlBytes counts coordination traffic (query posting, votes,
+	// changed flags), reported separately as in the paper.
+	ControlBytes int64
+	// ResultBytes counts the final match collection (the answer itself).
+	ResultBytes int64
+	// Rounds counts algorithm-defined communication rounds (supersteps
+	// for dMes, evaluation rounds for dGPM, waves for dGPMd).
+	Rounds int64
+	// MaxSiteBusy is the busiest site's cumulative compute time.
+	MaxSiteBusy time.Duration
+}
+
+func fromCluster(s cluster.Stats) Stats {
+	return Stats{
+		Wall:         s.Wall,
+		DataBytes:    s.DataBytes,
+		DataMsgs:     s.DataMsgs,
+		ControlBytes: s.ControlBytes,
+		ResultBytes:  s.ResultBytes,
+		Rounds:       s.Rounds,
+		MaxSiteBusy:  s.MaxSiteBusy,
+	}
+}
+
+// Result is the outcome of a distributed evaluation.
+type Result struct {
+	Match *Match
+	Stats Stats
+}
+
+// Options tune a Run.
+type Options struct {
+	// PushTheta overrides the push benefit threshold θ (default 0.2).
+	// Only meaningful for AlgoDGPM.
+	PushTheta float64
+	// DisablePush turns the push operation off while keeping incremental
+	// evaluation (an ablation point between dGPM and dGPMNOpt).
+	DisablePush bool
+	// GraphIsDAG asserts the data graph is acyclic, allowing AlgoDGPMd
+	// to answer cyclic patterns with ∅ immediately (§5.1 "DAG G").
+	GraphIsDAG bool
+}
+
+// Run evaluates the data-selecting pattern query q over the fragmentation
+// with the chosen algorithm.
+func Run(algo Algorithm, q *Pattern, part *Partition, opts ...Options) (*Result, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	var m *simulation.Match
+	var st cluster.Stats
+	var err error
+	switch algo {
+	case AlgoDGPM:
+		cfg := dgpm.DefaultConfig()
+		if o.PushTheta != 0 {
+			cfg.Theta = o.PushTheta
+		}
+		if o.DisablePush {
+			cfg.Push = false
+		}
+		m, st = dgpm.Run(q.p, part.fr, cfg)
+	case AlgoDGPMNoOpt:
+		m, st = dgpm.Run(q.p, part.fr, dgpm.NOptConfig())
+	case AlgoDGPMd:
+		m, st, err = dagsim.Run(q.p, part.fr, o.GraphIsDAG)
+	case AlgoDGPMt:
+		m, st, err = treesim.Run(q.p, part.fr)
+	case AlgoMatch:
+		m, st = baseline.RunMatch(q.p, part.fr)
+	case AlgoDisHHK:
+		m, st = baseline.RunDisHHK(q.p, part.fr)
+	case AlgoDMes:
+		m, st = baseline.RunDMes(q.p, part.fr)
+	default:
+		return nil, errorf("unknown algorithm %d", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Match: &Match{m: m}, Stats: fromCluster(st)}, nil
+}
+
+// RunBoolean evaluates q as a Boolean pattern query: true iff G matches Q.
+func RunBoolean(algo Algorithm, q *Pattern, part *Partition, opts ...Options) (bool, Stats, error) {
+	res, err := Run(algo, q, part, opts...)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	return res.Match.Ok(), res.Stats, nil
+}
+
+// SetEC2Network toggles the EC2-like link cost model for subsequently
+// created runs: ~0.3 ms propagation latency, ~0.5 Gbit/s per-site receive
+// bandwidth, and a per-message receive overhead. With the model on,
+// response times charge for shipped bytes the way the paper's cluster
+// does; with it off (the default) the network is free — right for tests.
+// Not safe to toggle concurrently with Run.
+func SetEC2Network(on bool) {
+	if on {
+		cluster.SetDefaultNetwork(cluster.EC2Network())
+	} else {
+		cluster.SetDefaultNetwork(cluster.Network{})
+	}
+}
