@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race bench examples clean
+
+# tier1 is the gate every change must pass: static checks, full build,
+# and the test suite under the race detector (the Deployment API serves
+# concurrent queries; races are correctness bugs here).
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/impossibility
+	$(GO) run ./examples/trees
+	$(GO) run ./examples/citation
+	$(GO) run ./examples/social
+
+clean:
+	$(GO) clean ./...

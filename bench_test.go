@@ -3,12 +3,18 @@
 // Each BenchmarkFig* exercises the same algorithms, workload family and
 // swept parameter as its figure, at a reduced size so `go test -bench=.`
 // stays tractable; the full sweeps with the paper's axes are produced by
-// `go run ./cmd/benchfig -all` (see EXPERIMENTS.md for recorded output).
-// PT corresponds to ns/op; DS is reported via the custom metrics
-// data_KB/op and msgs/op.
+// `go run ./cmd/benchfig -all`. PT corresponds to ns/op; DS is reported
+// via the custom metrics data_KB/op and msgs/op.
+//
+// Matching the paper's methodology, every figure benchmark deploys its
+// fragmentation ONCE (with the EC2-like link model, so ns/op reflects
+// network-inclusive response time) and serves all measured queries from
+// the resident fragments; BenchmarkDeployAmortization quantifies what
+// that residency is worth against a per-query deploy.
 package dgs
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -22,21 +28,26 @@ const (
 	benchSynNE = 120_000
 )
 
-// withNet applies the EC2-like link model for the duration of one
-// benchmark so ns/op reflects network-inclusive response time, like the
-// figures.
-func withNet(b *testing.B) {
+// benchDeploy makes the partition resident with the EC2-like link model
+// for the benchmark's lifetime.
+func benchDeploy(b *testing.B, part *Partition, opts ...DeployOption) *Deployment {
 	b.Helper()
-	SetEC2Network(true)
-	b.Cleanup(func() { SetEC2Network(false) })
+	dep, err := Deploy(part, append([]DeployOption{WithNetwork(EC2Network())}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dep.Close() })
+	return dep
 }
 
-func benchRun(b *testing.B, algo Algorithm, q *Pattern, part *Partition, opts Options) {
+// benchQuery measures one (algorithm, query) pair against a resident
+// deployment.
+func benchQuery(b *testing.B, dep *Deployment, q *Pattern, opts ...QueryOption) {
 	b.Helper()
 	var bytes, msgs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(algo, q, part, opts)
+		res, err := dep.Query(context.Background(), q, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,13 +86,13 @@ var exp1Algos = []Algorithm{AlgoDGPM, AlgoDisHHK, AlgoDGPMNoOpt, AlgoDMes, AlgoM
 
 // BenchmarkFig6ab — PT/DS vs |F| (Fig. 6(a), 6(b)).
 func BenchmarkFig6ab(b *testing.B) {
-	withNet(b)
 	for _, nf := range []int{4, 8, 16} {
 		dict, _, part := webWorld(b, nf, 0.25)
+		dep := benchDeploy(b, part)
 		q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
 		for _, algo := range exp1Algos {
 			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -89,13 +100,13 @@ func BenchmarkFig6ab(b *testing.B) {
 
 // BenchmarkFig6cd — PT/DS vs |Q| (Fig. 6(c), 6(d)).
 func BenchmarkFig6cd(b *testing.B) {
-	withNet(b)
 	dict, _, part := webWorld(b, 8, 0.25)
+	dep := benchDeploy(b, part)
 	for _, sz := range [][2]int{{4, 8}, {6, 12}, {8, 16}} {
 		q := GenCyclicPatternOver(dict, sz[0], sz[1], 4, 100)
 		for _, algo := range exp1Algos {
 			b.Run(fmt.Sprintf("Q=(%d,%d)/%s", sz[0], sz[1], algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -103,7 +114,6 @@ func BenchmarkFig6cd(b *testing.B) {
 
 // BenchmarkFig6ef — PT/DS vs |Vf| (Fig. 6(e), 6(f)).
 func BenchmarkFig6ef(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
 	q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
@@ -112,9 +122,10 @@ func BenchmarkFig6ef(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		dep := benchDeploy(b, part)
 		for _, algo := range exp1Algos {
 			b.Run(fmt.Sprintf("Vf=%.2f/%s", vf, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -125,8 +136,8 @@ var exp2Algos = []Algorithm{AlgoDGPMd, AlgoDisHHK, AlgoDMes, AlgoMatch}
 
 // BenchmarkFig6gh — PT/DS vs query diameter d (Fig. 6(g), 6(h)).
 func BenchmarkFig6gh(b *testing.B) {
-	withNet(b)
 	dict, _, part := citWorld(b, 8, 0.25)
+	dep := benchDeploy(b, part, WithQueryDefaults(WithGraphIsDAG()))
 	for _, d := range []int{2, 4, 8} {
 		q, err := GenDAGPattern(dict, 9, 13, d, 200)
 		if err != nil {
@@ -134,7 +145,7 @@ func BenchmarkFig6gh(b *testing.B) {
 		}
 		for _, algo := range exp2Algos {
 			b.Run(fmt.Sprintf("d=%d/%s", d, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -142,7 +153,6 @@ func BenchmarkFig6gh(b *testing.B) {
 
 // BenchmarkFig6ij — PT/DS vs |F| on the DAG (Fig. 6(i), 6(j)).
 func BenchmarkFig6ij(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenCitation(dict, benchCitNV, benchCitNE, 1)
 	q, err := GenDAGPattern(dict, 9, 13, 4, 200)
@@ -154,9 +164,10 @@ func BenchmarkFig6ij(b *testing.B) {
 		if perr != nil {
 			b.Fatal(perr)
 		}
+		dep := benchDeploy(b, part, WithQueryDefaults(WithGraphIsDAG()))
 		for _, algo := range exp2Algos {
 			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -164,7 +175,6 @@ func BenchmarkFig6ij(b *testing.B) {
 
 // BenchmarkFig6kl — PT/DS vs |Vf| on the DAG (Fig. 6(k), 6(l)).
 func BenchmarkFig6kl(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenCitation(dict, benchCitNV, benchCitNE, 1)
 	q, err := GenDAGPattern(dict, 9, 13, 4, 200)
@@ -176,9 +186,10 @@ func BenchmarkFig6kl(b *testing.B) {
 		if perr != nil {
 			b.Fatal(perr)
 		}
+		dep := benchDeploy(b, part, WithQueryDefaults(WithGraphIsDAG()))
 		for _, algo := range exp2Algos {
 			b.Run(fmt.Sprintf("Vf=%.2f/%s", vf, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{GraphIsDAG: true})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -190,7 +201,6 @@ var exp3Algos = []Algorithm{AlgoDGPM, AlgoDisHHK, AlgoDGPMNoOpt, AlgoDMes}
 
 // BenchmarkFig6mn — PT/DS vs |F| on synthetic graphs (Fig. 6(m), 6(n)).
 func BenchmarkFig6mn(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenSynthetic(dict, benchSynNV, benchSynNE, 1)
 	q := GenCyclicPatternOver(dict, 5, 10, 4, 300)
@@ -199,9 +209,10 @@ func BenchmarkFig6mn(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		dep := benchDeploy(b, part)
 		for _, algo := range exp3Algos {
 			b.Run(fmt.Sprintf("F=%d/%s", nf, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -209,7 +220,6 @@ func BenchmarkFig6mn(b *testing.B) {
 
 // BenchmarkFig6op — PT/DS vs |G| on synthetic graphs (Fig. 6(o), 6(p)).
 func BenchmarkFig6op(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	q := GenCyclicPatternOver(dict, 5, 10, 4, 300)
 	for _, mult := range []int{1, 2, 4} {
@@ -218,9 +228,10 @@ func BenchmarkFig6op(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		dep := benchDeploy(b, part)
 		for _, algo := range exp3Algos {
 			b.Run(fmt.Sprintf("G=(%dK,%dK)/%s", g.NumNodes()/1000, g.NumEdges()/1000, algo), func(b *testing.B) {
-				benchRun(b, algo, q, part, Options{})
+				benchQuery(b, dep, q, WithAlgorithm(algo))
 			})
 		}
 	}
@@ -229,7 +240,6 @@ func BenchmarkFig6op(b *testing.B) {
 // BenchmarkCentralized — the HHK kernel itself (the |G|-dependent cost
 // every partition-bounded algorithm avoids paying centrally).
 func BenchmarkCentralized(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
 	q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
@@ -241,7 +251,6 @@ func BenchmarkCentralized(b *testing.B) {
 
 // BenchmarkTreeDGPMt — dGPMt's two-round protocol (Corollary 4).
 func BenchmarkTreeDGPMt(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	g := GenTree(dict, 50_000, 1)
 	q := GenTreePattern(dict, 4, 9)
@@ -249,13 +258,13 @@ func BenchmarkTreeDGPMt(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchRun(b, AlgoDGPMt, q, part, Options{})
+	dep := benchDeploy(b, part)
+	benchQuery(b, dep, q, WithAlgorithm(AlgoDGPMt))
 }
 
 // BenchmarkImpossibilityChain — the Fig-2 gadget: cost grows with |F|
 // even though |Q| and |Fm| are constant (Theorem 1's empirical face).
 func BenchmarkImpossibilityChain(b *testing.B) {
-	withNet(b)
 	dict := NewDict()
 	q := ChainQuery(dict)
 	for _, n := range []int{16, 64, 256} {
@@ -264,8 +273,68 @@ func BenchmarkImpossibilityChain(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		dep := benchDeploy(b, part)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRun(b, AlgoDGPM, q, part, Options{})
+			benchQuery(b, dep, q, WithAlgorithm(AlgoDGPM))
+		})
+	}
+}
+
+// BenchmarkDeployAmortization — the point of the persistent Deployment
+// API: per-call deploy (the legacy Run path: substrate up, one query,
+// substrate down) versus serving queries from resident fragments. Both
+// arms run the identical dGPM protocol on a free network, so the delta
+// is exactly the per-query deployment overhead that residency
+// amortizes. Two regimes: an 8-site synthetic world where protocol work
+// dominates, and a 256-site chain world (the Fig-2 gadget's shape)
+// where substrate startup is a third of the legacy per-call cost.
+func BenchmarkDeployAmortization(b *testing.B) {
+	type world struct {
+		name string
+		q    *Pattern
+		part *Partition
+	}
+	var worlds []world
+	{
+		dict := NewDict()
+		g := GenSynthetic(dict, 5_000, 20_000, 42)
+		q := GenCyclicPatternOver(dict, 5, 10, 4, 100)
+		part, err := PartitionTargetRatio(g, 8, ByVf, 0.25, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worlds = append(worlds, world{"synthetic-F=8", q, part})
+	}
+	{
+		dict := NewDict()
+		q := ChainQuery(dict)
+		g := GenChain(dict, 256, true)
+		part, err := PartitionChain(g, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worlds = append(worlds, world{"chain-F=256", q, part})
+	}
+	for _, w := range worlds {
+		b.Run(w.name+"/RunDeployPerQuery", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(AlgoDGPM, w.q, w.part); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/QueryResidentDeployment", func(b *testing.B) {
+			dep, err := Deploy(w.part)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dep.Query(context.Background(), w.q); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

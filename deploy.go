@@ -1,0 +1,239 @@
+package dgs
+
+// The persistent deployment API — the paper's actual setting: a graph G
+// is fragmented ONCE across n sites (§2.2), and then a stream of pattern
+// queries is evaluated against the resident fragments. Deploy starts the
+// site substrate and returns a long-lived handle; Query evaluates one
+// pattern with per-query algorithm selection, context cancellation and
+// isolated Stats; Close tears the substrate down. See DESIGN.md for the
+// lifecycle and concurrency contract.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dgs/internal/baseline"
+	"dgs/internal/cluster"
+	"dgs/internal/dagsim"
+	"dgs/internal/dgpm"
+	"dgs/internal/simulation"
+	"dgs/internal/treesim"
+)
+
+// Network models per-deployment link cost: pipelined propagation latency,
+// serialized per-site receive bandwidth, and per-message receive
+// overhead. The zero Network delivers instantly — the right setting for
+// tests. There is no process-global network state; the model is fixed
+// per deployment at Deploy time.
+type Network struct {
+	// Latency is the per-message propagation delay (pipelined).
+	Latency time.Duration
+	// Bandwidth is bytes/sec each site can receive; 0 = infinite.
+	Bandwidth int64
+	// PerMsg is the serialized per-message receive overhead.
+	PerMsg time.Duration
+}
+
+// EC2Network approximates the paper's Amazon EC2 setup (§6): with it,
+// response times charge for shipped bytes the way the paper's cluster
+// does.
+func EC2Network() Network { return Network(cluster.EC2Network()) }
+
+// queryConfig is the resolved per-query configuration.
+type queryConfig struct {
+	algo        Algorithm
+	theta       float64
+	thetaSet    bool
+	disablePush bool
+	graphIsDAG  bool
+}
+
+// dgpmConfig translates the query configuration into the dGPM engine
+// config. An explicitly set θ is honored even when it is 0 (always
+// push) — the sentinel footgun of the legacy Options struct.
+func (qc queryConfig) dgpmConfig() dgpm.Config {
+	cfg := dgpm.DefaultConfig()
+	if qc.thetaSet {
+		cfg.Theta = qc.theta
+	}
+	if qc.disablePush {
+		cfg.Push = false
+	}
+	return cfg
+}
+
+// QueryOption tunes one Query (or, via WithQueryDefaults, every query of
+// a deployment).
+type QueryOption func(*queryConfig)
+
+// WithAlgorithm selects the evaluation algorithm (default AlgoDGPM).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(qc *queryConfig) { qc.algo = a }
+}
+
+// WithPushTheta sets the push benefit threshold θ of §4.2 (default 0.2).
+// Unlike the legacy Options.PushTheta, an explicit 0 is honored: θ=0
+// makes every beneficial-or-not push fire. Only meaningful for AlgoDGPM.
+func WithPushTheta(theta float64) QueryOption {
+	return func(qc *queryConfig) { qc.theta = theta; qc.thetaSet = true }
+}
+
+// WithPushDisabled turns the push operation off while keeping
+// incremental evaluation (the ablation point between dGPM and dGPMNOpt).
+func WithPushDisabled() QueryOption {
+	return func(qc *queryConfig) { qc.disablePush = true }
+}
+
+// WithGraphIsDAG asserts the data graph is acyclic, allowing AlgoDGPMd
+// to answer cyclic patterns with ∅ immediately (§5.1 "DAG G") instead of
+// running the distributed acyclicity check.
+func WithGraphIsDAG() QueryOption {
+	return func(qc *queryConfig) { qc.graphIsDAG = true }
+}
+
+// deployConfig collects Deploy-time settings.
+type deployConfig struct {
+	net      cluster.Network
+	defaults queryConfig
+}
+
+// DeployOption configures a Deployment at Deploy time.
+type DeployOption func(*deployConfig)
+
+// WithNetwork installs the deployment's link cost model. The default is
+// the free zero Network.
+func WithNetwork(n Network) DeployOption {
+	return func(dc *deployConfig) { dc.net = cluster.Network(n) }
+}
+
+// WithQueryDefaults sets deployment-level defaults applied to every
+// Query before its own options.
+func WithQueryDefaults(opts ...QueryOption) DeployOption {
+	return func(dc *deployConfig) {
+		for _, o := range opts {
+			o(&dc.defaults)
+		}
+	}
+}
+
+// Deployment is a fragmented graph resident on a running distributed
+// substrate: one goroutine per site plus a coordinator, created once by
+// Deploy and serving any number of Query calls — sequentially or
+// concurrently — until Close. Queries multiplex over the same sites
+// with isolated per-query statistics.
+type Deployment struct {
+	part     *Partition
+	c        *cluster.Cluster
+	defaults queryConfig
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Deploy makes the fragmentation resident: it starts one site goroutine
+// per fragment plus the coordinator and returns the serving handle.
+// The caller must Close the deployment when done with it.
+func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
+	if part == nil {
+		return nil, errorf("deploy: nil partition")
+	}
+	var dc deployConfig
+	for _, o := range opts {
+		o(&dc)
+	}
+	return &Deployment{
+		part:     part,
+		c:        cluster.New(part.NumFragments(), dc.net),
+		defaults: dc.defaults,
+	}, nil
+}
+
+// NumSites reports the number of worker sites (= fragments).
+func (d *Deployment) NumSites() int { return d.c.NumSites() }
+
+// Partition returns the resident fragmentation.
+func (d *Deployment) Partition() *Partition { return d.part }
+
+// Query evaluates the data-selecting pattern query q against the
+// resident fragments. Concurrent calls are safe: each query runs as its
+// own session on the shared sites, with isolated Stats. Cancelling ctx
+// abandons the query promptly — its remaining messages are discarded
+// without being delivered — and returns the context's error.
+func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q == nil {
+		return nil, errorf("query: nil pattern")
+	}
+	// Fail fast on an already-cancelled context rather than posting the
+	// query to the sites first.
+	if err := ctx.Err(); err != nil {
+		return nil, errorf("query: %w", err)
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, errorf("query: deployment is closed")
+	}
+	cfg := d.defaults
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	var m *simulation.Match
+	var st cluster.Stats
+	var err error
+	switch cfg.algo {
+	case AlgoDGPM:
+		m, st, err = dgpm.Eval(ctx, d.c, q.p, d.part.fr, cfg.dgpmConfig())
+	case AlgoDGPMNoOpt:
+		m, st, err = dgpm.Eval(ctx, d.c, q.p, d.part.fr, dgpm.NOptConfig())
+	case AlgoDGPMd:
+		m, st, err = dagsim.Eval(ctx, d.c, q.p, d.part.fr, cfg.graphIsDAG)
+	case AlgoDGPMt:
+		m, st, err = treesim.Eval(ctx, d.c, q.p, d.part.fr)
+	case AlgoMatch:
+		m, st, err = baseline.EvalMatch(ctx, d.c, q.p, d.part.fr)
+	case AlgoDisHHK:
+		m, st, err = baseline.EvalDisHHK(ctx, d.c, q.p, d.part.fr)
+	case AlgoDMes:
+		m, st, err = baseline.EvalDMes(ctx, d.c, q.p, d.part.fr)
+	default:
+		return nil, errorf("unknown algorithm %d", cfg.algo)
+	}
+	if err != nil {
+		if err == cluster.ErrClosed {
+			return nil, errorf("query %s: deployment closed while evaluating", cfg.algo)
+		}
+		return nil, errorf("query %s: %w", cfg.algo, err)
+	}
+	return &Result{Match: &Match{m: m}, Stats: fromCluster(st)}, nil
+}
+
+// QueryBoolean evaluates q as a Boolean pattern query: true iff G
+// matches Q.
+func (d *Deployment) QueryBoolean(ctx context.Context, q *Pattern, opts ...QueryOption) (bool, Stats, error) {
+	res, err := d.Query(ctx, q, opts...)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	return res.Match.Ok(), res.Stats, nil
+}
+
+// Close shuts the substrate down: in-flight queries are aborted (their
+// Query calls return an error) and the site goroutines exit. Idempotent;
+// queries after Close fail.
+func (d *Deployment) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.c.Shutdown()
+	return nil
+}

@@ -12,17 +12,24 @@
 // tree data graphs, and the evaluation baselines Match, disHHK and dMes.
 //
 // The distributed substrate is simulated in-process: one goroutine per
-// site, real binary message encoding, exact byte accounting. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// site, real binary message encoding, exact byte accounting. Matching
+// the paper's setting, a graph is fragmented once and then serves a
+// stream of queries: Deploy makes the fragments resident on a running
+// substrate, Deployment.Query evaluates patterns against it — many at a
+// time, with per-query algorithm selection, context cancellation and
+// isolated statistics — and Close tears it down. See DESIGN.md for the
+// deployment lifecycle, the session-multiplexing runtime, and the
+// evaluation methodology (cmd/benchfig regenerates the paper's figures).
 //
 // Quick start:
 //
 //	dict := dgs.NewDict()
 //	g := dgs.GenWeb(dict, 300_000, 1_500_000, 1)      // Yahoo-like graph
-//	q, _ := dgs.ParsePattern(dict, "node a l0\nnode b l1\nedge a b")
 //	part, _ := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, 0.25, 1)
-//	res, _ := dgs.Run(dgs.AlgoDGPM, q, part)
+//	dep, _ := dgs.Deploy(part)                        // fragment once
+//	defer dep.Close()
+//	q, _ := dgs.ParsePattern(dict, "node a l0\nnode b l1\nedge a b")
+//	res, _ := dep.Query(ctx, q)                       // serve many
 //	fmt.Println(res.Match.Ok(), res.Stats.DataBytes)
 package dgs
 

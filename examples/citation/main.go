@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,6 +28,16 @@ func main() {
 	}
 	fmt.Println("partition:     ", part)
 
+	// Fragment the citation DAG once; the deployment defaults every
+	// query to dGPMd with the DAG-G assertion.
+	dep, err := dgs.Deploy(part, dgs.WithQueryDefaults(
+		dgs.WithAlgorithm(dgs.AlgoDGPMd), dgs.WithGraphIsDAG()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	ctx := context.Background()
+
 	// DAG queries of growing diameter: "papers whose citation chain
 	// reaches d hops deep through specific venues".
 	for _, d := range []int{2, 4, 6} {
@@ -34,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := dgs.Run(dgs.AlgoDGPMd, q, part, dgs.Options{GraphIsDAG: true})
+		res, err := dep.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := dgs.Run(dgs.AlgoDGPMd, cyc, part, dgs.Options{GraphIsDAG: true})
+	res, err := dep.Query(ctx, cyc)
 	if err != nil {
 		log.Fatal(err)
 	}

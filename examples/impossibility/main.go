@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,13 +27,19 @@ func main() {
 	fmt.Println("Q0 = A⇄B; G0 = broken chain with one (Ai,Bi) pair per site")
 	fmt.Printf("%6s %10s %12s %12s\n", "sites", "match", "messages", "DS (bytes)")
 
+	ctx := context.Background()
 	for _, n := range []int{4, 8, 16, 32, 64, 128} {
 		g := dgs.GenChain(dict, n, false) // broken: the last B has no successor
 		part, err := dgs.PartitionChain(g, n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ok, st, err := dgs.RunBoolean(dgs.AlgoDGPM, q, part)
+		dep, err := dgs.Deploy(part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, st, err := dep.QueryBoolean(ctx, q)
+		dep.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +56,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ok, st, err := dgs.RunBoolean(dgs.AlgoDGPM, q, part)
+		dep, err := dgs.Deploy(part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, st, err := dep.QueryBoolean(ctx, q)
+		dep.Close()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,13 +3,16 @@
 // A company wants potential customers for a beer brand: Youtube users who
 // favor beer ads (YB) and trust-recommendation cycles among soccer fans
 // (SP), food lovers (F) and worldcup fans (YF). The social graph is
-// distributed over three sites; dGPM finds the unique maximum simulation
-// without ever shipping graph data — only falsified Boolean variables.
+// distributed over three sites — fragmented ONCE into a persistent
+// Deployment — and then serves multiple pattern queries against the
+// resident fragments; dGPM finds each unique maximum simulation without
+// ever shipping graph data — only falsified Boolean variables.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,8 +80,17 @@ edge F  SP
 	fmt.Println("graph:    ", g)
 	fmt.Println("partition:", part)
 
-	// Distributed evaluation with dGPM.
-	res, err := dgs.Run(dgs.AlgoDGPM, q, part)
+	// Fragment once: the three sites come up and the fragments become
+	// resident. The deployment then serves every query below.
+	dep, err := dgs.Deploy(part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	ctx := context.Background()
+
+	// Query 1: the full Fig. 1 pattern, evaluated with dGPM.
+	res, err := dep.Query(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,4 +122,29 @@ edge F  SP
 		log.Fatal("f1 must not match F — nobody trusts f1's recommendations")
 	}
 	fmt.Println("verified against centralized simulation ✓")
+
+	// Query 2: a follow-up on the SAME deployment — no re-fragmentation,
+	// no substrate restart: "worldcup fans who recommend a food lover".
+	q2, err := dgs.ParsePattern(dict, "node YF YF\nnode F F\nedge YF F")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := dep.Query(ctx, q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res2.Match.Equal(dgs.Simulate(q2, g)) {
+		log.Fatal("second query differs from centralized simulation")
+	}
+	fmt.Printf("\nquery 2 on the same deployment: %d pairs, PT %v, DS %d bytes\n",
+		res2.Match.NumPairs(), res2.Stats.Wall.Round(0), res2.Stats.DataBytes)
+
+	// Query 3: the Boolean variant, this time with the dMes baseline —
+	// per-query algorithm selection against the same resident fragments.
+	okB, stB, err := dep.QueryBoolean(ctx, q, dgs.WithAlgorithm(dgs.AlgoDMes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 3 (dMes, Boolean): %v with DS %d bytes — dGPM shipped %d ✓\n",
+		okB, stB.DataBytes, res.Stats.DataBytes)
 }

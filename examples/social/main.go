@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,19 +40,26 @@ edge media      fan
 		log.Fatal(err)
 	}
 
-	dgs.SetEC2Network(true)
-	defer dgs.SetEC2Network(false)
 	part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, 0.25, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("partition:", part)
 
+	// One deployment with the EC2-like link model serves both
+	// algorithms; the network is a deployment property, not a process
+	// global.
+	dep, err := dgs.Deploy(part, dgs.WithNetwork(dgs.EC2Network()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
 	want := dgs.Simulate(q, g)
 	fmt.Printf("\ncentralized ground truth: ok=%v pairs=%d\n", want.Ok(), want.NumPairs())
 
 	for _, algo := range []dgs.Algorithm{dgs.AlgoDGPM, dgs.AlgoMatch} {
-		res, err := dgs.Run(algo, q, part)
+		res, err := dep.Query(context.Background(), q, dgs.WithAlgorithm(algo))
 		if err != nil {
 			log.Fatal(err)
 		}

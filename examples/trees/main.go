@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,15 +39,22 @@ edge figure  caption
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := dgs.Run(dgs.AlgoDGPMt, q, part)
+		dep, err := dgs.Deploy(part, dgs.WithQueryDefaults(dgs.WithAlgorithm(dgs.AlgoDGPMt)))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res, err := dep.Query(context.Background(), q)
+		if err != nil {
+			dep.Close()
+			log.Fatal(err)
+		}
 		if !res.Match.Equal(dgs.Simulate(q, g)) {
+			dep.Close()
 			log.Fatal("dGPMt differs from centralized simulation")
 		}
 		fmt.Printf("%10d %8d %10d %12d %10d\n",
 			nv, part.NumFragments(), res.Match.NumPairs(), res.Stats.DataBytes, res.Stats.Rounds)
+		dep.Close()
 	}
 	fmt.Println("\nshipment tracks |Q||F|, not |G| — parallel scalable in DS ✓")
 }

@@ -1,0 +1,3 @@
+module dgs
+
+go 1.22

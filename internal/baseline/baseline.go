@@ -16,6 +16,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -123,19 +124,22 @@ func (s *shipSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
-// RunMatch evaluates Q with the naive ship-everything algorithm (§3.1).
-func RunMatch(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+// EvalMatch evaluates Q with the naive ship-everything algorithm (§3.1)
+// as one session on a live cluster.
+func EvalMatch(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := range sites {
 		sites[i] = &shipSite{frag: fr.Frags[i]}
 	}
 	coord := newMerger()
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 	start := time.Now()
-	c.Broadcast(&wire.Control{Op: opShip})
-	c.WaitQuiesce()
+	sess.Broadcast(&wire.Control{Op: opShip})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	// Centralized evaluation at the coordinator site.
 	g, ids, err := coord.assemble(q.Dict())
 	if err != nil {
@@ -143,10 +147,19 @@ func RunMatch(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Matc
 	}
 	m := simulation.HHK(q, g)
 	res := toGlobal(m, ids)
-	wall := time.Since(start)
-	c.Shutdown()
-	stats := c.Stats()
-	stats.Wall = wall
+	stats := sess.Stats()
+	stats.Wall = time.Since(start)
 	stats.Rounds = 1
-	return res.Canonical(), stats
+	return res.Canonical(), stats, nil
+}
+
+// RunMatch evaluates one query on a throwaway single-query cluster.
+func RunMatch(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	m, st, err := EvalMatch(context.Background(), c, q, fr)
+	if err != nil {
+		panic(err) // background context, private cluster: unreachable
+	}
+	return m, st
 }

@@ -12,6 +12,7 @@ package baseline
 // magnitude less in Exp-1.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,29 +69,41 @@ func (s *candSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	ctx.Send(cluster.Coordinator, sg)
 }
 
-// RunDisHHK evaluates Q with the candidate-shipping algorithm of [25].
-func RunDisHHK(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+// EvalDisHHK evaluates Q with the candidate-shipping algorithm of [25]
+// as one session on a live cluster.
+func EvalDisHHK(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := range sites {
 		sites[i] = &candSite{q: q, frag: fr.Frags[i]}
 	}
 	coord := newMerger()
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 	start := time.Now()
-	c.Broadcast(&wire.Control{Op: opCands})
-	c.WaitQuiesce()
+	sess.Broadcast(&wire.Control{Op: opCands})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	g, ids, err := coord.assemble(q.Dict())
 	if err != nil {
 		panic(fmt.Sprintf("baseline: disHHK assembly: %v", err))
 	}
 	m := simulation.HHK(q, g)
 	res := toGlobal(m, ids)
-	wall := time.Since(start)
-	c.Shutdown()
-	stats := c.Stats()
-	stats.Wall = wall
+	stats := sess.Stats()
+	stats.Wall = time.Since(start)
 	stats.Rounds = 1
-	return res.Canonical(), stats
+	return res.Canonical(), stats, nil
+}
+
+// RunDisHHK evaluates one query on a throwaway single-query cluster.
+func RunDisHHK(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	m, st, err := EvalDisHHK(context.Background(), c, q, fr)
+	if err != nil {
+		panic(err) // background context, private cluster: unreachable
+	}
+	return m, st
 }

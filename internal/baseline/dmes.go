@@ -15,6 +15,7 @@ package baseline
 // dGPM's one-shot falsifications.
 
 import (
+	"context"
 	"time"
 
 	"dgs/internal/cluster"
@@ -208,30 +209,45 @@ func (c *dmesCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
-// RunDMes evaluates Q with the superstep vertex-centric algorithm.
-func RunDMes(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+// EvalDMes evaluates Q with the superstep vertex-centric algorithm as
+// one session on a live cluster.
+func EvalDMes(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := range sites {
 		sites[i] = newDmesSite(q, fr.Frags[i])
 	}
 	coord := &dmesCoord{n: n, nq: q.NumNodes()}
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 	start := time.Now()
-	c.Broadcast(&wire.Control{Op: opSuper, Arg: 0})
-	c.WaitQuiesce()
-	c.Broadcast(&wire.Control{Op: opReport})
-	c.WaitQuiesce()
+	sess.Broadcast(&wire.Control{Op: opSuper, Arg: 0})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	sess.Broadcast(&wire.Control{Op: opReport})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	wall := time.Since(start)
-	c.Shutdown()
 
 	m := simulation.NewMatch(q.NumNodes())
 	for _, r := range coord.pairs {
 		m.Sets[r.U] = append(m.Sets[r.U], graph.NodeID(r.V))
 	}
 	m.Sort()
-	stats := c.Stats()
+	stats := sess.Stats()
 	stats.Wall = wall
-	return m.Canonical(), stats
+	return m.Canonical(), stats, nil
+}
+
+// RunDMes evaluates one query on a throwaway single-query cluster.
+func RunDMes(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	m, st, err := EvalDMes(context.Background(), c, q, fr)
+	if err != nil {
+		panic(err) // background context, private cluster: unreachable
+	}
+	return m, st
 }

@@ -6,6 +6,7 @@ package bench
 // improvement grows with |Fm| — this group regenerates that comparison.
 
 import (
+	"context"
 	"fmt"
 
 	"dgs"
@@ -18,18 +19,17 @@ func init() {
 	}{[]string{"ablation-PT", "ablation-DS"}, runAblation}
 }
 
-// ablationVariant pairs a display name with run options.
+// ablationVariant pairs a display name with query options.
 type ablationVariant struct {
 	name string
-	algo dgs.Algorithm
-	opts dgs.Options
+	opts []dgs.QueryOption
 }
 
 func ablationVariants() []ablationVariant {
 	return []ablationVariant{
-		{"dGPM", dgs.AlgoDGPM, dgs.Options{}},
-		{"dGPM-nopush", dgs.AlgoDGPM, dgs.Options{DisablePush: true}},
-		{"dGPMNOpt", dgs.AlgoDGPMNoOpt, dgs.Options{}},
+		{"dGPM", []dgs.QueryOption{dgs.WithAlgorithm(dgs.AlgoDGPM)}},
+		{"dGPM-nopush", []dgs.QueryOption{dgs.WithAlgorithm(dgs.AlgoDGPM), dgs.WithPushDisabled()}},
+		{"dGPMNOpt", []dgs.QueryOption{dgs.WithAlgorithm(dgs.AlgoDGPMNoOpt)}},
 	}
 }
 
@@ -53,18 +53,24 @@ func runAblation(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		dep, err := dgs.Deploy(part, dgs.WithNetwork(cfg.network()))
+		if err != nil {
+			return nil, err
+		}
 		x := fmt.Sprint(nf)
 		for i, v := range variants {
 			m := &measurement{}
 			for _, q := range queries {
-				res, err := dgs.Run(v.algo, q, part, v.opts)
+				res, err := dep.Query(context.Background(), q, v.opts...)
 				if err != nil {
+					dep.Close()
 					return nil, fmt.Errorf("%s: %w", v.name, err)
 				}
 				m.add(res.Stats)
 			}
 			series[i].points = append(series[i].points, m.point(x))
 		}
+		dep.Close()
 	}
 	for _, s := range series {
 		pt.Series = append(pt.Series, Series{Name: s.name, Points: s.points})

@@ -4,17 +4,20 @@
 // paper's sweep: Exp-1 (dGPM on the web graph) varies |F|, |Q| and |Vf|;
 // Exp-2 (dGPMd on the citation DAG) varies d, |F| and |Vf|; Exp-3
 // (synthetic) varies |F| and |G|. Sizes default to a scaled-down version
-// of the paper's datasets (see DESIGN.md §2); Config.Scale restores
-// larger sizes.
+// of the paper's datasets; Config.Scale restores larger sizes.
 //
 // Absolute numbers differ from the paper (simulated cluster vs. EC2);
 // the reproduced claims are the *shapes*: who wins, by what order of
-// magnitude, and which curves are flat vs. growing. EXPERIMENTS.md
-// records paper-vs-measured for every panel.
+// magnitude, and which curves are flat vs. growing.
+//
+// Mirroring the paper's methodology — and the Deployment API it
+// motivates — each sweep point fragments its graph once into a
+// deployment (with the EC2-like link model) and evaluates all of the
+// point's queries and algorithms against the resident fragments.
 package bench
 
 import (
-	"dgs/internal/cluster"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -148,7 +151,7 @@ func RunFigure(id string, cfg Config) ([]*Figure, error) {
 	for _, g := range groups {
 		for _, f := range g.figs {
 			if f == id {
-				return runWithNetwork(g.run, cfg.norm())
+				return g.run(cfg.norm())
 			}
 		}
 	}
@@ -161,18 +164,17 @@ func RunGroup(name string, cfg Config) ([]*Figure, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown group %q (have %v)", name, Groups())
 	}
-	return runWithNetwork(g.run, cfg.norm())
+	return g.run(cfg.norm())
 }
 
-// runWithNetwork installs the EC2-like link model for the duration of a
-// group run (PT must charge for shipped bytes; §6 runs on a real
-// cluster). Groups run sequentially.
-func runWithNetwork(run groupRunner, cfg Config) ([]*Figure, error) {
-	if !cfg.NoNetwork {
-		prev := cluster.SetDefaultNetwork(cluster.EC2Network())
-		defer cluster.SetDefaultNetwork(prev)
+// network is the per-deployment link model of a run: EC2-like unless the
+// config opts out (PT must charge for shipped bytes; §6 runs on a real
+// cluster).
+func (c Config) network() dgs.Network {
+	if c.NoNetwork {
+		return dgs.Network{}
 	}
-	return run(cfg)
+	return dgs.EC2Network()
 }
 
 // measurement accumulates averaged stats for one (algorithm, point).
@@ -199,16 +201,22 @@ func (m *measurement) point(x string) Point {
 	return Point{X: x, PTms: m.pt / n, DSkb: m.ds / n, Msgs: m.msgs / int64(m.n), Rounds: m.rounds / int64(m.n)}
 }
 
-// runPoint evaluates the given algorithms on (queries × partition) and
-// returns one measurement per algorithm.
-func runPoint(algos []dgs.Algorithm, queries []*dgs.Pattern, part *dgs.Partition, opts dgs.Options) (map[dgs.Algorithm]*measurement, error) {
+// runPoint deploys the partition once and evaluates the given algorithms
+// on (queries × resident fragments), returning one measurement per
+// algorithm — the paper's fragment-once, query-many methodology.
+func runPoint(cfg Config, algos []dgs.Algorithm, queries []*dgs.Pattern, part *dgs.Partition, qopts ...dgs.QueryOption) (map[dgs.Algorithm]*measurement, error) {
+	dep, err := dgs.Deploy(part, dgs.WithNetwork(cfg.network()), dgs.WithQueryDefaults(qopts...))
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
 	out := make(map[dgs.Algorithm]*measurement, len(algos))
 	for _, a := range algos {
 		out[a] = &measurement{}
 	}
 	for _, q := range queries {
 		for _, a := range algos {
-			res, err := dgs.Run(a, q, part, opts)
+			res, err := dep.Query(context.Background(), q, dgs.WithAlgorithm(a))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a, err)
 			}

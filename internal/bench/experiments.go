@@ -48,7 +48,7 @@ func exp1VaryF(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		m, err := runPoint(cfg, exp1PTAlgos, queries, part)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +71,7 @@ func exp1VaryQ(cfg Config) ([]*Figure, error) {
 	var ms []map[dgs.Algorithm]*measurement
 	for _, sz := range [][2]int{{4, 8}, {5, 10}, {6, 12}, {7, 14}, {8, 16}} {
 		queries := exp1Queries(dict, cfg, sz[0], sz[1])
-		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		m, err := runPoint(cfg, exp1PTAlgos, queries, part)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +94,7 @@ func exp1VaryVf(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp1PTAlgos, queries, part, dgs.Options{})
+		m, err := runPoint(cfg, exp1PTAlgos, queries, part)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +136,7 @@ func exp2VaryD(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		m, err := runPoint(cfg, exp2PTAlgos, queries, part, dgs.WithGraphIsDAG())
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +161,7 @@ func exp2VaryF(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		m, err := runPoint(cfg, exp2PTAlgos, queries, part, dgs.WithGraphIsDAG())
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +186,7 @@ func exp2VaryVf(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp2PTAlgos, queries, part, dgs.Options{GraphIsDAG: true})
+		m, err := runPoint(cfg, exp2PTAlgos, queries, part, dgs.WithGraphIsDAG())
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +214,7 @@ func exp3VaryF(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp3PTAlgos, queries, part, dgs.Options{})
+		m, err := runPoint(cfg, exp3PTAlgos, queries, part)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +239,7 @@ func exp3VaryG(cfg Config) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := runPoint(exp3PTAlgos, queries, part, dgs.Options{})
+		m, err := runPoint(cfg, exp3PTAlgos, queries, part)
 		if err != nil {
 			return nil, err
 		}

@@ -6,16 +6,29 @@
 // passing model of dGPM (Fig. 3) as well as the superstep coordination
 // dMes needs.
 //
+// The substrate is persistent: a Cluster is created once (the fragments
+// become resident at its sites) and then serves any number of queries,
+// sequentially or concurrently. Each query runs as a Session — a set of
+// per-site handlers registered under a fresh query ID. Every envelope
+// carries its session's query ID, so one site goroutine serves all
+// in-flight queries, processing their messages serially per site (one
+// machine, one event loop) while different sites run concurrently.
+// Stats, quiescence detection and round counting are all per-session,
+// which is what gives concurrent queries isolated accounting.
+//
 // Termination: the paper's dGPM detects a fixpoint via changed-flags at
-// the coordinator. The runtime provides the equivalent guarantee with an
-// in-flight message counter — the count is positive while any message is
-// undelivered or being processed, so reaching zero certifies global
-// quiescence (sites are reactive, so no new message can appear out of
-// thin air). Algorithms still exchange their protocol's control traffic,
-// which is accounted separately from data shipment.
+// the coordinator. The runtime provides the equivalent guarantee with a
+// per-session in-flight message counter — the count is positive while any
+// of the session's messages is undelivered or being processed, so
+// reaching zero certifies that query's global quiescence (sites are
+// reactive, so no new message can appear out of thin air). Algorithms
+// still exchange their protocol's control traffic, which is accounted
+// separately from data shipment.
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,14 +40,18 @@ import (
 // Coordinator is the pseudo-site ID of the coordinator Sc.
 const Coordinator = -1
 
+// ErrClosed is returned by Session.WaitQuiesce when the session (or the
+// whole cluster) was closed while waiting.
+var ErrClosed = errors.New("cluster: session closed")
+
 // Network models link cost. Propagation latency pipelines — a message
 // becomes deliverable Latency after it was sent, regardless of how many
 // others are in flight — while receive bandwidth serializes: each
 // receiving site drains one message at a time at Bandwidth bytes/sec
-// (one NIC per site). The zero Network delivers instantly — the right
-// setting for unit tests. Benchmarks use EC2Network to reproduce the
-// paper's cluster economics, where shipping a fragment costs real time
-// while a falsification batch is nearly free.
+// (one NIC per site, shared by all sessions). The zero Network delivers
+// instantly — the right setting for unit tests. Benchmarks use EC2Network
+// to reproduce the paper's cluster economics, where shipping a fragment
+// costs real time while a falsification batch is nearly free.
 type Network struct {
 	Latency   time.Duration // per-message propagation delay (pipelined)
 	Bandwidth int64         // bytes per second per receiver; 0 = infinite
@@ -59,18 +76,6 @@ func (n Network) xferTime(size int) time.Duration {
 	return d
 }
 
-// defaultNetwork applies to clusters created with New. Benchmarks set it
-// once (sequentially) via SetDefaultNetwork; tests leave it zero.
-var defaultNetwork Network
-
-// SetDefaultNetwork installs the link model used by subsequently created
-// clusters and returns the previous model. Not safe to race with New.
-func SetDefaultNetwork(n Network) Network {
-	old := defaultNetwork
-	defaultNetwork = n
-	return old
-}
-
 // Handler is the per-site (or coordinator) algorithm logic. Recv is
 // invoked serially per site; different sites run concurrently.
 type Handler interface {
@@ -83,7 +88,7 @@ type HandlerFunc func(ctx *Ctx, from int, p wire.Payload)
 // Recv implements Handler.
 func (f HandlerFunc) Recv(ctx *Ctx, from int, p wire.Payload) { f(ctx, from, p) }
 
-// Stats aggregates network accounting for one run.
+// Stats aggregates network accounting for one session.
 type Stats struct {
 	DataBytes    int64 // payload kinds with Kind.IsData()
 	ControlBytes int64
@@ -105,6 +110,7 @@ func (s *Stats) String() string {
 }
 
 type envelope struct {
+	qid  uint64
 	from int
 	data []byte
 	sent time.Time // zero when the network model is off
@@ -125,13 +131,15 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) put(e envelope) {
+func (m *mailbox) put(e envelope) bool {
 	m.mu.Lock()
-	if !m.closed {
+	ok := !m.closed
+	if ok {
 		m.queue = append(m.queue, e)
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
+	return ok
 }
 
 // get blocks for the next envelope; ok=false after close and drain.
@@ -156,38 +164,37 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// Cluster wires n sites plus a coordinator together.
+// Cluster wires n sites plus a coordinator together and keeps their
+// goroutines alive across queries. Create it once per deployment with
+// New, run queries as Sessions, and Shutdown when done.
 type Cluster struct {
-	n        int
-	net      Network
-	boxes    []*mailbox // index n is the coordinator
-	handlers []Handler
-	wg       sync.WaitGroup
+	n     int
+	net   Network
+	boxes []*mailbox // index n is the coordinator
+	wg    sync.WaitGroup
 
-	inflight atomic.Int64
-	quiesce  chan struct{} // receives a token each time inflight hits 0
-	started  bool
-
-	statMu    sync.Mutex
-	stats     Stats
-	busy      []time.Duration
-	perKind   map[wire.Kind]int64
-	collected bool
+	mu       sync.RWMutex
+	sessions map[uint64]*Session
+	nextQID  uint64
+	closed   bool
 }
 
-// New creates a cluster of n sites with the default network model.
-// Handlers are attached with Start.
-func New(n int) *Cluster {
+// New creates a cluster of n sites with the given link model and spawns
+// the long-lived site goroutines. The network is a per-cluster property —
+// there is deliberately no process-global default.
+func New(n int, net Network) *Cluster {
 	c := &Cluster{
-		n:       n,
-		net:     defaultNetwork,
-		quiesce: make(chan struct{}, 1),
-		perKind: make(map[wire.Kind]int64),
-		busy:    make([]time.Duration, n+1),
+		n:        n,
+		net:      net,
+		sessions: make(map[uint64]*Session),
 	}
 	c.boxes = make([]*mailbox, n+1)
 	for i := range c.boxes {
 		c.boxes[i] = newMailbox()
+	}
+	for i := 0; i <= n; i++ {
+		c.wg.Add(1)
+		go c.siteLoop(i)
 	}
 	return c
 }
@@ -195,31 +202,60 @@ func New(n int) *Cluster {
 // NumSites reports the number of worker sites (excluding the coordinator).
 func (c *Cluster) NumSites() int { return c.n }
 
-// Start attaches one handler per site plus the coordinator handler and
-// spawns the actor goroutines. It must be called exactly once.
-func (c *Cluster) Start(sites []Handler, coord Handler) {
-	if c.started {
-		panic("cluster: Start called twice")
-	}
+// Network reports the cluster's link model.
+func (c *Cluster) Network() Network { return c.net }
+
+// NewSession registers one handler per site plus the coordinator handler
+// under a fresh query ID and returns the session. Handlers are installed
+// before the session's first message can be sent, so no delivery races
+// registration. On a shut-down cluster the returned session is already
+// closed: sends are dropped and WaitQuiesce reports ErrClosed.
+func (c *Cluster) NewSession(sites []Handler, coord Handler) *Session {
 	if len(sites) != c.n {
 		panic(fmt.Sprintf("cluster: %d handlers for %d sites", len(sites), c.n))
 	}
-	c.started = true
-	c.handlers = append(append([]Handler(nil), sites...), coord)
-	for i := 0; i <= c.n; i++ {
-		c.wg.Add(1)
-		go c.siteLoop(i)
+	s := &Session{
+		c:        c,
+		handlers: append(append([]Handler(nil), sites...), coord),
+		quiesce:  make(chan struct{}, 1),
+		abort:    make(chan struct{}),
+		perKind:  make(map[wire.Kind]int64),
+		busy:     make([]time.Duration, c.n+1),
 	}
+	s.ctxs = make([]Ctx, c.n+1)
+	for i := range s.ctxs {
+		s.ctxs[i] = Ctx{s: s, self: c.externalID(i)}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		s.drop()
+		return s
+	}
+	c.nextQID++
+	s.qid = c.nextQID
+	c.sessions[s.qid] = s
+	c.mu.Unlock()
+	return s
 }
 
 func (c *Cluster) siteLoop(idx int) {
 	defer c.wg.Done()
-	h := c.handlers[idx]
-	ctx := &Ctx{c: c, self: c.externalID(idx)}
 	for {
 		env, ok := c.boxes[idx].get()
 		if !ok {
 			return
+		}
+		c.mu.RLock()
+		s := c.sessions[env.qid]
+		c.mu.RUnlock()
+		if s == nil {
+			// Session already unregistered (query abandoned): discard.
+			continue
+		}
+		if s.dropped.Load() {
+			s.done()
+			continue
 		}
 		if !env.sent.IsZero() {
 			// Pipelined propagation latency, then serialized NIC drain.
@@ -235,17 +271,12 @@ func (c *Cluster) siteLoop(idx int) {
 			panic(fmt.Sprintf("cluster: site %d received undecodable message from %d: %v", c.externalID(idx), env.from, err))
 		}
 		start := time.Now()
-		h.Recv(ctx, env.from, p)
+		s.handlers[idx].Recv(&s.ctxs[idx], env.from, p)
 		el := time.Since(start)
-		c.statMu.Lock()
-		c.busy[idx] += el
-		c.statMu.Unlock()
-		if c.inflight.Add(-1) == 0 {
-			select {
-			case c.quiesce <- struct{}{}:
-			default:
-			}
-		}
+		s.statMu.Lock()
+		s.busy[idx] += el
+		s.statMu.Unlock()
+		s.done()
 	}
 }
 
@@ -266,100 +297,186 @@ func (c *Cluster) internalIdx(id int) int {
 	return id
 }
 
-// send encodes, accounts, and enqueues.
-func (c *Cluster) send(from, to int, p wire.Payload) {
-	data := wire.Encode(p)
-	k := p.Kind()
-	c.statMu.Lock()
-	c.perKind[k] += int64(len(data))
-	switch {
-	case k == wire.KindMatches:
-		c.stats.ResultBytes += int64(len(data))
-		c.stats.ResultMsgs++
-	case k.IsData():
-		c.stats.DataBytes += int64(len(data))
-		c.stats.DataMsgs++
-	default:
-		c.stats.ControlBytes += int64(len(data))
-		c.stats.ControlMsgs++
-	}
-	c.statMu.Unlock()
-	c.inflight.Add(1)
-	env := envelope{from: from, data: data}
-	if c.net.Latency > 0 || c.net.Bandwidth > 0 || c.net.PerMsg > 0 {
-		env.sent = time.Now()
-	}
-	c.boxes[c.internalIdx(to)].put(env)
-}
-
-// Inject sends p to site id on behalf of the driver (appears to come from
-// the coordinator).
-func (c *Cluster) Inject(id int, p wire.Payload) { c.send(Coordinator, id, p) }
-
-// Broadcast injects p to every worker site.
-func (c *Cluster) Broadcast(p wire.Payload) {
-	for i := 0; i < c.n; i++ {
-		c.Inject(i, p)
-	}
-}
-
-// WaitQuiesce blocks until every message has been delivered and processed
-// and no handler is running. The caller must have injected at least one
-// message since the last quiescence, otherwise it returns immediately if
-// the system is already quiet.
-func (c *Cluster) WaitQuiesce() {
-	if c.inflight.Load() == 0 {
-		return
-	}
-	for range c.quiesce {
-		if c.inflight.Load() == 0 {
-			return
-		}
-	}
-}
-
-// AddRounds lets algorithms record communication rounds.
-func (c *Cluster) AddRounds(n int64) {
-	c.statMu.Lock()
-	c.stats.Rounds += n
-	c.statMu.Unlock()
-}
-
-// Shutdown stops all actors and waits for them. Idempotent.
+// Shutdown closes every active session, stops all site goroutines and
+// waits for them. Idempotent.
 func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	active := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		active = append(active, s)
+	}
+	c.mu.Unlock()
+	for _, s := range active {
+		s.Close()
+	}
 	for _, b := range c.boxes {
 		b.close()
 	}
 	c.wg.Wait()
 }
 
-// Stats snapshots the accounting. Call after Shutdown (or at quiescence).
-func (c *Cluster) Stats() Stats {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
-	s := c.stats
-	for _, b := range c.busy {
-		if b > s.MaxSiteBusy {
-			s.MaxSiteBusy = b
-		}
-	}
-	return s
+// Session is one query's view of the cluster: its handlers, its stats,
+// and its quiescence state. Sessions are created by Cluster.NewSession
+// and must be Closed when the query completes or is abandoned; Close
+// unregisters the handlers and discards the session's remaining traffic.
+type Session struct {
+	c        *Cluster
+	qid      uint64
+	handlers []Handler // n sites, then the coordinator
+
+	// ctxs are the per-site sending contexts, built once per session so
+	// the per-message hot path does not allocate.
+	ctxs []Ctx
+
+	inflight  atomic.Int64
+	quiesce   chan struct{} // receives a token each time inflight hits 0
+	abort     chan struct{} // closed when the session is dropped
+	dropped   atomic.Bool
+	closeOnce sync.Once
+
+	statMu  sync.Mutex
+	stats   Stats
+	busy    []time.Duration
+	perKind map[wire.Kind]int64
 }
 
-// BytesByKind snapshots the per-kind byte counters.
-func (c *Cluster) BytesByKind() map[wire.Kind]int64 {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
-	out := make(map[wire.Kind]int64, len(c.perKind))
-	for k, v := range c.perKind {
+// send encodes, accounts, and enqueues within this session.
+func (s *Session) send(from, to int, p wire.Payload) {
+	if s.dropped.Load() {
+		return
+	}
+	data := wire.Encode(p)
+	k := p.Kind()
+	s.statMu.Lock()
+	s.perKind[k] += int64(len(data))
+	switch {
+	case k == wire.KindMatches:
+		s.stats.ResultBytes += int64(len(data))
+		s.stats.ResultMsgs++
+	case k.IsData():
+		s.stats.DataBytes += int64(len(data))
+		s.stats.DataMsgs++
+	default:
+		s.stats.ControlBytes += int64(len(data))
+		s.stats.ControlMsgs++
+	}
+	s.statMu.Unlock()
+	s.inflight.Add(1)
+	env := envelope{qid: s.qid, from: from, data: data}
+	net := s.c.net
+	if net.Latency > 0 || net.Bandwidth > 0 || net.PerMsg > 0 {
+		env.sent = time.Now()
+	}
+	if !s.c.boxes[s.c.internalIdx(to)].put(env) {
+		// Cluster shut down under us: the message will never be
+		// delivered; undo the in-flight accounting.
+		s.done()
+	}
+}
+
+// done retires one in-flight message and signals quiescence at zero.
+func (s *Session) done() {
+	if s.inflight.Add(-1) == 0 {
+		select {
+		case s.quiesce <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Inject sends p to site id on behalf of the driver (appears to come from
+// the coordinator).
+func (s *Session) Inject(id int, p wire.Payload) { s.send(Coordinator, id, p) }
+
+// Broadcast injects p to every worker site.
+func (s *Session) Broadcast(p wire.Payload) {
+	for i := 0; i < s.c.n; i++ {
+		s.send(Coordinator, i, p)
+	}
+}
+
+// WaitQuiesce blocks until every one of the session's messages has been
+// delivered and processed and none of its handlers is running, the
+// context is done, or the session is closed. Other sessions' traffic
+// does not affect the wait.
+func (s *Session) WaitQuiesce(ctx context.Context) error {
+	for {
+		if s.dropped.Load() {
+			return ErrClosed
+		}
+		// Context before quiescence: a cancelled query must fail
+		// deterministically even when the protocol already finished.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.abort:
+			return ErrClosed
+		case <-s.quiesce:
+		}
+	}
+}
+
+// AddRounds lets algorithms record communication rounds.
+func (s *Session) AddRounds(n int64) {
+	s.statMu.Lock()
+	s.stats.Rounds += n
+	s.statMu.Unlock()
+}
+
+// Stats snapshots the session's accounting. Call at quiescence.
+func (s *Session) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	st := s.stats
+	for _, b := range s.busy {
+		if b > st.MaxSiteBusy {
+			st.MaxSiteBusy = b
+		}
+	}
+	return st
+}
+
+// BytesByKind snapshots the session's per-kind byte counters.
+func (s *Session) BytesByKind() map[wire.Kind]int64 {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	out := make(map[wire.Kind]int64, len(s.perKind))
+	for k, v := range s.perKind {
 		out[k] = v
 	}
 	return out
 }
 
-// Ctx is the per-site sending API passed to handlers.
+// drop marks the session abandoned: subsequent sends are suppressed,
+// queued messages are discarded undelivered, and waiters are released.
+func (s *Session) drop() {
+	s.closeOnce.Do(func() {
+		s.dropped.Store(true)
+		close(s.abort)
+	})
+}
+
+// Close unregisters the session from the cluster. Remaining in-flight
+// messages are discarded without being delivered; a handler currently
+// mid-Recv finishes but its sends are suppressed. Idempotent.
+func (s *Session) Close() {
+	s.drop()
+	s.c.mu.Lock()
+	delete(s.c.sessions, s.qid)
+	s.c.mu.Unlock()
+}
+
+// Ctx is the per-site sending API passed to handlers. All traffic stays
+// within the handler's session.
 type Ctx struct {
-	c    *Cluster
+	s    *Session
 	self int
 }
 
@@ -367,17 +484,17 @@ type Ctx struct {
 func (x *Ctx) Self() int { return x.self }
 
 // NumSites reports the number of worker sites.
-func (x *Ctx) NumSites() int { return x.c.n }
+func (x *Ctx) NumSites() int { return x.s.c.n }
 
 // Send delivers p to site `to` (use Coordinator for Sc).
-func (x *Ctx) Send(to int, p wire.Payload) { x.c.send(x.self, to, p) }
+func (x *Ctx) Send(to int, p wire.Payload) { x.s.send(x.self, to, p) }
 
 // Broadcast sends p to every worker site (coordinator use).
 func (x *Ctx) Broadcast(p wire.Payload) {
-	for i := 0; i < x.c.n; i++ {
-		x.c.send(x.self, i, p)
+	for i := 0; i < x.s.c.n; i++ {
+		x.s.send(x.self, i, p)
 	}
 }
 
 // AddRounds records algorithm-defined communication rounds.
-func (x *Ctx) AddRounds(n int64) { x.c.AddRounds(n) }
+func (x *Ctx) AddRounds(n int64) { x.s.AddRounds(n) }

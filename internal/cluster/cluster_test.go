@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -8,6 +10,9 @@ import (
 
 	"dgs/internal/wire"
 )
+
+// bg is the no-deadline context used by tests that expect quiescence.
+var bg = context.Background()
 
 // echoSite forwards each falsify message to the next site, decrementing a
 // hop budget carried in the first pair's V field.
@@ -30,17 +35,28 @@ type nopHandler struct{}
 
 func (nopHandler) Recv(*Ctx, int, wire.Payload) {}
 
+func nopSites(n int) []Handler {
+	sites := make([]Handler, n)
+	for i := range sites {
+		sites[i] = nopHandler{}
+	}
+	return sites
+}
+
 func TestRingQuiesces(t *testing.T) {
-	c := New(4)
+	c := New(4, Network{})
+	defer c.Shutdown()
 	sites := make([]Handler, 4)
 	for i := range sites {
 		sites[i] = echoSite{}
 	}
-	c.Start(sites, nopHandler{})
-	c.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 10}}})
-	c.WaitQuiesce()
-	c.Shutdown()
-	st := c.Stats()
+	s := c.NewSession(sites, nopHandler{})
+	defer s.Close()
+	s.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 10}}})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
 	// 1 injected + 10 forwarded = 11 data messages.
 	if st.DataMsgs != 11 {
 		t.Fatalf("DataMsgs = %d, want 11", st.DataMsgs)
@@ -55,7 +71,8 @@ func TestRingQuiesces(t *testing.T) {
 
 func TestBroadcastReachesAllSites(t *testing.T) {
 	var got atomic.Int64
-	c := New(8)
+	c := New(8, Network{})
+	defer c.Shutdown()
 	sites := make([]Handler, 8)
 	for i := range sites {
 		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
@@ -65,14 +82,16 @@ func TestBroadcastReachesAllSites(t *testing.T) {
 			got.Add(1)
 		})
 	}
-	c.Start(sites, nopHandler{})
-	c.Broadcast(&wire.Control{Op: 1})
-	c.WaitQuiesce()
-	c.Shutdown()
+	s := c.NewSession(sites, nopHandler{})
+	defer s.Close()
+	s.Broadcast(&wire.Control{Op: 1})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if got.Load() != 8 {
 		t.Fatalf("delivered %d, want 8", got.Load())
 	}
-	st := c.Stats()
+	st := s.Stats()
 	if st.ControlMsgs != 8 || st.DataMsgs != 0 {
 		t.Fatalf("stats: %+v", st)
 	}
@@ -84,7 +103,8 @@ func TestCoordinatorRoundTrip(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
 	n := 5
-	c := New(n)
+	c := New(n, Network{})
+	defer c.Shutdown()
 	sites := make([]Handler, n)
 	for i := range sites {
 		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
@@ -100,14 +120,16 @@ func TestCoordinatorRoundTrip(t *testing.T) {
 		seen[int(m.Frag)] = true
 		mu.Unlock()
 	})
-	c.Start(sites, coord)
-	c.Broadcast(&wire.Control{Op: 2})
-	c.WaitQuiesce()
-	c.Shutdown()
+	s := c.NewSession(sites, coord)
+	defer s.Close()
+	s.Broadcast(&wire.Control{Op: 2})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if len(seen) != n {
 		t.Fatalf("coordinator saw %d sites", len(seen))
 	}
-	st := c.Stats()
+	st := s.Stats()
 	if st.ResultMsgs != int64(n) {
 		t.Fatalf("ResultMsgs = %d", st.ResultMsgs)
 	}
@@ -117,7 +139,8 @@ func TestCoordinatorRoundTrip(t *testing.T) {
 // mailboxes must absorb it.
 func TestAllToAllBurstNoDeadlock(t *testing.T) {
 	n := 10
-	c := New(n)
+	c := New(n, Network{})
+	defer c.Shutdown()
 	sites := make([]Handler, n)
 	for i := range sites {
 		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
@@ -129,11 +152,14 @@ func TestAllToAllBurstNoDeadlock(t *testing.T) {
 			}
 		})
 	}
-	c.Start(sites, nopHandler{})
+	s := c.NewSession(sites, nopHandler{})
+	defer s.Close()
 	done := make(chan struct{})
 	go func() {
-		c.Broadcast(&wire.Falsify{Pairs: []wire.VarRef{{V: 2}}})
-		c.WaitQuiesce()
+		s.Broadcast(&wire.Falsify{Pairs: []wire.VarRef{{V: 2}}})
+		if err := s.WaitQuiesce(bg); err != nil {
+			t.Error(err)
+		}
 		close(done)
 	}()
 	select {
@@ -141,18 +167,18 @@ func TestAllToAllBurstNoDeadlock(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("deadlock: burst did not quiesce")
 	}
-	c.Shutdown()
 	// n injected, each spawns n (V=1), each of those spawns n (V=0).
 	want := int64(n + n*n + n*n*n)
-	if got := c.Stats().DataMsgs; got != want {
+	if got := s.Stats().DataMsgs; got != want {
 		t.Fatalf("DataMsgs = %d, want %d", got, want)
 	}
 }
 
 func TestMultiPhase(t *testing.T) {
-	// Phase 1 then phase 2 on the same cluster; WaitQuiesce twice.
+	// Phase 1 then phase 2 on the same session; WaitQuiesce twice.
 	var phase1, phase2 atomic.Int64
-	c := New(3)
+	c := New(3, Network{})
+	defer c.Shutdown()
 	sites := make([]Handler, 3)
 	for i := range sites {
 		sites[i] = HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
@@ -165,42 +191,51 @@ func TestMultiPhase(t *testing.T) {
 			}
 		})
 	}
-	c.Start(sites, nopHandler{})
-	c.Broadcast(&wire.Control{Op: 1})
-	c.WaitQuiesce()
+	s := c.NewSession(sites, nopHandler{})
+	defer s.Close()
+	s.Broadcast(&wire.Control{Op: 1})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if phase1.Load() != 3 || phase2.Load() != 0 {
 		t.Fatalf("after phase 1: %d %d", phase1.Load(), phase2.Load())
 	}
-	c.Broadcast(&wire.Control{Op: 2})
-	c.WaitQuiesce()
-	c.Shutdown()
+	s.Broadcast(&wire.Control{Op: 2})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if phase2.Load() != 3 {
 		t.Fatalf("phase 2 deliveries = %d", phase2.Load())
 	}
 }
 
 func TestRoundsCounter(t *testing.T) {
-	c := New(1)
-	c.Start([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+	c := New(1, Network{})
+	defer c.Shutdown()
+	s := c.NewSession([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
 		ctx.AddRounds(2)
 	})}, nopHandler{})
-	c.Inject(0, &wire.Control{})
-	c.WaitQuiesce()
-	c.Shutdown()
-	if c.Stats().Rounds != 2 {
-		t.Fatalf("Rounds = %d", c.Stats().Rounds)
+	defer s.Close()
+	s.Inject(0, &wire.Control{})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Rounds != 2 {
+		t.Fatalf("Rounds = %d", s.Stats().Rounds)
 	}
 }
 
 func TestBytesByKind(t *testing.T) {
-	c := New(2)
-	sites := []Handler{nopHandler{}, nopHandler{}}
-	c.Start(sites, nopHandler{})
-	c.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 2}}})
-	c.Inject(1, &wire.Control{})
-	c.WaitQuiesce()
-	c.Shutdown()
-	bk := c.BytesByKind()
+	c := New(2, Network{})
+	defer c.Shutdown()
+	s := c.NewSession(nopSites(2), nopHandler{})
+	defer s.Close()
+	s.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: 2}}})
+	s.Inject(1, &wire.Control{})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	bk := s.BytesByKind()
 	if bk[wire.KindFalsify] != 11 {
 		t.Fatalf("falsify bytes = %d", bk[wire.KindFalsify])
 	}
@@ -210,27 +245,183 @@ func TestBytesByKind(t *testing.T) {
 }
 
 func TestWaitQuiesceImmediateWhenQuiet(t *testing.T) {
-	c := New(1)
-	c.Start([]Handler{nopHandler{}}, nopHandler{})
+	c := New(1, Network{})
+	defer c.Shutdown()
+	s := c.NewSession(nopSites(1), nopHandler{})
+	defer s.Close()
 	done := make(chan struct{})
-	go func() { c.WaitQuiesce(); close(done) }()
+	go func() {
+		if err := s.WaitQuiesce(bg); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):
-		t.Fatal("WaitQuiesce hung on a quiet cluster")
+		t.Fatal("WaitQuiesce hung on a quiet session")
 	}
-	c.Shutdown()
 }
 
 func TestMaxSiteBusyTracked(t *testing.T) {
-	c := New(1)
-	c.Start([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+	c := New(1, Network{})
+	defer c.Shutdown()
+	s := c.NewSession([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
 		time.Sleep(5 * time.Millisecond)
 	})}, nopHandler{})
-	c.Inject(0, &wire.Control{})
-	c.WaitQuiesce()
+	defer s.Close()
+	s.Inject(0, &wire.Control{})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().MaxSiteBusy < 4*time.Millisecond {
+		t.Fatalf("MaxSiteBusy = %v", s.Stats().MaxSiteBusy)
+	}
+}
+
+// Two sessions on one cluster: traffic and stats must not bleed between
+// them, and each quiesces independently — the property Deployment.Query
+// relies on for concurrent queries.
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	n := 4
+	c := New(n, Network{})
+	defer c.Shutdown()
+
+	mkSites := func() []Handler {
+		sites := make([]Handler, n)
+		for i := range sites {
+			sites[i] = echoSite{}
+		}
+		return sites
+	}
+	var wg sync.WaitGroup
+	hops := []uint32{5, 17, 9, 13}
+	for _, h := range hops {
+		wg.Add(1)
+		go func(h uint32) {
+			defer wg.Done()
+			s := c.NewSession(mkSites(), nopHandler{})
+			defer s.Close()
+			s.Inject(0, &wire.Falsify{Pairs: []wire.VarRef{{U: 1, V: h}}})
+			if err := s.WaitQuiesce(bg); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := s.Stats().DataMsgs; got != int64(h)+1 {
+				t.Errorf("session hops=%d: DataMsgs = %d, want %d", h, got, h+1)
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+// Messages of a closed session are discarded without delivery, and new
+// sends are suppressed, so an abandoned query cannot touch a later one.
+func TestClosedSessionDropsTraffic(t *testing.T) {
+	var delivered atomic.Int64
+	c := New(1, Network{})
+	defer c.Shutdown()
+	block := make(chan struct{})
+	s := c.NewSession([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+		<-block
+		delivered.Add(1)
+	})}, nopHandler{})
+	s.Inject(0, &wire.Control{})
+	s.Inject(0, &wire.Control{})
+	// First message is (or will be) in Recv; the second is queued. Close,
+	// then unblock: the queued message must be discarded.
+	s.Close()
+	close(block)
+	if err := s.WaitQuiesce(bg); err != ErrClosed {
+		t.Fatalf("WaitQuiesce on closed session = %v, want ErrClosed", err)
+	}
+	// A fresh session on the same cluster still works.
+	s2 := c.NewSession(nopSites(1), nopHandler{})
+	defer s2.Close()
+	s2.Inject(0, &wire.Control{})
+	if err := s2.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	if got := delivered.Load(); got > 1 {
+		t.Fatalf("closed session delivered %d messages", got)
+	}
+}
+
+func TestWaitQuiesceHonorsContext(t *testing.T) {
+	c := New(1, Network{})
+	defer c.Shutdown()
+	block := make(chan struct{})
+	defer close(block)
+	s := c.NewSession([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+		<-block
+	})}, nopHandler{})
+	defer s.Close()
+	s.Inject(0, &wire.Control{})
+	ctx, cancel := context.WithTimeout(bg, 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.WaitQuiesce(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("WaitQuiesce returned after %v, not promptly", el)
+	}
+}
+
+func TestNewSessionOnShutdownCluster(t *testing.T) {
+	c := New(1, Network{})
 	c.Shutdown()
-	if c.Stats().MaxSiteBusy < 4*time.Millisecond {
-		t.Fatalf("MaxSiteBusy = %v", c.Stats().MaxSiteBusy)
+	s := c.NewSession(nopSites(1), nopHandler{})
+	s.Inject(0, &wire.Control{}) // must not panic
+	if err := s.WaitQuiesce(bg); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	c := New(2, Network{})
+	s := c.NewSession(nopSites(2), nopHandler{})
+	s.Broadcast(&wire.Control{})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	c.Shutdown()
+}
+
+// Many sessions created and torn down in sequence must not leak:
+// the registry shrinks back to empty.
+func TestSessionRegistryDrains(t *testing.T) {
+	c := New(2, Network{})
+	defer c.Shutdown()
+	for i := 0; i < 50; i++ {
+		s := c.NewSession(nopSites(2), nopHandler{})
+		s.Broadcast(&wire.Control{Op: uint8(i)})
+		if err := s.WaitQuiesce(bg); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	c.mu.RLock()
+	live := len(c.sessions)
+	c.mu.RUnlock()
+	if live != 0 {
+		t.Fatalf("%d sessions leaked in the registry", live)
+	}
+}
+
+func TestNumSitesAndNetworkAccessors(t *testing.T) {
+	net := Network{Latency: time.Millisecond}
+	c := New(3, net)
+	defer c.Shutdown()
+	if c.NumSites() != 3 {
+		t.Fatalf("NumSites = %d", c.NumSites())
+	}
+	if c.Network() != net {
+		t.Fatalf("Network = %+v", c.Network())
+	}
+	if fmt.Sprint(c.Network().Latency) != "1ms" {
+		t.Fatal("unexpected latency")
 	}
 }

@@ -35,17 +35,18 @@ func TestEC2NetworkSane(t *testing.T) {
 }
 
 func TestNetworkDelaysDelivery(t *testing.T) {
-	prev := SetDefaultNetwork(Network{Latency: 20 * time.Millisecond})
-	defer SetDefaultNetwork(prev)
-	c := New(1)
+	c := New(1, Network{Latency: 20 * time.Millisecond})
+	defer c.Shutdown()
 	done := make(chan time.Time, 1)
-	c.Start([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
+	s := c.NewSession([]Handler{HandlerFunc(func(ctx *Ctx, from int, p wire.Payload) {
 		done <- time.Now()
 	})}, nopHandler{})
+	defer s.Close()
 	start := time.Now()
-	c.Inject(0, &wire.Control{})
-	c.WaitQuiesce()
-	c.Shutdown()
+	s.Inject(0, &wire.Control{})
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if got := (<-done).Sub(start); got < 15*time.Millisecond {
 		t.Fatalf("latency not applied: delivered after %v", got)
 	}
@@ -54,25 +55,18 @@ func TestNetworkDelaysDelivery(t *testing.T) {
 func TestNetworkLatencyPipelines(t *testing.T) {
 	// 10 messages with 30ms latency must arrive in ~30ms total, not
 	// 300ms: propagation overlaps.
-	prev := SetDefaultNetwork(Network{Latency: 30 * time.Millisecond})
-	defer SetDefaultNetwork(prev)
-	c := New(1)
-	c.Start([]Handler{nopHandler{}}, nopHandler{})
+	c := New(1, Network{Latency: 30 * time.Millisecond})
+	defer c.Shutdown()
+	s := c.NewSession(nopSites(1), nopHandler{})
+	defer s.Close()
 	start := time.Now()
 	for i := 0; i < 10; i++ {
-		c.Inject(0, &wire.Control{})
+		s.Inject(0, &wire.Control{})
 	}
-	c.WaitQuiesce()
-	c.Shutdown()
+	if err := s.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
 	if el := time.Since(start); el > 150*time.Millisecond {
 		t.Fatalf("latency serialized instead of pipelined: %v", el)
-	}
-}
-
-func TestSetDefaultNetworkReturnsPrevious(t *testing.T) {
-	a := Network{Latency: time.Millisecond}
-	old := SetDefaultNetwork(a)
-	if got := SetDefaultNetwork(old); got != a {
-		t.Fatalf("previous network not returned: %+v", got)
 	}
 }

@@ -20,6 +20,7 @@
 package dagcheck
 
 import (
+	"context"
 	"time"
 
 	"dgs/internal/cluster"
@@ -159,28 +160,40 @@ func (c *checkCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
-// IsDAG runs the distributed acyclicity protocol over the fragmentation.
-func IsDAG(fr *partition.Fragmentation) (bool, cluster.Stats) {
+// Eval runs the distributed acyclicity protocol as a session on a live
+// cluster whose sites hold the fragmentation.
+func Eval(ctx context.Context, c *cluster.Cluster, fr *partition.Fragmentation) (bool, cluster.Stats, error) {
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := range sites {
 		sites[i] = &checkSite{frag: fr.Frags[i]}
 	}
 	coord := &checkCoord{}
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 	start := time.Now()
-	c.Broadcast(&wire.Control{Op: opCheck})
-	c.WaitQuiesce()
-	wall := time.Since(start)
-	c.Shutdown()
-	stats := c.Stats()
-	stats.Wall = wall
+	sess.Broadcast(&wire.Control{Op: opCheck})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return false, cluster.Stats{}, err
+	}
+	stats := sess.Stats()
+	stats.Wall = time.Since(start)
 	stats.Rounds = 1
 	if coord.cyclic {
-		return false, stats
+		return false, stats, nil
 	}
-	return boundaryAcyclic(coord.pairs), stats
+	return boundaryAcyclic(coord.pairs), stats, nil
+}
+
+// IsDAG runs the protocol on a throwaway single-query cluster.
+func IsDAG(fr *partition.Fragmentation) (bool, cluster.Stats) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	ok, st, err := Eval(context.Background(), c, fr)
+	if err != nil {
+		panic(err) // background context, private cluster: unreachable
+	}
+	return ok, st
 }
 
 // boundaryAcyclic checks the condensed boundary graph with Kahn's

@@ -17,6 +17,7 @@
 package dagsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -214,18 +215,22 @@ func (s *dagSite) advance(ctx *cluster.Ctx) {
 	}
 }
 
-// Run evaluates Q over the fragmentation with dGPMd. Preconditions
-// (Theorem 3): either Q is a DAG, or G is a DAG. gIsDAG asserts the
-// latter; when Q is cyclic and gIsDAG holds, the answer is ∅ with no
-// distributed evaluation ("when Q is cyclic, G does not match Q"). When
-// Q is cyclic and gIsDAG is not asserted, the partition-bounded
-// distributed acyclicity protocol (internal/dagcheck) decides G's case.
-func Run(q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
+// Eval evaluates Q over the fragmentation resident on cluster c with
+// dGPMd, as one session. Preconditions (Theorem 3): either Q is a DAG,
+// or G is a DAG. gIsDAG asserts the latter; when Q is cyclic and gIsDAG
+// holds, the answer is ∅ with no distributed evaluation ("when Q is
+// cyclic, G does not match Q"). When Q is cyclic and gIsDAG is not
+// asserted, the partition-bounded distributed acyclicity protocol
+// (internal/dagcheck) decides G's case on the same cluster.
+func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
 	ri, qIsDAG := newRankInfo(q)
 	if !qIsDAG {
 		var checkStats cluster.Stats
 		if !gIsDAG {
-			ok, st := dagcheck.IsDAG(fr)
+			ok, st, err := dagcheck.Eval(ctx, c, fr)
+			if err != nil {
+				return nil, cluster.Stats{}, err
+			}
 			checkStats = st
 			if !ok {
 				return nil, cluster.Stats{}, fmt.Errorf("dagsim: dGPMd requires a DAG pattern or a DAG data graph")
@@ -237,23 +242,32 @@ func Run(q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulat
 	}
 
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := 0; i < n; i++ {
 		sites[i] = newDagSite(q, fr.Frags[i], ri)
 	}
 	coord := &collector{nq: q.NumNodes()}
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 	start := time.Now()
-	c.Broadcast(&wire.Control{Op: dgpm.OpStart})
-	c.WaitQuiesce()
-	c.Broadcast(&wire.Control{Op: dgpm.OpReport})
-	c.WaitQuiesce()
-	wall := time.Since(start)
-	c.Shutdown()
-	stats := c.Stats()
-	stats.Wall = wall
+	sess.Broadcast(&wire.Control{Op: dgpm.OpStart})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	sess.Broadcast(&wire.Control{Op: dgpm.OpReport})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	stats := sess.Stats()
+	stats.Wall = time.Since(start)
 	return coord.assemble(), stats, nil
+}
+
+// Run evaluates one query on a throwaway single-query cluster.
+func Run(q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	return Eval(context.Background(), c, q, fr, gIsDAG)
 }
 
 type collector struct {

@@ -1,11 +1,17 @@
 package dgpm
 
 // The dGPM driver: wires one site handler per fragment plus a collecting
-// coordinator onto the cluster runtime and runs the three phases of
+// coordinator onto a cluster session and runs the three phases of
 // Fig. 3 — (1) partial evaluation, (2) asynchronous message passing to
 // the fixpoint, (3) assembly of Q(G) at the coordinator Sc.
+//
+// The handlers install onto a live, persistent cluster (Eval): the same
+// substrate serves many queries, each as its own session with isolated
+// stats. Run remains as a convenience that evaluates one query on a
+// throwaway cluster.
 
 import (
+	"context"
 	"time"
 
 	"dgs/internal/cluster"
@@ -41,32 +47,49 @@ func (c *collector) assemble() *simulation.Match {
 	return m.Canonical()
 }
 
-// Run evaluates the data-selecting pattern query Q over the fragmentation
-// with the configured dGPM variant and returns the maximum match plus the
-// run's network statistics.
-func Run(q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats) {
+// Eval evaluates the data-selecting pattern query Q over the
+// fragmentation resident on cluster c, with the configured dGPM variant.
+// It registers fresh per-query handlers as a session, runs the protocol
+// to completion (or ctx cancellation), and returns the maximum match
+// plus the session's isolated network statistics. The cluster stays up;
+// concurrent Eval calls on the same cluster are safe.
+func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats, error) {
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]cluster.Handler, n)
 	for i := 0; i < n; i++ {
 		sites[i] = newSite(q, fr.Frags[i], fr.Assign, cfg)
 	}
 	coord := &collector{nq: q.NumNodes()}
-	c.Start(sites, coord)
+	sess := c.NewSession(sites, coord)
+	defer sess.Close()
 
 	start := time.Now()
 	// Phase 1+2: partial evaluation and message passing to the fixpoint.
-	c.Broadcast(&wire.Control{Op: OpStart})
-	c.WaitQuiesce()
+	sess.Broadcast(&wire.Control{Op: OpStart})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	// Phase 3: assemble Q(G) at the coordinator.
-	c.Broadcast(&wire.Control{Op: OpReport})
-	c.WaitQuiesce()
-	wall := time.Since(start)
-	c.Shutdown()
+	sess.Broadcast(&wire.Control{Op: OpReport})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	stats := sess.Stats()
+	stats.Wall = time.Since(start)
+	return coord.assemble(), stats, nil
+}
 
-	stats := c.Stats()
-	stats.Wall = wall
-	return coord.assemble(), stats
+// Run evaluates one query on a throwaway single-query cluster with a
+// free network — the fragment-once/serve-many path is Eval.
+func Run(q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	m, st, err := Eval(context.Background(), c, q, fr, cfg)
+	if err != nil {
+		// Background context and a private cluster: unreachable.
+		panic(err)
+	}
+	return m, st
 }
 
 // RunBoolean evaluates Q as a Boolean pattern: true iff G matches Q.

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node of a data graph. IDs are dense: a graph with n
@@ -77,7 +78,8 @@ type Graph struct {
 	// Forward CSR: out-neighbors of v are succ[succOff[v]:succOff[v+1]].
 	succOff []uint64
 	succ    []NodeID
-	// Reverse CSR, built lazily by Reverse(): in-neighbors of v.
+	// Reverse CSR, built lazily by EnsureReverse: in-neighbors of v.
+	revOnce sync.Once
 	predOff []uint64
 	pred    []NodeID
 
@@ -124,12 +126,15 @@ func (g *Graph) HasEdge(v, w NodeID) bool {
 	return i < len(s) && s[i] == w
 }
 
-// EnsureReverse materializes the reverse CSR if not yet present.
-// It is not safe for concurrent first use; call it once before sharing.
+// EnsureReverse materializes the reverse CSR if not yet present. Safe
+// for concurrent use: a graph shared by concurrent queries builds its
+// reverse adjacency exactly once, and every caller returns with the
+// build complete.
 func (g *Graph) EnsureReverse() {
-	if g.predOff != nil {
-		return
-	}
+	g.revOnce.Do(g.buildReverse)
+}
+
+func (g *Graph) buildReverse() {
 	n := g.NumNodes()
 	deg := make([]uint64, n+1)
 	for _, w := range g.succ {

@@ -60,8 +60,18 @@ func (inc *Incremental) DeleteEdge(v, w graph.NodeID) error {
 	inc.deleted[k] = true
 	st := inc.st
 	// v loses the witness w for every query edge whose child w matches.
+	// Snapshot w's liveness first: a kill fired by an earlier iteration
+	// may falsify (u',w) mid-loop (w can even be v itself, via a
+	// self-loop), and the propagation skips the now-deleted edge — so
+	// deciding from the live array would lose this edge's decrement for
+	// the remaining query edges, leaving their counters permanently
+	// inflated.
+	wasAlive := make([]bool, len(st.qedges))
 	for e, qe := range st.qedges {
-		if !st.alive[qe.child][w] {
+		wasAlive[e] = st.alive[qe.child][w]
+	}
+	for e, qe := range st.qedges {
+		if !wasAlive[e] {
 			continue
 		}
 		st.cnt[e][v]--

@@ -23,6 +23,7 @@
 package treesim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -203,10 +204,11 @@ func (c *treeCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
-// Run evaluates Q over a tree fragmentation with dGPMt. Preconditions
-// (Corollary 4): G is a tree (or forest) and every fragment is connected,
-// i.e. has at most one in-node. Violations are reported as errors.
-func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+// Eval evaluates Q over a tree fragmentation resident on cluster c with
+// dGPMt, as one session. Preconditions (Corollary 4): G is a tree (or
+// forest) and every fragment is connected, i.e. has at most one in-node.
+// Violations are reported as errors before any distributed work.
+func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
 	if _, ok := graph.IsTree(fr.G); !ok {
 		return nil, cluster.Stats{}, fmt.Errorf("treesim: dGPMt requires a tree (or forest) data graph")
 	}
@@ -217,7 +219,6 @@ func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cl
 	}
 
 	n := fr.NumFragments()
-	c := cluster.New(n)
 	sites := make([]*treeSite, n)
 	handlers := make([]cluster.Handler, n)
 	for i := 0; i < n; i++ {
@@ -225,13 +226,16 @@ func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cl
 		handlers[i] = sites[i]
 	}
 	coord := &treeCoord{n: n, nq: q.NumNodes()}
-	c.Start(handlers, coord)
+	sess := c.NewSession(handlers, coord)
+	defer sess.Close()
 
 	start := time.Now()
 	// Round 1: partial evaluation, equations to the coordinator.
-	c.Broadcast(&wire.Control{Op: dgpm.OpStart})
-	c.WaitQuiesce()
-	c.AddRounds(1)
+	sess.Broadcast(&wire.Control{Op: dgpm.OpStart})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	sess.AddRounds(1)
 
 	// Solve the unified system at Sc.
 	sv := newSolver()
@@ -245,23 +249,33 @@ func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cl
 	// only falsified values need shipping.
 	for i := 0; i < n; i++ {
 		falsev := sv.falseFor(fr.Frags[i].Virtual, q.NumNodes())
-		c.Inject(i, &wire.Values{False: falsev})
+		sess.Inject(i, &wire.Values{False: falsev})
 	}
-	c.WaitQuiesce()
-	c.AddRounds(1)
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
+	sess.AddRounds(1)
 
 	// Assembly.
-	c.Broadcast(&wire.Control{Op: dgpm.OpReport})
-	c.WaitQuiesce()
+	sess.Broadcast(&wire.Control{Op: dgpm.OpReport})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	wall := time.Since(start)
-	c.Shutdown()
 
 	m := simulation.NewMatch(q.NumNodes())
 	for _, r := range coord.pairs {
 		m.Sets[r.U] = append(m.Sets[r.U], graph.NodeID(r.V))
 	}
 	m.Sort()
-	stats := c.Stats()
+	stats := sess.Stats()
 	stats.Wall = wall
 	return m.Canonical(), stats, nil
+}
+
+// Run evaluates one query on a throwaway single-query cluster.
+func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	defer c.Shutdown()
+	return Eval(context.Background(), c, q, fr)
 }

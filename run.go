@@ -1,14 +1,10 @@
 package dgs
 
 import (
+	"context"
 	"time"
 
-	"dgs/internal/baseline"
 	"dgs/internal/cluster"
-	"dgs/internal/dagsim"
-	"dgs/internal/dgpm"
-	"dgs/internal/simulation"
-	"dgs/internal/treesim"
 )
 
 // Algorithm selects a distributed evaluation strategy.
@@ -59,9 +55,10 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Stats reports one run's cost metrics: PT (wall-clock response time) and
-// DS (exact encoded bytes of protocol data shipped between sites), the
-// two axes of every figure in §6, plus supporting detail.
+// Stats reports one query's cost metrics: PT (wall-clock response time)
+// and DS (exact encoded bytes of protocol data shipped between sites),
+// the two axes of every figure in §6, plus supporting detail. Concurrent
+// queries on one Deployment each get their own isolated Stats.
 type Stats struct {
 	// Wall is the response time (PT): from posting Q to assembled Q(G).
 	Wall time.Duration
@@ -100,9 +97,12 @@ type Result struct {
 	Stats Stats
 }
 
-// Options tune a Run.
+// Options is the legacy positional configuration of Run. New code should
+// use Deploy/Query with functional options instead.
 type Options struct {
 	// PushTheta overrides the push benefit threshold θ (default 0.2).
+	// The zero value means "unset" — this struct cannot express an
+	// explicit θ=0; use WithPushTheta(0) on Deployment.Query for that.
 	// Only meaningful for AlgoDGPM.
 	PushTheta float64
 	// DisablePush turns the push operation off while keeping incremental
@@ -113,45 +113,44 @@ type Options struct {
 	GraphIsDAG bool
 }
 
+// queryOptions translates the legacy struct into functional options,
+// preserving its documented sentinel: PushTheta==0 means unset.
+func (o Options) queryOptions(algo Algorithm) []QueryOption {
+	qopts := []QueryOption{WithAlgorithm(algo)}
+	if o.PushTheta != 0 {
+		qopts = append(qopts, WithPushTheta(o.PushTheta))
+	}
+	if o.DisablePush {
+		qopts = append(qopts, WithPushDisabled())
+	}
+	if o.GraphIsDAG {
+		qopts = append(qopts, WithGraphIsDAG())
+	}
+	return qopts
+}
+
 // Run evaluates the data-selecting pattern query q over the fragmentation
-// with the chosen algorithm.
+// with the chosen algorithm. It is a compatibility wrapper that deploys a
+// throwaway substrate (free network), answers the one query, and tears
+// the substrate down; a query stream should Deploy once and use
+// Deployment.Query.
 func Run(algo Algorithm, q *Pattern, part *Partition, opts ...Options) (*Result, error) {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	var m *simulation.Match
-	var st cluster.Stats
-	var err error
-	switch algo {
-	case AlgoDGPM:
-		cfg := dgpm.DefaultConfig()
-		if o.PushTheta != 0 {
-			cfg.Theta = o.PushTheta
-		}
-		if o.DisablePush {
-			cfg.Push = false
-		}
-		m, st = dgpm.Run(q.p, part.fr, cfg)
-	case AlgoDGPMNoOpt:
-		m, st = dgpm.Run(q.p, part.fr, dgpm.NOptConfig())
-	case AlgoDGPMd:
-		m, st, err = dagsim.Run(q.p, part.fr, o.GraphIsDAG)
-	case AlgoDGPMt:
-		m, st, err = treesim.Run(q.p, part.fr)
-	case AlgoMatch:
-		m, st = baseline.RunMatch(q.p, part.fr)
-	case AlgoDisHHK:
-		m, st = baseline.RunDisHHK(q.p, part.fr)
-	case AlgoDMes:
-		m, st = baseline.RunDMes(q.p, part.fr)
-	default:
-		return nil, errorf("unknown algorithm %d", algo)
+	if q == nil {
+		return nil, errorf("run: nil pattern")
 	}
+	if part == nil {
+		return nil, errorf("run: nil partition")
+	}
+	dep, err := Deploy(part)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Match: &Match{m: m}, Stats: fromCluster(st)}, nil
+	defer dep.Close()
+	return dep.Query(context.Background(), q, o.queryOptions(algo)...)
 }
 
 // RunBoolean evaluates q as a Boolean pattern query: true iff G matches Q.
@@ -161,18 +160,4 @@ func RunBoolean(algo Algorithm, q *Pattern, part *Partition, opts ...Options) (b
 		return false, Stats{}, err
 	}
 	return res.Match.Ok(), res.Stats, nil
-}
-
-// SetEC2Network toggles the EC2-like link cost model for subsequently
-// created runs: ~0.3 ms propagation latency, ~0.5 Gbit/s per-site receive
-// bandwidth, and a per-message receive overhead. With the model on,
-// response times charge for shipped bytes the way the paper's cluster
-// does; with it off (the default) the network is free — right for tests.
-// Not safe to toggle concurrently with Run.
-func SetEC2Network(on bool) {
-	if on {
-		cluster.SetDefaultNetwork(cluster.EC2Network())
-	} else {
-		cluster.SetDefaultNetwork(cluster.Network{})
-	}
 }
