@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: tier1 vet build test race bench examples clean
+.PHONY: tier1 vet build test race bench fuzz examples clean
 
 # tier1 is the gate every change must pass: static checks, full build,
 # and the test suite under the race detector (the Deployment API serves
@@ -21,6 +22,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# fuzz runs each native fuzz target for FUZZTIME (go test -fuzz accepts
+# one target per invocation). CI uses this as a smoke pass; let it run
+# longer locally with FUZZTIME=5m.
+fuzz:
+	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDecode$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDeltaRoundTrip$$ -fuzztime=$(FUZZTIME)
 
 examples:
 	$(GO) run ./examples/quickstart

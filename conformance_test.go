@@ -1,0 +1,168 @@
+package dgs
+
+// Cross-algorithm conformance matrix: every distributed algorithm must
+// produce exactly the centralized Simulate relation on every workload ×
+// partition-strategy combination its preconditions admit. The paper
+// proves all seven compute the same unique maximum simulation; this
+// matrix is the executable form of that claim, and the safety net under
+// partition-strategy and runtime changes.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+type confWorkload struct {
+	name string
+	dict *Dict
+	g    *Graph
+	// queries paired with whether each is a DAG pattern (dGPMd's easy
+	// precondition) and the graph's own shape.
+	queries []confQuery
+	gIsDAG  bool
+	gIsTree bool
+}
+
+type confQuery struct {
+	name string
+	q    *Pattern
+}
+
+func confWorkloads(t *testing.T) []confWorkload {
+	t.Helper()
+	var out []confWorkload
+	{
+		dict := NewDict()
+		g := GenSynthetic(dict, 500, 1500, 21)
+		dq, err := GenDAGPattern(dict, 5, 7, 3, 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, confWorkload{
+			name: "cyclic", dict: dict, g: g,
+			queries: []confQuery{
+				{"cyclicQ", GenCyclicPatternOver(dict, 4, 6, 4, 23)},
+				{"dagQ", dq},
+			},
+		})
+	}
+	{
+		dict := NewDict()
+		g := GenCitation(dict, 500, 1100, 24)
+		if !g.IsDAG() {
+			t.Fatal("citation generator must produce a DAG")
+		}
+		dq, err := GenDAGPattern(dict, 5, 7, 3, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, confWorkload{
+			name: "dag", dict: dict, g: g, gIsDAG: true,
+			queries: []confQuery{
+				{"dagQ", dq},
+				{"cyclicQ", GenCyclicPatternOver(dict, 4, 6, 4, 26)},
+			},
+		})
+	}
+	{
+		dict := NewDict()
+		g := GenTree(dict, 500, 27)
+		if !g.IsTree() {
+			t.Fatal("tree generator must produce a tree")
+		}
+		out = append(out, confWorkload{
+			name: "tree", dict: dict, g: g, gIsDAG: true, gIsTree: true,
+			queries: []confQuery{
+				{"treeQ", GenTreePattern(dict, 4, 28)},
+				{"cyclicQ", GenCyclicPatternOver(dict, 3, 5, 15, 29)},
+			},
+		})
+	}
+	return out
+}
+
+func confPartitions(t *testing.T, wl confWorkload) map[string]*Partition {
+	t.Helper()
+	g := wl.g
+	out := make(map[string]*Partition)
+	var err error
+	if out["Random"], err = PartitionRandom(g, 6, 31); err != nil {
+		t.Fatal(err)
+	}
+	if out["Blocks"], err = PartitionBlocks(g, 6); err != nil {
+		t.Fatal(err)
+	}
+	if out["TargetRatio"], err = PartitionTargetRatio(g, 6, ByVf, 0.3, 31); err != nil {
+		t.Fatal(err)
+	}
+	if wl.gIsTree {
+		// dGPMt's Corollary-4 precondition: fragments must be connected
+		// subtrees; only this strategy guarantees it.
+		if out["ConnectedTree"], err = PartitionTree(g, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+var confAlgos = []Algorithm{
+	AlgoDGPM, AlgoDGPMNoOpt, AlgoDGPMd, AlgoDGPMt, AlgoMatch, AlgoDisHHK, AlgoDMes,
+}
+
+// TestConformanceMatrix — all seven algorithms × {cyclic, DAG, tree}
+// workloads × {Random, Blocks, TargetRatio} partitions agree with
+// centralized Simulate. Combinations outside an algorithm's
+// preconditions (dGPMd needs a DAG pattern or DAG graph; dGPMt needs a
+// tree graph) are skipped explicitly.
+func TestConformanceMatrix(t *testing.T) {
+	ctx := context.Background()
+	covered := make(map[Algorithm]bool)
+	for _, wl := range confWorkloads(t) {
+		for pname, part := range confPartitions(t, wl) {
+			dep, err := Deploy(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cq := range wl.queries {
+				oracle := Simulate(cq.q, wl.g)
+				for _, algo := range confAlgos {
+					name := fmt.Sprintf("%s/%s/%s/%s", wl.name, pname, cq.name, algo)
+					t.Run(name, func(t *testing.T) {
+						var opts []QueryOption
+						switch algo {
+						case AlgoDGPMd:
+							if !cq.q.IsDAG() && !wl.gIsDAG {
+								t.Skip("dGPMd needs a DAG pattern or a DAG graph")
+							}
+							if wl.gIsDAG {
+								opts = append(opts, WithGraphIsDAG())
+							}
+						case AlgoDGPMt:
+							if !wl.gIsTree {
+								t.Skip("dGPMt needs a tree data graph")
+							}
+							if pname != "ConnectedTree" {
+								t.Skip("dGPMt needs connected-subtree fragments (Corollary 4)")
+							}
+						}
+						res, err := dep.Query(ctx, cq.q, append(opts, WithAlgorithm(algo))...)
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						if !res.Match.Equal(oracle) {
+							t.Fatalf("%s: diverges from Simulate\noracle %v\ngot    %v", name, oracle, res.Match)
+						}
+						covered[algo] = true
+					})
+				}
+			}
+			dep.Close()
+		}
+	}
+	for _, algo := range confAlgos {
+		if !covered[algo] {
+			t.Fatalf("algorithm %s was never exercised by the matrix", algo)
+		}
+	}
+}

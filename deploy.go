@@ -127,6 +127,15 @@ type Deployment struct {
 	c        *cluster.Cluster
 	defaults queryConfig
 
+	// state guards the resident graph: queries (and standing-query
+	// evaluations) share it, Apply takes it exclusively. In-flight
+	// queries therefore see the graph as of their start; queries issued
+	// after Apply returns see the updated graph.
+	state sync.RWMutex
+
+	watchMu  sync.Mutex
+	watchers map[*Maintained]struct{}
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -146,6 +155,7 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 		part:     part,
 		c:        cluster.New(part.NumFragments(), dc.net),
 		defaults: dc.defaults,
+		watchers: make(map[*Maintained]struct{}),
 	}, nil
 }
 
@@ -182,6 +192,10 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Share the resident graph state with other queries; Apply batches
+	// wait for in-flight queries and vice versa.
+	d.state.RLock()
+	defer d.state.RUnlock()
 
 	var m *simulation.Match
 	var st cluster.Stats
@@ -224,8 +238,9 @@ func (d *Deployment) QueryBoolean(ctx context.Context, q *Pattern, opts ...Query
 }
 
 // Close shuts the substrate down: in-flight queries are aborted (their
-// Query calls return an error) and the site goroutines exit. Idempotent;
-// queries after Close fail.
+// Query calls return an error), standing-query sessions are dropped
+// (their Maintained handles keep serving the last relation), and the
+// site goroutines exit. Idempotent; queries after Close fail.
 func (d *Deployment) Close() error {
 	d.mu.Lock()
 	if d.closed {

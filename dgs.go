@@ -17,9 +17,17 @@
 // stream of queries: Deploy makes the fragments resident on a running
 // substrate, Deployment.Query evaluates patterns against it — many at a
 // time, with per-query algorithm selection, context cancellation and
-// isolated statistics — and Close tears it down. See DESIGN.md for the
-// deployment lifecycle, the session-multiplexing runtime, and the
-// evaluation methodology (cmd/benchfig regenerates the paper's figures).
+// isolated statistics — and Close tears it down.
+//
+// Deployments are mutable: Deployment.Apply routes a batch of edge
+// deletions/insertions to the owning sites, which update their resident
+// fragments in place (queries always see the current graph), and
+// Deployment.Watch registers a standing query whose match relation is
+// maintained incrementally under deletions — O(|AFF|) falsification
+// propagation after [13] — with re-evaluation as the insertion
+// fallback. See DESIGN.md for the deployment and update lifecycles, the
+// session-multiplexing runtime, and the evaluation methodology
+// (cmd/benchfig regenerates the paper's figures).
 //
 // Quick start:
 //
@@ -196,6 +204,18 @@ func (p *Partition) EfRatio() float64 { return p.fr.EfRatio() }
 
 // MaxFragmentSize reports |Fm|, the size of the largest fragment.
 func (p *Partition) MaxFragmentSize() int { return p.fr.MaxFragmentSize() }
+
+// CurrentGraph returns the graph as of all updates applied through a
+// deployment of this partition — the graph originally fragmented when
+// none have been. The result is an immutable snapshot (cached until the
+// next update), suitable as the oracle input to Simulate or for
+// re-fragmenting.
+func (p *Partition) CurrentGraph() *Graph { return &Graph{g: p.fr.CurrentGraph()} }
+
+// Assignment returns a copy of the node→fragment assignment vector.
+func (p *Partition) Assignment() []int32 {
+	return append([]int32(nil), p.fr.Assign...)
+}
 
 // String summarizes the partition.
 func (p *Partition) String() string { return p.fr.String() }

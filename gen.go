@@ -77,6 +77,19 @@ func GenTreePattern(dict *Dict, nv int, seed int64) *Pattern {
 	return &Pattern{p: workload.TreePattern(dict, nv, workload.Labels(15), seed)}
 }
 
+// GenUpdateStream draws a random update stream over g: nDel deletions of
+// distinct existing edges and nIns insertions of absent pairs, shuffled
+// into one sequence for Deployment.Apply.
+func GenUpdateStream(g *Graph, nDel, nIns int, seed int64) []EdgeOp {
+	return workload.UpdateStream(g.g, nDel, nIns, seed)
+}
+
+// BatchOps splits an update stream into consecutive batches of the given
+// size.
+func BatchOps(ops []EdgeOp, size int) [][]EdgeOp {
+	return workload.Batches(ops, size)
+}
+
 // WrapGraph adopts an internal graph (used by cmd tools that load DGSG1
 // files through the facade).
 func wrapGraph(g *graph.Graph) *Graph { return &Graph{g: g} }

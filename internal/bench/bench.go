@@ -128,11 +128,13 @@ var groups = map[string]struct {
 	"exp2-Vf": {[]string{"6k", "6l"}, exp2VaryVf},
 	"exp3-F":  {[]string{"6m", "6n"}, exp3VaryF},
 	"exp3-G":  {[]string{"6o", "6p"}, exp3VaryG},
+	"updates": {[]string{"upd-pt", "upd-ds"}, updatesExp},
 }
 
-// Figures lists every reproducible figure ID in order.
+// Figures lists every reproducible figure ID in order: the paper's 16
+// panels plus the updates experiment's PT/DS pair.
 func Figures() []string {
-	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p"}
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds"}
 }
 
 // Groups lists the experiment groups.

@@ -10,8 +10,8 @@ func tiny() Config { return Config{Scale: 0.05, Queries: 1, Seed: 3, NoNetwork: 
 
 func TestFiguresComplete(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 16 {
-		t.Fatalf("want 16 panels, got %d", len(ids))
+	if len(ids) != 18 { // the paper's 16 panels + upd-pt/upd-ds
+		t.Fatalf("want 18 panels, got %d", len(ids))
 	}
 	covered := map[string]bool{}
 	for _, g := range groups {
@@ -24,8 +24,8 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %s has no experiment group", id)
 		}
 	}
-	if len(Groups()) != 9 { // 8 figure groups + ablation
-		t.Fatalf("want 9 groups, got %d", len(Groups()))
+	if len(Groups()) != 10 { // 8 figure groups + ablation + updates
+		t.Fatalf("want 10 groups, got %d", len(Groups()))
 	}
 }
 
@@ -168,5 +168,37 @@ func TestAblationGroup(t *testing.T) {
 	}
 	if nopt <= full {
 		t.Logf("note: NOpt (%f ms) not slower than dGPM (%f ms) at tiny scale", nopt, full)
+	}
+}
+
+func TestUpdatesGroupShape(t *testing.T) {
+	figs, err := RunGroup("updates", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "upd-pt" || figs[1].ID != "upd-ds" {
+		t.Fatalf("updates figures: %v", figs)
+	}
+	ds := figs[1]
+	if len(ds.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(ds.Series))
+	}
+	var inc, rec float64
+	for _, s := range ds.Series {
+		total := 0.0
+		for _, p := range s.Points {
+			total += p.DSkb
+		}
+		switch s.Name {
+		case "dGPM-inc":
+			inc = total
+		case "recompute":
+			rec = total
+		}
+	}
+	// The headline claim: maintaining the standing query ships less than
+	// re-answering it from scratch, summed over the whole stream.
+	if inc >= rec {
+		t.Fatalf("incremental DS %.2fKB not below recompute DS %.2fKB", inc, rec)
 	}
 }

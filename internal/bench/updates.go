@@ -1,0 +1,70 @@
+package bench
+
+// The updates experiment (beyond the paper's Fig. 6, following its §7
+// incremental-maintenance direction and [13]): a deployed synthetic
+// world absorbs a 1% edge-deletion stream in batches while a standing
+// query is maintained incrementally. Per batch, the incremental arm's
+// PT/DS (the Watch refinement: falsification propagation in O(|AFF|))
+// is compared against re-running the same query from scratch on the
+// mutated deployment. The claim reproduced: incremental maintenance
+// ships less and responds faster than recomputation, increasingly so as
+// the per-batch affected area shrinks relative to |G|.
+
+import (
+	"context"
+	"fmt"
+
+	"dgs"
+)
+
+// updatesExp produces the "upd-pt"/"upd-ds" panels: PT and DS per
+// deletion batch for {incremental, recompute}.
+func updatesExp(cfg Config) ([]*Figure, error) {
+	ctx := context.Background()
+	dict := dgs.NewDict()
+	g := dgs.GenSynthetic(dict, cfg.scaled(synNV/2), cfg.scaled(synNE/2), cfg.Seed)
+	part, err := dgs.PartitionTargetRatio(g, 8, dgs.ByVf, 0.25, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := dgs.Deploy(part, dgs.WithNetwork(cfg.network()))
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	q := dgs.GenCyclicPatternOver(dict, 5, 10, 4, cfg.Seed+100)
+	w, err := dep.Watch(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	nDel := g.NumEdges() / 100 // the 1% stream
+	if nDel < 5 {
+		nDel = 5
+	}
+	batches := dgs.BatchOps(dgs.GenUpdateStream(part.CurrentGraph(), nDel, 0, cfg.Seed+5), nDel/5+1)
+
+	inc := Series{Name: "dGPM-inc"}
+	rec := Series{Name: "recompute"}
+	for bi, batch := range batches {
+		if _, err := dep.Apply(ctx, batch); err != nil {
+			return nil, err
+		}
+		x := fmt.Sprint(bi + 1)
+		var m measurement
+		m.add(w.LastStats())
+		inc.Points = append(inc.Points, m.point(x))
+		res, err := dep.Query(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		var mr measurement
+		mr.add(res.Stats)
+		rec.Points = append(rec.Points, mr.point(x))
+		if !res.Match.Equal(w.Current()) {
+			return nil, fmt.Errorf("updates: incremental relation diverged from recompute at batch %d", bi)
+		}
+	}
+	pt := &Figure{ID: "upd-pt", Title: "incremental maintenance vs recompute, 1% deletion stream", XLabel: "batch", YLabel: "PT (ms)", Series: []Series{inc, rec}}
+	ds := &Figure{ID: "upd-ds", Title: "incremental maintenance vs recompute, 1% deletion stream", XLabel: "batch", YLabel: "DS (KB)", Series: []Series{inc, rec}}
+	return []*Figure{pt, ds}, nil
+}

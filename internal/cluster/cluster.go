@@ -104,6 +104,24 @@ type Stats struct {
 // TotalMsgs reports all messages exchanged.
 func (s *Stats) TotalMsgs() int64 { return s.DataMsgs + s.ControlMsgs + s.ResultMsgs }
 
+// Minus returns the counter-wise difference s - o: the traffic of one
+// window of a long-lived session (snapshot before, snapshot after,
+// subtract). Wall and MaxSiteBusy are copied from s, not subtracted —
+// the caller times its own window.
+func (s Stats) Minus(o Stats) Stats {
+	return Stats{
+		DataBytes:    s.DataBytes - o.DataBytes,
+		ControlBytes: s.ControlBytes - o.ControlBytes,
+		ResultBytes:  s.ResultBytes - o.ResultBytes,
+		DataMsgs:     s.DataMsgs - o.DataMsgs,
+		ControlMsgs:  s.ControlMsgs - o.ControlMsgs,
+		ResultMsgs:   s.ResultMsgs - o.ResultMsgs,
+		Rounds:       s.Rounds - o.Rounds,
+		Wall:         s.Wall,
+		MaxSiteBusy:  s.MaxSiteBusy,
+	}
+}
+
 func (s *Stats) String() string {
 	return fmt.Sprintf("Stats(data=%dB/%dmsg, ctrl=%dB, result=%dB, rounds=%d, wall=%v)",
 		s.DataBytes, s.DataMsgs, s.ControlBytes, s.ResultBytes, s.Rounds, s.Wall)
@@ -202,20 +220,64 @@ func New(n int, net Network) *Cluster {
 // NumSites reports the number of worker sites (excluding the coordinator).
 func (c *Cluster) NumSites() int { return c.n }
 
+// ActiveSessions counts the registered sessions of the given kind —
+// introspection for tests and operators (e.g. how many standing queries
+// a deployment maintains alongside its query traffic).
+func (c *Cluster) ActiveSessions(kind SessionKind) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, s := range c.sessions {
+		if s.kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
 // Network reports the cluster's link model.
 func (c *Cluster) Network() Network { return c.net }
 
-// NewSession registers one handler per site plus the coordinator handler
-// under a fresh query ID and returns the session. Handlers are installed
-// before the session's first message can be sent, so no delivery races
-// registration. On a shut-down cluster the returned session is already
-// closed: sends are dropped and WaitQuiesce reports ErrClosed.
+// SessionKind labels what a session multiplexed on the cluster is for.
+// Query sessions are one-shot protocol runs; maintenance sessions are
+// long-lived — standing-query refinement and fragment-update
+// distribution reuse one session across many quiesce windows.
+type SessionKind uint8
+
+const (
+	// SessionQuery is a one-query protocol session (the default).
+	SessionQuery SessionKind = iota
+	// SessionMaintenance is a long-lived update/standing-query session.
+	SessionMaintenance
+)
+
+func (k SessionKind) String() string {
+	if k == SessionMaintenance {
+		return "maintenance"
+	}
+	return "query"
+}
+
+// NewSession registers a query-kind session; see NewSessionKind.
 func (c *Cluster) NewSession(sites []Handler, coord Handler) *Session {
+	return c.NewSessionKind(SessionQuery, sites, coord)
+}
+
+// NewSessionKind registers one handler per site plus the coordinator
+// handler under a fresh query ID and returns the session. Handlers are
+// installed before the session's first message can be sent, so no
+// delivery races registration. Sessions of different kinds multiplex
+// over the same site goroutines; the kind is introspection metadata
+// (ActiveSessions) plus documentation of the session's lifetime. On a
+// shut-down cluster the returned session is already closed: sends are
+// dropped and WaitQuiesce reports ErrClosed.
+func (c *Cluster) NewSessionKind(kind SessionKind, sites []Handler, coord Handler) *Session {
 	if len(sites) != c.n {
 		panic(fmt.Sprintf("cluster: %d handlers for %d sites", len(sites), c.n))
 	}
 	s := &Session{
 		c:        c,
+		kind:     kind,
 		handlers: append(append([]Handler(nil), sites...), coord),
 		quiesce:  make(chan struct{}, 1),
 		abort:    make(chan struct{}),
@@ -323,6 +385,7 @@ func (c *Cluster) Shutdown() {
 type Session struct {
 	c        *Cluster
 	qid      uint64
+	kind     SessionKind
 	handlers []Handler // n sites, then the coordinator
 
 	// ctxs are the per-site sending contexts, built once per session so
@@ -422,6 +485,9 @@ func (s *Session) WaitQuiesce(ctx context.Context) error {
 		}
 	}
 }
+
+// Kind reports the session's kind.
+func (s *Session) Kind() SessionKind { return s.kind }
 
 // AddRounds lets algorithms record communication rounds.
 func (s *Session) AddRounds(n int64) {

@@ -425,3 +425,48 @@ func TestNumSitesAndNetworkAccessors(t *testing.T) {
 		t.Fatal("unexpected latency")
 	}
 }
+
+func TestSessionKindsMultiplex(t *testing.T) {
+	c := New(3, Network{})
+	defer c.Shutdown()
+	q1 := c.NewSession(nopSites(3), nopHandler{})
+	defer q1.Close()
+	m1 := c.NewSessionKind(SessionMaintenance, nopSites(3), nopHandler{})
+	m2 := c.NewSessionKind(SessionMaintenance, nopSites(3), nopHandler{})
+	if q1.Kind() != SessionQuery || m1.Kind() != SessionMaintenance {
+		t.Fatalf("kinds: %v %v", q1.Kind(), m1.Kind())
+	}
+	if got := c.ActiveSessions(SessionQuery); got != 1 {
+		t.Fatalf("query sessions = %d, want 1", got)
+	}
+	if got := c.ActiveSessions(SessionMaintenance); got != 2 {
+		t.Fatalf("maintenance sessions = %d, want 2", got)
+	}
+	m2.Close()
+	if got := c.ActiveSessions(SessionMaintenance); got != 1 {
+		t.Fatalf("after close: maintenance sessions = %d, want 1", got)
+	}
+	// Both kinds drain traffic independently over the same site loops.
+	q1.Broadcast(&wire.Control{Op: 1})
+	m1.Broadcast(&wire.Control{Op: 2})
+	if err := q1.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.WaitQuiesce(bg); err != nil {
+		t.Fatal(err)
+	}
+	if SessionQuery.String() != "query" || SessionMaintenance.String() != "maintenance" {
+		t.Fatal("kind names")
+	}
+	m1.Close()
+}
+
+func TestStatsMinus(t *testing.T) {
+	a := Stats{DataBytes: 100, DataMsgs: 10, ControlBytes: 30, ControlMsgs: 3, ResultBytes: 7, ResultMsgs: 1, Rounds: 5, Wall: time.Second}
+	b := Stats{DataBytes: 40, DataMsgs: 4, ControlBytes: 10, ControlMsgs: 1, ResultBytes: 2, ResultMsgs: 1, Rounds: 2}
+	d := a.Minus(b)
+	if d.DataBytes != 60 || d.DataMsgs != 6 || d.ControlBytes != 20 || d.ControlMsgs != 2 ||
+		d.ResultBytes != 5 || d.ResultMsgs != 0 || d.Rounds != 3 || d.Wall != time.Second {
+		t.Fatalf("Minus: %+v", d)
+	}
+}

@@ -385,6 +385,69 @@ func (e *Engine) ApplyFalsifications(pairs []wire.VarRef) {
 	e.Evals++
 }
 
+// ApplyEdgeDeletions removes the listed fragment edges (source local,
+// target visible) from the engine's adjacency and incrementally refines
+// the relation — the distributed counterpart of the deletion case of
+// [13]: simulation shrinks monotonically under deletions, so the counter
+// state absorbs each removal in O(|AFF|). Falsified in-node variables
+// accumulate for Drain as usual. Edges unknown to the engine are
+// ignored (the site layer validates existence upstream).
+func (e *Engine) ApplyEdgeDeletions(dels [][2]graph.NodeID) {
+	for _, d := range dels {
+		v, w := d[0], d[1]
+		li, ok := e.visIdx[v]
+		if !ok || li >= e.nl {
+			continue
+		}
+		wi, ok := e.visIdx[w]
+		if !ok {
+			continue
+		}
+		// Unlink first: kills propagated below must not walk the deleted
+		// edge, or counters would be decremented for a witness already
+		// discounted here.
+		if !unlink(&e.succ[li], wi) {
+			continue // edge not present (already deleted)
+		}
+		unlink(&e.pred[wi], li)
+		// v loses witness w for every query edge whose child w matches.
+		// Snapshot w's liveness first: a kill fired mid-loop (w can be v
+		// itself via a self-loop) would otherwise lose this edge's
+		// decrement for the remaining query edges.
+		wasAlive := make([]bool, len(e.qedges))
+		for ei := range e.qedges {
+			wasAlive[ei] = e.alive[e.qedges[ei].child][wi]
+		}
+		for ei, qe := range e.qedges {
+			if !wasAlive[ei] {
+				continue
+			}
+			e.cnt[ei][li]--
+			if e.cnt[ei][li] == 0 && e.alive[qe.parent][li] {
+				e.killVis(qe.parent, li)
+			}
+		}
+		// Drain the queue per deletion so the next deletion starts from a
+		// settled counter state (the invariant the decrement test needs).
+		e.propagate()
+	}
+	e.Evals++
+}
+
+// unlink removes one occurrence of x from *s, reporting whether it was
+// present. Order is preserved (succ rows feed no further sorting, but
+// deterministic iteration keeps message order reproducible).
+func unlink(s *[]int32, x int32) bool {
+	row := *s
+	for i, y := range row {
+		if y == x {
+			*s = append(row[:i], row[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Drain returns and clears the in-node variables falsified since the last
 // call. The site layer routes them to watcher sites (procedure lMsg).
 func (e *Engine) Drain() []wire.VarRef {

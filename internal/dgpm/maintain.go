@@ -1,0 +1,305 @@
+package dgpm
+
+// Live-update maintenance (the deployment's mutable mode). Two kinds of
+// long-lived maintenance sessions run multiplexed alongside query
+// sessions on the same cluster:
+//
+//   - ApplyUpdates distributes one validated update batch: each edge op
+//     is routed to the site owning its source node, which mutates its
+//     resident fragment in place and notifies the target's owner when
+//     the fragment starts/stops holding the target as virtual — the
+//     distributed upkeep of the §2.2 boundary structure.
+//
+//   - Maintainer holds a standing query: per-site engines stay alive
+//     after the initial fixpoint, and each deletion batch is absorbed
+//     incrementally — deletion deltas at the owning sites trigger
+//     counter decrements whose falsifications travel the ordinary lMsg
+//     paths in O(|AFF|), following the deletion case of [13] (Fan,
+//     Wang, Wu, TODS 2013). Insertions can grow the relation, which the
+//     removal-only engines cannot express; the deployment then calls
+//     Reevaluate, which rebuilds the session against the mutated
+//     fragments (the insertion fallback).
+//
+// Maintenance engines run with push disabled: a pushed equation is a
+// frozen snapshot of a remote subsystem, which deletions would
+// invalidate. Incremental evaluation — the optimization maintenance is
+// about — stays on.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/graph"
+	"dgs/internal/partition"
+	"dgs/internal/pattern"
+	"dgs/internal/simulation"
+	"dgs/internal/wire"
+)
+
+// MaintConfig is the engine configuration of standing-query sessions:
+// incremental local evaluation on, push off.
+func MaintConfig() Config { return Config{Incremental: true} }
+
+// updSite applies one fragment's share of an update batch and maintains
+// the boundary bookkeeping with its peers.
+type updSite struct {
+	frag   *partition.Fragment
+	assign []int32
+}
+
+func (s *updSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
+	m, ok := p.(*wire.Delta)
+	if !ok {
+		return
+	}
+	// Watch/unwatch notices from peer sites about our local in-nodes.
+	for _, v := range m.Watch {
+		s.frag.AddWatcher(graph.NodeID(v), from)
+	}
+	for _, v := range m.Unwatch {
+		s.frag.RemoveWatcher(graph.NodeID(v), from)
+	}
+	// Edge ops routed to us as the source's owner. The driver validated
+	// existence/absence against the overlay, so fragment errors here are
+	// protocol bugs, not user errors. Watch/unwatch notices carry the NET
+	// virtual-status change per target node: a batch may drop the last
+	// crossing edge to w and add a new one, and per-op notices would
+	// leave the owner's annotations out of sync.
+	wasVirtual := make(map[graph.NodeID]bool)
+	recordTarget := func(w graph.NodeID) {
+		if !s.frag.IsLocal(w) {
+			if _, seen := wasVirtual[w]; !seen {
+				wasVirtual[w] = s.frag.IsVirtual(w)
+			}
+		}
+	}
+	for _, d := range m.Dels {
+		v, w := graph.NodeID(d[0]), graph.NodeID(d[1])
+		recordTarget(w)
+		if _, err := s.frag.DeleteEdge(v, w); err != nil {
+			panic("dgpm: update session: " + err.Error())
+		}
+	}
+	for i, e := range m.Ins {
+		v, w := graph.NodeID(e[0]), graph.NodeID(e[1])
+		recordTarget(w)
+		if _, err := s.frag.InsertEdge(v, w, graph.Label(m.InsLabels[i]), int(s.assign[w])); err != nil {
+			panic("dgpm: update session: " + err.Error())
+		}
+	}
+	watch := make(map[int][]uint32)
+	unwatch := make(map[int][]uint32)
+	for w, was := range wasVirtual {
+		now := s.frag.IsVirtual(w)
+		owner := int(s.assign[w])
+		switch {
+		case now && !was:
+			watch[owner] = append(watch[owner], uint32(w))
+		case was && !now:
+			unwatch[owner] = append(unwatch[owner], uint32(w))
+		}
+	}
+	dests := make(map[int]bool, len(watch)+len(unwatch))
+	for d := range watch {
+		dests[d] = true
+	}
+	for d := range unwatch {
+		dests[d] = true
+	}
+	order := make([]int, 0, len(dests))
+	for d := range dests {
+		order = append(order, d)
+	}
+	sort.Ints(order)
+	for _, dest := range order {
+		wl, ul := watch[dest], unwatch[dest]
+		sort.Slice(wl, func(i, j int) bool { return wl[i] < wl[j] })
+		sort.Slice(ul, func(i, j int) bool { return ul[i] < ul[j] })
+		ctx.Send(dest, &wire.Delta{Watch: wl, Unwatch: ul})
+	}
+}
+
+// nopHandler ignores all traffic (the update session's coordinator).
+type nopHandler struct{}
+
+func (nopHandler) Recv(*cluster.Ctx, int, wire.Payload) {}
+
+// ApplyUpdates distributes one validated update batch to the owning
+// sites over a maintenance session and waits for the fragment mutations
+// (and their watch/unwatch follow-ups) to quiesce. Distribution always
+// runs to completion once started — messages are reliable in-process —
+// so fragments are never left half-updated unless the cluster itself is
+// shut down mid-batch, in which case cluster.ErrClosed is returned and
+// the deployment is unusable anyway.
+func ApplyUpdates(c *cluster.Cluster, fr *partition.Fragmentation, dels, ins [][2]graph.NodeID) (cluster.Stats, error) {
+	n := fr.NumFragments()
+	sites := make([]cluster.Handler, n)
+	for i := 0; i < n; i++ {
+		sites[i] = &updSite{frag: fr.Frags[i], assign: fr.Assign}
+	}
+	sess := c.NewSessionKind(cluster.SessionMaintenance, sites, nopHandler{})
+	defer sess.Close()
+
+	perSite := make(map[int]*wire.Delta)
+	at := func(i int) *wire.Delta {
+		d := perSite[i]
+		if d == nil {
+			d = &wire.Delta{}
+			perSite[i] = d
+		}
+		return d
+	}
+	g := fr.G
+	for _, e := range dels {
+		d := at(int(fr.Assign[e[0]]))
+		d.Dels = append(d.Dels, [2]uint32{uint32(e[0]), uint32(e[1])})
+	}
+	for _, e := range ins {
+		d := at(int(fr.Assign[e[0]]))
+		d.Ins = append(d.Ins, [2]uint32{uint32(e[0]), uint32(e[1])})
+		d.InsLabels = append(d.InsLabels, g.Label(e[1]))
+	}
+	start := time.Now()
+	order := make([]int, 0, len(perSite))
+	for i := range perSite {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		sess.Inject(i, perSite[i])
+	}
+	// The batch is one-hop plus at most one notification hop — it always
+	// terminates; Background keeps a caller's cancellation from tearing
+	// fragments mid-batch.
+	if err := sess.WaitQuiesce(context.Background()); err != nil {
+		return cluster.Stats{}, err
+	}
+	fr.RecountBoundary()
+	st := sess.Stats()
+	st.Wall = time.Since(start)
+	return st, nil
+}
+
+// Maintainer is a standing query: a long-lived maintenance session whose
+// per-site engines survive between batches, refined incrementally under
+// deletions and rebuilt under insertions.
+type Maintainer struct {
+	c  *cluster.Cluster
+	q  *pattern.Pattern
+	fr *partition.Fragmentation
+
+	sess  *cluster.Session
+	coord *collector
+	base  cluster.Stats // session stats at the current window's start
+
+	cur  *simulation.Match
+	last cluster.Stats // the last window's isolated stats
+}
+
+// NewMaintainer evaluates q as a standing query on the cluster and
+// returns the maintenance handle. The session stays registered until
+// Close (or cluster shutdown).
+func NewMaintainer(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*Maintainer, error) {
+	m := &Maintainer{c: c, q: q, fr: fr}
+	if err := m.Reevaluate(ctx); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Current returns the maintained match relation as of the last
+// successfully applied window.
+func (m *Maintainer) Current() *simulation.Match { return m.cur }
+
+// LastStats reports the isolated traffic/time of the last window
+// (initial evaluation, deletion refinement, or re-evaluation).
+func (m *Maintainer) LastStats() cluster.Stats { return m.last }
+
+// Reevaluate rebuilds the session from the (mutated) fragments and runs
+// the standing query's fixpoint from scratch — the initial evaluation
+// and the insertion fallback share this path. A fresh session is used
+// because restart-in-place would race the old session's in-flight
+// falsifications against the new engines.
+func (m *Maintainer) Reevaluate(ctx context.Context) error {
+	n := m.fr.NumFragments()
+	sites := make([]cluster.Handler, n)
+	for i := 0; i < n; i++ {
+		sites[i] = newSite(m.q, m.fr.Frags[i], m.fr.Assign, MaintConfig())
+	}
+	coord := &collector{nq: m.q.NumNodes()}
+	sess := m.c.NewSessionKind(cluster.SessionMaintenance, sites, coord)
+	start := time.Now()
+	sess.Broadcast(&wire.Control{Op: OpStart})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		sess.Close()
+		return err
+	}
+	cur, err := collect(ctx, sess, coord)
+	if err != nil {
+		sess.Close()
+		return err
+	}
+	if m.sess != nil {
+		m.sess.Close()
+	}
+	m.sess, m.coord = sess, coord
+	m.cur = cur
+	m.last = sess.Stats()
+	m.last.Wall = time.Since(start)
+	m.base = sess.Stats()
+	return nil
+}
+
+// ApplyDeletions refines the standing relation under the batch's edge
+// deletions: deltas are injected at the owning sites, falsifications
+// propagate to the fixpoint, and the refreshed relation is assembled.
+func (m *Maintainer) ApplyDeletions(ctx context.Context, dels [][2]graph.NodeID) error {
+	perSite := make(map[int][][2]uint32)
+	for _, e := range dels {
+		i := int(m.fr.Assign[e[0]])
+		perSite[i] = append(perSite[i], [2]uint32{uint32(e[0]), uint32(e[1])})
+	}
+	start := time.Now()
+	before := m.sess.Stats()
+	sites := make([]int, 0, len(perSite))
+	for i := range perSite {
+		sites = append(sites, i)
+	}
+	sort.Ints(sites)
+	for _, i := range sites {
+		m.sess.Inject(i, &wire.Delta{Dels: perSite[i]})
+	}
+	if err := m.sess.WaitQuiesce(ctx); err != nil {
+		return err
+	}
+	cur, err := collect(ctx, m.sess, m.coord)
+	if err != nil {
+		return err
+	}
+	m.cur = cur
+	m.last = m.sess.Stats().Minus(before)
+	m.last.Wall = time.Since(start)
+	return nil
+}
+
+// collect re-assembles the standing relation: the coordinator's pair
+// buffer is reset (safe: the session is quiescent, so no handler runs)
+// and every site re-ships its local matches.
+func collect(ctx context.Context, sess *cluster.Session, coord *collector) (*simulation.Match, error) {
+	coord.pairs = coord.pairs[:0]
+	sess.Broadcast(&wire.Control{Op: OpReport})
+	if err := sess.WaitQuiesce(ctx); err != nil {
+		return nil, err
+	}
+	return coord.assemble(), nil
+}
+
+// Close unregisters the standing session. The last relation remains
+// readable via Current.
+func (m *Maintainer) Close() {
+	if m.sess != nil {
+		m.sess.Close()
+	}
+}

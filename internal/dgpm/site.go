@@ -128,6 +128,17 @@ func (s *site) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 		ctx.AddRounds(1)
 		s.eng.InstallEquations(m.Eqs)
 		s.flush(ctx, s.eng.Drain())
+	case *wire.Delta:
+		// Maintenance sessions only (query sessions never receive deltas):
+		// refine the standing engine under the batch's edge deletions and
+		// ship the resulting falsifications along the usual lMsg paths.
+		ctx.AddRounds(1)
+		dels := make([][2]graph.NodeID, len(m.Dels))
+		for i, d := range m.Dels {
+			dels[i] = [2]graph.NodeID{graph.NodeID(d[0]), graph.NodeID(d[1])}
+		}
+		s.eng.ApplyEdgeDeletions(dels)
+		s.flush(ctx, s.eng.Drain())
 	case *wire.Reroute:
 		dest := int(m.Dest)
 		var backfill []wire.VarRef

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func overlayTestGraph() *Graph {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("X")
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 2) // self-loop
+	return b.MustBuild()
+}
+
+func TestOverlayBasics(t *testing.T) {
+	g := overlayTestGraph()
+	o := NewOverlay(g)
+	if o.Dirty() || o.NumEdges() != 4 || o.Materialize() != g {
+		t.Fatal("fresh overlay must be transparent")
+	}
+	if err := o.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.HasEdge(0, 1) || o.NumEdges() != 3 {
+		t.Fatal("deletion not visible")
+	}
+	if err := o.DeleteEdge(0, 1); err == nil {
+		t.Fatal("double delete must error")
+	}
+	if err := o.InsertEdge(1, 2); err == nil {
+		t.Fatal("inserting existing edge must error")
+	}
+	if err := o.InsertEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasEdge(3, 0) || o.NumEdges() != 4 {
+		t.Fatal("insertion not visible")
+	}
+	// Delete an inserted edge, re-insert a deleted one: back to base.
+	if err := o.DeleteEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Dirty() {
+		t.Fatal("cancelled edits must leave the overlay clean")
+	}
+	if o.Materialize() != g {
+		t.Fatal("clean overlay must materialize to the base graph")
+	}
+	// Out-of-range endpoints.
+	if err := o.InsertEdge(9, 0); err == nil {
+		t.Fatal("out-of-range insert must error")
+	}
+	if err := o.DeleteEdge(9, 0); err == nil {
+		t.Fatal("out-of-range delete must error")
+	}
+}
+
+func TestOverlaySuccAndMaterialize(t *testing.T) {
+	g := overlayTestGraph()
+	o := NewOverlay(g)
+	if err := o.DeleteEdge(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	succ := o.Succ(2)
+	if len(succ) != 2 || succ[0] != 0 || succ[1] != 3 {
+		t.Fatalf("Succ(2) = %v, want [0 3]", succ)
+	}
+	// Untouched node returns the base slice (no allocation path).
+	if &o.Succ(1)[0] != &g.Succ(1)[0] {
+		t.Fatal("untouched row must be the base CSR slice")
+	}
+	m := o.Materialize()
+	if m.NumEdges() != o.NumEdges() || !m.HasEdge(2, 0) || m.HasEdge(2, 2) {
+		t.Fatalf("materialized graph wrong: %v", m)
+	}
+	if o.Materialize() != m {
+		t.Fatal("materialization must be cached between mutations")
+	}
+	if err := o.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Materialize() == m {
+		t.Fatal("mutation must invalidate the cache")
+	}
+}
+
+func TestNormalizeOps(t *testing.T) {
+	g := overlayTestGraph()
+	o := NewOverlay(g)
+	// delete+insert same edge cancels; insert+delete cancels too.
+	dels, ins, err := NormalizeOps(o, []EdgeOp{
+		{Del: true, V: 0, W: 1},
+		{V: 0, W: 1},
+		{V: 4, W: 0},
+		{Del: true, V: 4, W: 0},
+		{Del: true, V: 1, W: 2},
+		{V: 3, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 1 || dels[0] != [2]NodeID{1, 2} {
+		t.Fatalf("dels = %v", dels)
+	}
+	if len(ins) != 1 || ins[0] != [2]NodeID{3, 4} {
+		t.Fatalf("ins = %v", ins)
+	}
+	// Sequential semantics: deleting then re-deleting fails.
+	if _, _, err := NormalizeOps(o, []EdgeOp{{Del: true, V: 0, W: 1}, {Del: true, V: 0, W: 1}}); err == nil {
+		t.Fatal("double delete in one batch must fail")
+	}
+	// Inserting over a pending insert fails.
+	if _, _, err := NormalizeOps(o, []EdgeOp{{V: 4, W: 0}, {V: 4, W: 0}}); err == nil {
+		t.Fatal("double insert in one batch must fail")
+	}
+	// Delete→insert→delete is a net delete.
+	dels, ins, err = NormalizeOps(o, []EdgeOp{
+		{Del: true, V: 0, W: 1}, {V: 0, W: 1}, {Del: true, V: 0, W: 1},
+	})
+	if err != nil || len(dels) != 1 || len(ins) != 0 {
+		t.Fatalf("net delete: dels=%v ins=%v err=%v", dels, ins, err)
+	}
+	// NormalizeOps must not mutate the overlay.
+	if o.Dirty() {
+		t.Fatal("NormalizeOps mutated the overlay")
+	}
+}
+
+// Property: a random op sequence applied through the overlay matches a
+// plain edge-set model.
+func TestOverlayMatchesSetModel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nv := 3 + r.Intn(8)
+		b := NewBuilder()
+		for i := 0; i < nv; i++ {
+			b.AddNode("X")
+		}
+		model := make(map[uint64]bool)
+		for i := 0; i < r.Intn(3*nv); i++ {
+			v, w := NodeID(r.Intn(nv)), NodeID(r.Intn(nv))
+			if !model[packEdge(v, w)] {
+				model[packEdge(v, w)] = true
+				b.AddEdge(v, w)
+			}
+		}
+		o := NewOverlay(b.MustBuild())
+		for i := 0; i < 60; i++ {
+			v, w := NodeID(r.Intn(nv)), NodeID(r.Intn(nv))
+			if r.Intn(2) == 0 {
+				err := o.DeleteEdge(v, w)
+				if model[packEdge(v, w)] {
+					if err != nil {
+						t.Fatalf("trial %d: delete existing failed: %v", trial, err)
+					}
+					delete(model, packEdge(v, w))
+				} else if err == nil {
+					t.Fatalf("trial %d: delete of absent edge accepted", trial)
+				}
+			} else {
+				err := o.InsertEdge(v, w)
+				if !model[packEdge(v, w)] {
+					if err != nil {
+						t.Fatalf("trial %d: insert failed: %v", trial, err)
+					}
+					model[packEdge(v, w)] = true
+				} else if err == nil {
+					t.Fatalf("trial %d: duplicate insert accepted", trial)
+				}
+			}
+		}
+		if o.NumEdges() != len(model) {
+			t.Fatalf("trial %d: overlay has %d edges, model %d", trial, o.NumEdges(), len(model))
+		}
+		count := 0
+		o.Edges(func(v, w NodeID) bool {
+			if !model[packEdge(v, w)] {
+				t.Fatalf("trial %d: phantom edge (%d,%d)", trial, v, w)
+			}
+			count++
+			return true
+		})
+		if count != len(model) {
+			t.Fatalf("trial %d: Edges visited %d, model %d", trial, count, len(model))
+		}
+		m := o.Materialize()
+		if m.NumEdges() != len(model) {
+			t.Fatalf("trial %d: materialized %d edges, model %d", trial, m.NumEdges(), len(model))
+		}
+	}
+}

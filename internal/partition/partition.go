@@ -54,6 +54,10 @@ type Fragment struct {
 	// This is the annotation A_d(Sj, Si) of the local dependency graph.
 	InWatchers map[graph.NodeID][]int
 
+	// crossCnt[w] counts this fragment's crossing edges into virtual node
+	// w; it decides when w enters/leaves Virtual under live updates.
+	crossCnt map[graph.NodeID]int
+
 	numEdges    int
 	numCrossing int
 }
@@ -83,10 +87,17 @@ func (f *Fragment) IsVirtual(v graph.NodeID) bool {
 }
 
 // Fragmentation is a partition of a graph plus derived statistics.
+// G is the graph as fragmented at Build time; a deployment that applies
+// live updates records them in an overlay (see Overlay/CurrentGraph),
+// while the fragments themselves are mutated in place at their sites.
 type Fragmentation struct {
 	G      *graph.Graph
 	Assign []int32 // node -> fragment ID
 	Frags  []*Fragment
+
+	// ov tracks live edge updates against G; nil until the first
+	// mutation. CurrentGraph materializes it for oracles and re-splits.
+	ov *graph.Overlay
 
 	vf int // |Vf| = |∪ Fi.O|
 	ef int // |Ef| = number of crossing edges
@@ -120,12 +131,12 @@ func (fr *Fragmentation) VfRatio() float64 {
 	return float64(fr.vf) / float64(fr.G.NumNodes())
 }
 
-// EfRatio reports |Ef| / |E|.
+// EfRatio reports |Ef| / |E| of the current graph.
 func (fr *Fragmentation) EfRatio() float64 {
-	if fr.G.NumEdges() == 0 {
+	if fr.CurrentNumEdges() == 0 {
 		return 0
 	}
-	return float64(fr.ef) / float64(fr.G.NumEdges())
+	return float64(fr.ef) / float64(fr.CurrentNumEdges())
 }
 
 func (fr *Fragmentation) String() string {
@@ -150,6 +161,7 @@ func Build(g *graph.Graph, assign []int32, n int) (*Fragmentation, error) {
 			Labels:     make(map[graph.NodeID]graph.Label),
 			Owner:      make(map[graph.NodeID]int),
 			InWatchers: make(map[graph.NodeID][]int),
+			crossCnt:   make(map[graph.NodeID]int),
 		}
 	}
 	for v := 0; v < g.NumNodes(); v++ {
@@ -187,6 +199,7 @@ func Build(g *graph.Graph, assign []int32, n int) (*Fragmentation, error) {
 			}
 			// (src, w) is a crossing edge: w is virtual in Fi, in-node in Fj.
 			f.numCrossing++
+			f.crossCnt[w]++
 			fr.ef++
 			if !virtSeenPer[fi][w] {
 				virtSeenPer[fi][w] = true
@@ -269,18 +282,71 @@ func (fr *Fragmentation) Validate() error {
 			return fmt.Errorf("virtual node %d is not an in-node anywhere", v)
 		}
 	}
-	// Edge coverage: every edge of G appears in exactly its source's fragment.
+	// Watcher symmetry: Fj.InWatchers[v] lists exactly the fragments that
+	// hold v as virtual, and in-nodes are exactly the watched nodes.
+	for _, f := range fr.Frags {
+		for _, v := range f.Virtual {
+			owner := fr.Frags[f.Owner[v]]
+			found := false
+			for _, w := range owner.InWatchers[v] {
+				if w == f.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("fragment %d holds %d as virtual but is not a watcher at its owner", f.ID, v)
+			}
+		}
+		if len(f.InWatchers) != len(f.InNodes) {
+			return fmt.Errorf("fragment %d has %d watched nodes but %d in-nodes", f.ID, len(f.InWatchers), len(f.InNodes))
+		}
+		for v, ws := range f.InWatchers {
+			if len(ws) == 0 {
+				return fmt.Errorf("fragment %d has empty watcher list for %d", f.ID, v)
+			}
+			for _, w := range ws {
+				if w < 0 || w >= len(fr.Frags) || !fr.Frags[w].IsVirtual(v) {
+					return fmt.Errorf("fragment %d lists watcher %d for %d which does not hold it as virtual", f.ID, w, v)
+				}
+			}
+		}
+	}
+	// Edge coverage: every edge of the current graph appears in exactly
+	// its source's fragment.
 	total := 0
 	for _, f := range fr.Frags {
+		crossing := 0
+		crossPer := make(map[graph.NodeID]int)
 		for v, succ := range f.Succ {
 			if !f.IsLocal(v) {
 				return fmt.Errorf("fragment %d stores adjacency of foreign node %d", f.ID, v)
 			}
 			total += len(succ)
+			for _, w := range succ {
+				if fr.Assign[w] != int32(f.ID) {
+					crossing++
+					crossPer[w]++
+				}
+			}
+		}
+		if crossing != f.numCrossing {
+			return fmt.Errorf("fragment %d numCrossing %d != recount %d", f.ID, f.numCrossing, crossing)
+		}
+		if len(crossPer) != len(f.crossCnt) {
+			return fmt.Errorf("fragment %d crossCnt tracks %d nodes, recount %d", f.ID, len(f.crossCnt), len(crossPer))
+		}
+		for w, n := range crossPer {
+			if f.crossCnt[w] != n {
+				return fmt.Errorf("fragment %d crossCnt[%d]=%d, recount %d", f.ID, w, f.crossCnt[w], n)
+			}
+		}
+		if len(f.Virtual) != len(crossPer) {
+			return fmt.Errorf("fragment %d holds %d virtual nodes, crossing edges reach %d", f.ID, len(f.Virtual), len(crossPer))
 		}
 	}
-	if total != fr.G.NumEdges() {
-		return fmt.Errorf("edge coverage %d != |E| %d", total, fr.G.NumEdges())
+	if total != fr.CurrentNumEdges() {
+		return fmt.Errorf("edge coverage %d != |E| %d", total, fr.CurrentNumEdges())
 	}
 	return nil
 }

@@ -9,9 +9,10 @@ package simulation
 // deleting (v,w) decrements the witness counters of v for every query
 // edge whose child w still matches, and the usual propagation handles
 // the rest. Edge insertions can only grow the relation, which a
-// removal-only engine cannot express; Resimulate falls back to a fresh
-// fixpoint for them (the paper's incremental algorithms for insertions
-// are out of scope here and noted in DESIGN.md).
+// removal-only engine cannot express; Resimulate runs the fresh fixpoint
+// for them — the same deletion-incremental/insertion-fallback split the
+// deployment's distributed maintenance uses (Deployment.Apply/Watch,
+// DESIGN.md "The update lifecycle").
 
 import (
 	"fmt"
@@ -56,7 +57,7 @@ func (inc *Incremental) DeleteEdge(v, w graph.NodeID) error {
 	if !inc.g.HasEdge(v, w) {
 		return fmt.Errorf("simulation: edge (%d,%d) does not exist", v, w)
 	}
-	pre := inc.countDead()
+	pre := inc.st.dead
 	inc.deleted[k] = true
 	st := inc.st
 	// v loses the witness w for every query edge whose child w matches.
@@ -80,13 +81,15 @@ func (inc *Incremental) DeleteEdge(v, w graph.NodeID) error {
 		}
 	}
 	st.refineAll()
-	inc.affected += inc.countDead() - pre
+	inc.affected += st.dead - pre
 	return nil
 }
 
-// countDead is O(1) bookkeeping via the queue; kept simple by recounting
-// lazily only when needed (AFF is for reporting, not control flow).
-func (inc *Incremental) countDead() int {
+// scanDead recounts falsified variables with a full O(|V|·|Vq|) scan of
+// the relation — the regression oracle for the incrementally maintained
+// state.dead counter. DeleteEdge itself never rescans: it reads the
+// counter before and after refinement.
+func (inc *Incremental) scanDead() int {
 	n := 0
 	for u := range inc.st.alive {
 		for _, a := range inc.st.alive[u] {

@@ -87,6 +87,48 @@ func TestQuickIncrementalEqualsRecompute(t *testing.T) {
 	}
 }
 
+// Regression for the incrementally maintained dead counter: Affected()
+// must equal the full-scan count of falsified variables beyond the
+// initial refinement, after every deletion of a random sequence. (The
+// old countDead rescanned the whole relation per deletion — O(|V|·|Vq|)
+// despite its "O(1) bookkeeping" comment; the count now lives in
+// state.kill and this test pins it to the scan.)
+func TestAffectedMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q, g := randomCase(r)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		inc := NewIncremental(q, g)
+		initialDead := inc.scanDead()
+		if inc.Affected() != 0 {
+			t.Logf("seed %d: AFF nonzero before any deletion", seed)
+			return false
+		}
+		var edges [][2]graph.NodeID
+		g.Edges(func(v, w graph.NodeID) bool {
+			edges = append(edges, [2]graph.NodeID{v, w})
+			return true
+		})
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for _, e := range edges[:r.Intn(len(edges)+1)] {
+			if err := inc.DeleteEdge(e[0], e[1]); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if want := inc.scanDead() - initialDead; inc.Affected() != want {
+				t.Logf("seed %d: Affected()=%d, scan says %d", seed, inc.Affected(), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIncrementalMonotone(t *testing.T) {
 	// The relation only ever shrinks under deletions.
 	r := rand.New(rand.NewSource(31))

@@ -180,6 +180,9 @@ type state struct {
 	alive  [][]bool
 	cnt    [][]int32 // [edgeIdx][v]
 	queue  []pair
+	// dead counts falsified variables, maintained by kill — O(1)
+	// bookkeeping so |AFF| reporting never rescans the relation.
+	dead int
 
 	// deleted marks graph edges removed by incremental maintenance
 	// (packed v<<32|w); nil for plain one-shot evaluation. Propagation
@@ -250,6 +253,7 @@ func (st *state) kill(u pattern.QNode, v graph.NodeID) {
 		return
 	}
 	st.alive[u][v] = false
+	st.dead++
 	st.queue = append(st.queue, pair{u, v})
 }
 

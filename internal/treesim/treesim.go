@@ -209,7 +209,7 @@ func (c *treeCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // forest) and every fragment is connected, i.e. has at most one in-node.
 // Violations are reported as errors before any distributed work.
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
-	if _, ok := graph.IsTree(fr.G); !ok {
+	if _, ok := graph.IsTree(fr.CurrentGraph()); !ok {
 		return nil, cluster.Stats{}, fmt.Errorf("treesim: dGPMt requires a tree (or forest) data graph")
 	}
 	for _, f := range fr.Frags {

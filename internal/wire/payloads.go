@@ -429,5 +429,124 @@ func decodeControl(b []byte) (Payload, error) {
 	if len(b) != 6 {
 		return nil, fmt.Errorf("wire: control must be 6 bytes, got %d", len(b))
 	}
+	if b[5] > 1 {
+		// Keep the encoding canonical: exactly one byte string per
+		// payload value (the DS accounting depends on it).
+		return nil, fmt.Errorf("wire: control flag byte %d", b[5])
+	}
 	return &Control{Op: b[0], Arg: binary.LittleEndian.Uint32(b[1:5]), Flag: b[5] != 0}, nil
+}
+
+// Delta is the live-update message. Routed from the coordinator to the
+// site owning the edges' source nodes, Dels/Ins list edges to remove
+// from/add to the resident fragment; InsLabels runs parallel to Ins
+// with the target node's label (the receiver may not know a crossing
+// target yet; the target's OWNER it derives from its assignment
+// directory). Between sites, Watch and Unwatch notify a node's owner
+// that the sender started/stopped holding the listed in-nodes as
+// virtual — the live maintenance of the §2.2 dependency annotations.
+// Standing-query maintenance sessions receive the same Dels to refine
+// their engines in O(|AFF|).
+type Delta struct {
+	Dels      [][2]uint32
+	Ins       [][2]uint32
+	InsLabels []uint16 // parallel to Ins
+	Watch     []uint32
+	Unwatch   []uint32
+}
+
+func (*Delta) Kind() Kind { return KindDelta }
+
+func appendEdges(dst []byte, es [][2]uint32) []byte {
+	dst = appendU32(dst, uint32(len(es)))
+	for _, e := range es {
+		dst = appendU32(dst, e[0])
+		dst = appendU32(dst, e[1])
+	}
+	return dst
+}
+
+func appendNodes(dst []byte, ns []uint32) []byte {
+	dst = appendU32(dst, uint32(len(ns)))
+	for _, v := range ns {
+		dst = appendU32(dst, v)
+	}
+	return dst
+}
+
+func (m *Delta) AppendTo(dst []byte) []byte {
+	dst = appendEdges(dst, m.Dels)
+	dst = appendEdges(dst, m.Ins)
+	for i := range m.Ins {
+		dst = appendU16(dst, m.InsLabels[i])
+	}
+	dst = appendNodes(dst, m.Watch)
+	return appendNodes(dst, m.Unwatch)
+}
+
+func (r *reader) edges() ([][2]uint32, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*8 > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("wire: edge count %d exceeds buffer", n)
+	}
+	out := make([][2]uint32, n)
+	for i := range out {
+		if out[i][0], err = r.u32(); err != nil {
+			return nil, err
+		}
+		if out[i][1], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *reader) nodes() ([]uint32, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*4 > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("wire: node count %d exceeds buffer", n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		if out[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeDelta(b []byte) (Payload, error) {
+	r := &reader{b: b}
+	m := &Delta{}
+	var err error
+	if m.Dels, err = r.edges(); err != nil {
+		return nil, err
+	}
+	if m.Ins, err = r.edges(); err != nil {
+		return nil, err
+	}
+	if len(m.Ins) > 0 {
+		m.InsLabels = make([]uint16, len(m.Ins))
+		for i := range m.Ins {
+			if m.InsLabels[i], err = r.u16(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.Watch, err = r.nodes(); err != nil {
+		return nil, err
+	}
+	if m.Unwatch, err = r.nodes(); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }

@@ -49,6 +49,11 @@ const (
 	// KindControl carries coordinator/protocol control traffic (query
 	// posting, changed flags, superstep votes); counted separately.
 	KindControl
+	// KindDelta carries a live-update batch: edge deletions/insertions
+	// routed to the owning site, and the watch/unwatch notifications that
+	// maintain the boundary structure. Standing-query maintenance
+	// sessions also receive deltas to refine their engines incrementally.
+	KindDelta
 )
 
 func (k Kind) String() string {
@@ -73,6 +78,8 @@ func (k Kind) String() string {
 		return "matches"
 	case KindControl:
 		return "control"
+	case KindDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -141,6 +148,8 @@ func Decode(data []byte) (Payload, error) {
 		return decodeMatches(body)
 	case KindControl:
 		return decodeControl(body)
+	case KindDelta:
+		return decodeDelta(body)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

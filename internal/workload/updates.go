@@ -1,0 +1,84 @@
+package workload
+
+// Update-stream generation for the mutable-deployment experiments: the
+// paper's setting fragments a graph once, but real graphs change, so the
+// updates workload draws random edge deletions (distinct existing edges)
+// and insertions (absent pairs between existing nodes) to drive
+// Deployment.Apply and the standing-query maintenance path.
+
+import (
+	"math/rand"
+
+	"dgs/internal/graph"
+)
+
+// Deletions samples n distinct existing edges of g, in random order.
+// n is capped at |E|.
+func Deletions(g *graph.Graph, n int, rng *rand.Rand) []graph.EdgeOp {
+	all := make([][2]graph.NodeID, 0, g.NumEdges())
+	g.Edges(func(v, w graph.NodeID) bool {
+		all = append(all, [2]graph.NodeID{v, w})
+		return true
+	})
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]graph.EdgeOp, n)
+	for i := 0; i < n; i++ {
+		out[i] = graph.EdgeOp{Del: true, V: all[i][0], W: all[i][1]}
+	}
+	return out
+}
+
+// Insertions samples n distinct absent edges between existing nodes of
+// g, locality-biased like the synthetic generators so insertions land in
+// the same degree regime as the original edges.
+func Insertions(g *graph.Graph, n int, rng *rand.Rand) []graph.EdgeOp {
+	nv := g.NumNodes()
+	if nv == 0 {
+		return nil
+	}
+	seen := make(map[uint64]bool, n)
+	out := make([]graph.EdgeOp, 0, n)
+	for tries := 0; len(out) < n && tries < 100*n+100; tries++ {
+		v := rng.Intn(nv)
+		w := localTarget(rng, v, nv, localityWindow)
+		k := uint64(v)<<32 | uint64(w)
+		if seen[k] || g.HasEdge(graph.NodeID(v), graph.NodeID(w)) {
+			continue
+		}
+		seen[k] = true
+		out = append(out, graph.EdgeOp{V: graph.NodeID(v), W: graph.NodeID(w)})
+	}
+	return out
+}
+
+// UpdateStream interleaves nDel deletions and nIns insertions into one
+// randomly ordered stream. Deletion targets and insertion targets are
+// disjoint by construction, so any batching of the stream applies
+// cleanly in order.
+func UpdateStream(g *graph.Graph, nDel, nIns int, seed int64) []graph.EdgeOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := append(Deletions(g, nDel, rng), Insertions(g, nIns, rng)...)
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// Batches splits ops into consecutive batches of the given size (the
+// last batch may be short).
+func Batches(ops []graph.EdgeOp, size int) [][]graph.EdgeOp {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]graph.EdgeOp
+	for len(ops) > 0 {
+		n := size
+		if n > len(ops) {
+			n = len(ops)
+		}
+		out = append(out, ops[:n])
+		ops = ops[n:]
+	}
+	return out
+}

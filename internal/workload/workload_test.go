@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 
 	"dgs/internal/graph"
@@ -159,5 +160,49 @@ func TestLabels(t *testing.T) {
 	ls := Labels(15)
 	if len(ls) != 15 || ls[0] != "l0" || ls[14] != "l14" {
 		t.Fatalf("Labels = %v", ls)
+	}
+}
+
+func TestUpdateStream(t *testing.T) {
+	g := Synthetic(400, 1200, Labels(5), 9)
+	ops := UpdateStream(g, 50, 30, 10)
+	nd, ni := 0, 0
+	seen := map[uint64]bool{}
+	for _, op := range ops {
+		k := uint64(op.V)<<32 | uint64(op.W)
+		if seen[k] {
+			t.Fatalf("duplicate op target (%d,%d)", op.V, op.W)
+		}
+		seen[k] = true
+		if op.Del {
+			nd++
+			if !g.HasEdge(op.V, op.W) {
+				t.Fatalf("deletion of absent edge (%d,%d)", op.V, op.W)
+			}
+		} else {
+			ni++
+			if g.HasEdge(op.V, op.W) {
+				t.Fatalf("insertion of present edge (%d,%d)", op.V, op.W)
+			}
+		}
+	}
+	if nd != 50 || ni != 30 {
+		t.Fatalf("stream has %d dels, %d ins; want 50, 30", nd, ni)
+	}
+	// Deletions are capped at |E|.
+	if got := len(Deletions(g, g.NumEdges()+100, rand.New(rand.NewSource(11)))); got != g.NumEdges() {
+		t.Fatalf("deletions = %d, want |E| = %d", got, g.NumEdges())
+	}
+	// Batching covers the stream exactly.
+	batches := Batches(ops, 7)
+	total := 0
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > 7 {
+			t.Fatalf("bad batch size %d", len(b))
+		}
+		total += len(b)
+	}
+	if total != len(ops) {
+		t.Fatalf("batches cover %d ops, want %d", total, len(ops))
 	}
 }

@@ -1,0 +1,308 @@
+package dgs
+
+// Mutable deployments: live edge updates with distributed incremental
+// maintenance. Apply routes a batch of edge deletions/insertions to the
+// owning sites, which mutate their resident fragments in place; one-shot
+// Query calls always see the current graph. Watch registers a standing
+// query whose match relation is refined incrementally on each deletion
+// batch (the O(|AFF|) deletion case of [13], run distributed over the
+// falsification messaging), with insertions falling back to a
+// re-evaluation of the standing query. See DESIGN.md §"The update
+// lifecycle" for the semantics and the interaction with in-flight
+// queries.
+
+import (
+	"context"
+	"sync"
+
+	"dgs/internal/dgpm"
+	"dgs/internal/graph"
+)
+
+// EdgeOp is one update of an update batch: the deletion or insertion of
+// a directed edge between existing nodes (the node set and labels of a
+// deployed graph are fixed).
+type EdgeOp = graph.EdgeOp
+
+// DeleteOp returns the op deleting edge (v, w).
+func DeleteOp(v, w NodeID) EdgeOp { return EdgeOp{Del: true, V: v, W: w} }
+
+// InsertOp returns the op inserting edge (v, w).
+func InsertOp(v, w NodeID) EdgeOp { return EdgeOp{V: v, W: w} }
+
+// ApplyStats reports the cost of one Apply call.
+type ApplyStats struct {
+	// Deletions and Insertions count the batch's net edge ops (ops that
+	// cancel within the batch are not distributed).
+	Deletions, Insertions int
+	// Delta is the fragment-update distribution traffic: the routed edge
+	// ops plus the watch/unwatch notifications that maintain the
+	// boundary structure.
+	Delta Stats
+	// Maintenance aggregates the standing queries' refinement traffic —
+	// incremental falsification propagation for a deletion-only batch,
+	// full re-evaluation when the batch inserts edges.
+	Maintenance Stats
+	// Reevaluated counts standing queries that fell back to full
+	// re-evaluation (insertions in the batch, or a previously failed
+	// refinement).
+	Reevaluated int
+}
+
+func addStats(a *Stats, b Stats) {
+	a.Wall += b.Wall
+	a.DataBytes += b.DataBytes
+	a.DataMsgs += b.DataMsgs
+	a.ControlBytes += b.ControlBytes
+	a.ResultBytes += b.ResultBytes
+	a.Rounds += b.Rounds
+	if b.MaxSiteBusy > a.MaxSiteBusy {
+		a.MaxSiteBusy = b.MaxSiteBusy
+	}
+}
+
+// Apply mutates the deployed graph with a batch of edge updates. The
+// batch is validated first (deleting an absent edge or inserting a
+// present one fails the whole batch, before anything is distributed),
+// then routed to the sites owning each edge's source node, which update
+// their resident fragments in place. Standing queries registered with
+// Watch are refreshed before Apply returns: a deletion-only batch is
+// absorbed incrementally, a batch with insertions re-evaluates them.
+// Apply serializes against Query/Watch: in-flight queries finish against
+// the pre-batch graph, queries issued after Apply returns see the
+// post-batch graph.
+//
+// ctx gates only the standing-query refresh (fragment updates always
+// run to completion, keeping the graph state consistent): on
+// cancellation the unrefreshed queries stay registered, serve their last
+// relation, and are re-evaluated on the next Apply or Refresh.
+func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return ApplyStats{}, errorf("apply: deployment is closed")
+	}
+	d.state.Lock()
+	defer d.state.Unlock()
+
+	ov := d.part.fr.Overlay()
+	dels, ins, err := graph.NormalizeOps(ov, ops)
+	if err != nil {
+		return ApplyStats{}, errorf("apply: %w", err)
+	}
+	st := ApplyStats{Deletions: len(dels), Insertions: len(ins)}
+	if len(dels) == 0 && len(ins) == 0 {
+		return st, nil
+	}
+
+	// Distribute to the owning sites and commit the overlay.
+	deltaStats, err := dgpm.ApplyUpdates(d.c, d.part.fr, dels, ins)
+	if err != nil {
+		return st, errorf("apply: deployment closed while distributing updates")
+	}
+	st.Delta = fromCluster(deltaStats)
+	for _, e := range dels {
+		if err := ov.DeleteEdge(e[0], e[1]); err != nil {
+			panic("dgs: overlay diverged from validation: " + err.Error())
+		}
+	}
+	for _, e := range ins {
+		if err := ov.InsertEdge(e[0], e[1]); err != nil {
+			panic("dgs: overlay diverged from validation: " + err.Error())
+		}
+	}
+
+	// Refresh the standing queries. A refresh failure (ctx cancellation)
+	// must not leave any other handle silently desynced: the graph is
+	// already committed, so every watcher not successfully refreshed
+	// against THIS batch is marked stale and re-evaluated by the next
+	// Apply or Refresh.
+	d.watchMu.Lock()
+	watchers := make([]*Maintained, 0, len(d.watchers))
+	for w := range d.watchers {
+		watchers = append(watchers, w)
+	}
+	d.watchMu.Unlock()
+	var firstErr error
+	for _, w := range watchers {
+		if firstErr != nil {
+			w.markStale()
+			continue
+		}
+		reeval, wst, err := w.refresh(ctx, dels, len(ins) > 0)
+		if err != nil {
+			firstErr = err // refresh marked w stale itself
+			continue
+		}
+		if reeval {
+			st.Reevaluated++
+		}
+		addStats(&st.Maintenance, wst)
+	}
+	if firstErr != nil {
+		return st, errorf("apply: standing query refresh: %w", firstErr)
+	}
+	return st, nil
+}
+
+// Watch registers q as a standing query: it is evaluated now (with the
+// maintenance engine — dGPM with incremental evaluation, push disabled)
+// and its match relation is kept current by every subsequent Apply. The
+// returned handle serves the relation without further distributed work;
+// Close it when the standing query is no longer needed.
+func (d *Deployment) Watch(ctx context.Context, q *Pattern) (*Maintained, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q == nil {
+		return nil, errorf("watch: nil pattern")
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, errorf("watch: deployment is closed")
+	}
+	// Holding the read lock across evaluation AND registration makes the
+	// handle atomic with respect to Apply: a standing query is either
+	// registered before a batch (and refreshed by it) or evaluated
+	// against the post-batch graph.
+	d.state.RLock()
+	defer d.state.RUnlock()
+	mnt, err := dgpm.NewMaintainer(ctx, d.c, q.p, d.part.fr)
+	if err != nil {
+		return nil, errorf("watch: %w", err)
+	}
+	w := &Maintained{
+		d:    d,
+		q:    q,
+		mnt:  mnt,
+		cur:  &Match{m: mnt.Current()},
+		last: fromCluster(mnt.LastStats()),
+	}
+	d.watchMu.Lock()
+	d.watchers[w] = struct{}{}
+	d.watchMu.Unlock()
+	return w, nil
+}
+
+// Maintained is a standing query's handle: a match relation kept current
+// by the deployment's Apply batches.
+type Maintained struct {
+	d *Deployment
+	q *Pattern
+
+	mu     sync.Mutex
+	mnt    *dgpm.Maintainer
+	cur    *Match
+	last   Stats
+	stale  bool
+	closed bool
+}
+
+// Pattern returns the standing query.
+func (w *Maintained) Pattern() *Pattern { return w.q }
+
+// Current returns the maintained match relation as of the last
+// successfully applied batch.
+func (w *Maintained) Current() *Match {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cur
+}
+
+// LastStats reports the distributed cost of the last refresh window:
+// the initial evaluation, a deletion batch's incremental refinement, or
+// an insertion batch's re-evaluation.
+func (w *Maintained) LastStats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// Stale reports whether the relation is out of date because a refresh
+// was cancelled; the next Apply or Refresh re-evaluates.
+func (w *Maintained) Stale() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stale
+}
+
+// markStale flags the relation as out of date without refreshing it
+// (an earlier handle's refresh failed mid-Apply; the batch is already
+// committed to the graph).
+func (w *Maintained) markStale() {
+	w.mu.Lock()
+	if !w.closed {
+		w.stale = true
+	}
+	w.mu.Unlock()
+}
+
+// refresh brings the standing relation up to date with one batch. It
+// returns whether a full re-evaluation ran.
+func (w *Maintained) refresh(ctx context.Context, dels [][2]NodeID, hasIns bool) (reeval bool, st Stats, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false, Stats{}, nil
+	}
+	reeval = hasIns || w.stale
+	if reeval {
+		err = w.mnt.Reevaluate(ctx)
+	} else {
+		err = w.mnt.ApplyDeletions(ctx, dels)
+	}
+	if err != nil {
+		w.stale = true
+		return reeval, Stats{}, err
+	}
+	w.stale = false
+	w.cur = &Match{m: w.mnt.Current()}
+	w.last = fromCluster(w.mnt.LastStats())
+	return reeval, w.last, nil
+}
+
+// Refresh re-evaluates the standing query against the current graph now
+// — useful after a cancelled Apply left the handle stale.
+func (w *Maintained) Refresh(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w.d.state.RLock()
+	defer w.d.state.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errorf("refresh: standing query is closed")
+	}
+	if err := w.mnt.Reevaluate(ctx); err != nil {
+		w.stale = true
+		return errorf("refresh: %w", err)
+	}
+	w.stale = false
+	w.cur = &Match{m: w.mnt.Current()}
+	w.last = fromCluster(w.mnt.LastStats())
+	return nil
+}
+
+// Close unregisters the standing query and releases its session. The
+// last relation remains readable via Current. Idempotent.
+func (w *Maintained) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mnt.Close()
+	w.mu.Unlock()
+	w.d.watchMu.Lock()
+	delete(w.d.watchers, w)
+	w.d.watchMu.Unlock()
+	return nil
+}
