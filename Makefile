@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet build test race bench fuzz examples clean
+.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp clean
 
 # tier1 is the gate every change must pass: static checks, full build,
 # and the test suite under the race detector (the Deployment API serves
@@ -29,6 +29,17 @@ bench:
 fuzz:
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDecode$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDeltaRoundTrip$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzFrameRoundTrip$$ -fuzztime=$(FUZZTIME)
+
+# docs fails when any package lacks a package comment or an
+# operator-facing document (README, wire spec) is missing/stale.
+docs:
+	./scripts/lint_docs.sh
+
+# smoke-tcp runs the two-terminal quickstart non-interactively: two real
+# dgsd processes on loopback, one dgsrun -connect query per algorithm.
+smoke-tcp:
+	./scripts/tcp_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

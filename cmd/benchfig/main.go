@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,38 +24,57 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure panel to regenerate (6a..6p)")
-		group   = flag.String("group", "", "experiment group to regenerate")
-		all     = flag.Bool("all", false, "regenerate every figure")
-		scale   = flag.Float64("scale", 1, "dataset size multiplier")
-		queries = flag.Int("queries", 2, "random queries averaged per point")
-		seed    = flag.Int64("seed", 1, "random seed")
+		fig      = flag.String("fig", "", "figure panel to regenerate (6a..6p)")
+		group    = flag.String("group", "", "experiment group to regenerate")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		scale    = flag.Float64("scale", 1, "dataset size multiplier")
+		queries  = flag.Int("queries", 2, "random queries averaged per point")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonPath = flag.String("json", "", "also write the produced figures as JSON to this file (BENCH_*.json recording)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	var produced []*bench.Figure
 	switch {
 	case *all:
 		for _, g := range bench.Groups() {
-			runGroup(g, cfg)
+			produced = append(produced, runGroup(g, cfg)...)
 		}
 	case *group != "":
-		runGroup(*group, cfg)
+		produced = runGroup(*group, cfg)
 	case *fig != "":
 		figs, err := bench.RunFigure(*fig, cfg)
 		if err != nil {
 			fail(err)
 		}
 		print(figs)
+		produced = figs
 	default:
 		fmt.Fprintln(os.Stderr, "usage: benchfig -fig 6a | -group exp1-F | -all")
 		fmt.Fprintln(os.Stderr, "figures:", bench.Figures())
 		fmt.Fprintln(os.Stderr, "groups: ", bench.Groups())
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		record := struct {
+			Scale   float64         `json:"scale"`
+			Queries int             `json:"queries"`
+			Seed    int64           `json:"seed"`
+			Figures []*bench.Figure `json:"figures"`
+		}{*scale, *queries, *seed, produced}
+		blob, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("# wrote %s\n", *jsonPath)
+	}
 }
 
-func runGroup(name string, cfg bench.Config) {
+func runGroup(name string, cfg bench.Config) []*bench.Figure {
 	start := time.Now()
 	figs, err := bench.RunGroup(name, cfg)
 	if err != nil {
@@ -62,6 +82,7 @@ func runGroup(name string, cfg bench.Config) {
 	}
 	print(figs)
 	fmt.Printf("# group %s completed in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	return figs
 }
 
 func print(figs []*bench.Figure) {

@@ -1,0 +1,56 @@
+// Command dgsd is the dgs site-server daemon: it hosts graph fragments
+// shipped by a driver over TCP and runs their site actors for every
+// session the driver opens — queries, live-update distribution, and
+// standing-query maintenance. One daemon backs one deployment at a time
+// (like one EC2 instance in the paper's §6 setup) and resets when its
+// driver disconnects, ready for the next.
+//
+// Usage:
+//
+//	dgsd -listen :7332
+//
+// Then, from the driver side, either the library:
+//
+//	dep, err := dgs.Deploy(part, dgs.WithRemoteSites("site1:7332", "site2:7332"))
+//
+// or the CLI:
+//
+//	dgsrun -connect site1:7332,site2:7332 -algo dgpm ...
+//
+// The daemon can serve every algorithm compiled into it (this binary
+// imports all of them; the startup line lists the registry). Protocol
+// details — handshake, fragment shipping, framing, versioning — are in
+// docs/WIRE.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dgs/internal/transport/tcpnet"
+
+	// Imported for their cluster-registry entries: a daemon can only
+	// instantiate sites for algorithms linked into it.
+	_ "dgs/internal/baseline"
+	_ "dgs/internal/dagcheck"
+	_ "dgs/internal/dagsim"
+	_ "dgs/internal/dgpm"
+	_ "dgs/internal/treesim"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7332", "TCP address to serve sites on")
+		quiet  = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+	)
+	flag.Parse()
+	srv := &tcpnet.Server{}
+	if *quiet {
+		srv.Logf = func(string, ...any) {}
+	}
+	if err := tcpnet.ListenAndServe(*listen, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "dgsd:", err)
+		os.Exit(1)
+	}
+}

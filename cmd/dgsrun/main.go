@@ -9,6 +9,7 @@
 //	dgsrun -algo dgpmt -gen tree -nodes 100000 -frags 8
 //	dgsrun -algo match -graph g.dgsg -query q.pat -frags 4
 //	dgsrun -ec2 -repeat 5          # EC2-like link model, amortized serving
+//	dgsrun -connect host1:7332,host2:7332   # sites live in dgsd daemons
 //
 // The query file uses the pattern DSL (node <name> <label> / edge <a> <b>);
 // without -query a generated query is used. -repeat N answers the query
@@ -54,6 +55,7 @@ func main() {
 		showAll   = flag.Bool("matches", false, "print the full match relation")
 		ec2       = flag.Bool("ec2", false, "charge the EC2-like link cost model (paper §6)")
 		repeat    = flag.Int("repeat", 1, "serve the query N times on the one deployment")
+		connect   = flag.String("connect", "", "comma-separated dgsd addresses: deploy the fragments over TCP instead of in-process")
 	)
 	flag.Parse()
 
@@ -135,6 +137,17 @@ func main() {
 	if *ec2 {
 		dopts = append(dopts, dgs.WithNetwork(dgs.EC2Network()))
 	}
+	if *connect != "" {
+		if *ec2 {
+			fail(fmt.Errorf("-ec2 emulates a network; -connect uses a real one (pick one)"))
+		}
+		addrs := strings.Split(*connect, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		dopts = append(dopts, dgs.WithRemoteSites(addrs...))
+		fmt.Printf("connect:   shipping %d fragments to %d dgsd site servers\n", *frags, len(addrs))
+	}
 	qopts := []dgs.QueryOption{dgs.WithAlgorithm(algo)}
 	if *gen == "citation" {
 		qopts = append(qopts, dgs.WithGraphIsDAG())
@@ -170,6 +183,9 @@ func main() {
 	fmt.Printf("PT:        %v (busiest site %v)\n", st.Wall.Round(0), st.MaxSiteBusy.Round(0))
 	fmt.Printf("DS:        %.2f KB in %d messages (+%d control B, +%d result B)\n",
 		float64(st.DataBytes)/1024, st.DataMsgs, st.ControlBytes, st.ResultBytes)
+	if dep.Remote() {
+		fmt.Printf("wire:      %.2f KB measured on the TCP path (frames + acks)\n", float64(st.WireBytes)/1024)
+	}
 	fmt.Printf("rounds:    %d\n", st.Rounds)
 	if *showAll {
 		for u := 0; u < q.NumNodes(); u++ {

@@ -1,5 +1,5 @@
 // Command gengraph generates workload data graphs (the paper's Yahoo /
-// Citation / synthetic stand-ins; DESIGN.md §2) and saves them in the
+// Citation / synthetic stand-ins; see the internal/bench package comment) and saves them in the
 // DGSG1 binary format for dgsrun -graph.
 //
 // Usage:

@@ -110,59 +110,102 @@ var confAlgos = []Algorithm{
 	AlgoDGPM, AlgoDGPMNoOpt, AlgoDGPMd, AlgoDGPMt, AlgoMatch, AlgoDisHHK, AlgoDMes,
 }
 
+// confModes are the transport backends the matrix runs over: the
+// in-process channel network and a deployment spanning two dgsd site
+// servers over loopback TCP. extra returns per-deployment DeployOptions
+// (the TCP mode starts its daemons once per test run and reuses them —
+// a daemon serves one deployment at a time and resets in between).
+func confModes(t *testing.T) []struct {
+	name  string
+	extra func(t *testing.T) []DeployOption
+} {
+	t.Helper()
+	var tcpAddrs []string
+	return []struct {
+		name  string
+		extra func(t *testing.T) []DeployOption
+	}{
+		{"inproc", func(t *testing.T) []DeployOption { return nil }},
+		{"tcp", func(t *testing.T) []DeployOption {
+			if testing.Short() {
+				t.Skip("loopback-TCP matrix skipped in -short mode")
+			}
+			if tcpAddrs == nil {
+				tcpAddrs = startSiteServers(t, 2)
+			}
+			return []DeployOption{WithRemoteSites(tcpAddrs...)}
+		}},
+	}
+}
+
 // TestConformanceMatrix — all seven algorithms × {cyclic, DAG, tree}
-// workloads × {Random, Blocks, TargetRatio} partitions agree with
-// centralized Simulate. Combinations outside an algorithm's
-// preconditions (dGPMd needs a DAG pattern or DAG graph; dGPMt needs a
-// tree graph) are skipped explicitly.
+// workloads × {Random, Blocks, TargetRatio} partitions × {in-process,
+// loopback-TCP} transports agree with centralized Simulate.
+// Combinations outside an algorithm's preconditions (dGPMd needs a DAG
+// pattern or DAG graph; dGPMt needs a tree graph) are skipped
+// explicitly. On the TCP backend every deployment spans two dgsd
+// processes' worth of site servers and must additionally report real
+// measured wire bytes.
 func TestConformanceMatrix(t *testing.T) {
 	ctx := context.Background()
-	covered := make(map[Algorithm]bool)
-	for _, wl := range confWorkloads(t) {
-		for pname, part := range confPartitions(t, wl) {
-			dep, err := Deploy(part)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, cq := range wl.queries {
-				oracle := Simulate(cq.q, wl.g)
-				for _, algo := range confAlgos {
-					name := fmt.Sprintf("%s/%s/%s/%s", wl.name, pname, cq.name, algo)
-					t.Run(name, func(t *testing.T) {
-						var opts []QueryOption
-						switch algo {
-						case AlgoDGPMd:
-							if !cq.q.IsDAG() && !wl.gIsDAG {
-								t.Skip("dGPMd needs a DAG pattern or a DAG graph")
-							}
-							if wl.gIsDAG {
-								opts = append(opts, WithGraphIsDAG())
-							}
-						case AlgoDGPMt:
-							if !wl.gIsTree {
-								t.Skip("dGPMt needs a tree data graph")
-							}
-							if pname != "ConnectedTree" {
-								t.Skip("dGPMt needs connected-subtree fragments (Corollary 4)")
-							}
+	for _, mode := range confModes(t) {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			covered := make(map[Algorithm]bool)
+			for _, wl := range confWorkloads(t) {
+				for pname, part := range confPartitions(t, wl) {
+					dep, err := Deploy(part, mode.extra(t)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, cq := range wl.queries {
+						oracle := Simulate(cq.q, wl.g)
+						for _, algo := range confAlgos {
+							name := fmt.Sprintf("%s/%s/%s/%s", wl.name, pname, cq.name, algo)
+							t.Run(name, func(t *testing.T) {
+								var opts []QueryOption
+								switch algo {
+								case AlgoDGPMd:
+									if !cq.q.IsDAG() && !wl.gIsDAG {
+										t.Skip("dGPMd needs a DAG pattern or a DAG graph")
+									}
+									if wl.gIsDAG {
+										opts = append(opts, WithGraphIsDAG())
+									}
+								case AlgoDGPMt:
+									if !wl.gIsTree {
+										t.Skip("dGPMt needs a tree data graph")
+									}
+									if pname != "ConnectedTree" {
+										t.Skip("dGPMt needs connected-subtree fragments (Corollary 4)")
+									}
+								}
+								res, err := dep.Query(ctx, cq.q, append(opts, WithAlgorithm(algo))...)
+								if err != nil {
+									t.Fatalf("%s: %v", name, err)
+								}
+								if !res.Match.Equal(oracle) {
+									t.Fatalf("%s: diverges from Simulate\noracle %v\ngot    %v", name, oracle, res.Match)
+								}
+								traffic := res.Stats.DataBytes + res.Stats.ControlBytes + res.Stats.ResultBytes
+								if dep.Remote() && traffic > 0 && res.Stats.WireBytes == 0 {
+									t.Fatalf("%s: remote query reported no measured wire bytes", name)
+								}
+								if !dep.Remote() && res.Stats.WireBytes != 0 {
+									t.Fatalf("%s: in-process query reported wire bytes", name)
+								}
+								covered[algo] = true
+							})
 						}
-						res, err := dep.Query(ctx, cq.q, append(opts, WithAlgorithm(algo))...)
-						if err != nil {
-							t.Fatalf("%s: %v", name, err)
-						}
-						if !res.Match.Equal(oracle) {
-							t.Fatalf("%s: diverges from Simulate\noracle %v\ngot    %v", name, oracle, res.Match)
-						}
-						covered[algo] = true
-					})
+					}
+					dep.Close()
 				}
 			}
-			dep.Close()
-		}
-	}
-	for _, algo := range confAlgos {
-		if !covered[algo] {
-			t.Fatalf("algorithm %s was never exercised by the matrix", algo)
-		}
+			for _, algo := range confAlgos {
+				if !covered[algo] {
+					t.Fatalf("algorithm %s was never exercised by the matrix", algo)
+				}
+			}
+		})
 	}
 }

@@ -18,8 +18,14 @@ import (
 	"dgs/internal/dagsim"
 	"dgs/internal/dgpm"
 	"dgs/internal/simulation"
+	"dgs/internal/transport/tcpnet"
 	"dgs/internal/treesim"
 )
+
+// Transport is the pluggable wire backend a Deployment runs on: the
+// in-process channel network by default, loopback/remote TCP via
+// WithRemoteSites, or any custom implementation via WithTransport.
+type Transport = cluster.Transport
 
 // Network models per-deployment link cost: pipelined propagation latency,
 // serialized per-site receive bandwidth, and per-message receive
@@ -94,17 +100,48 @@ func WithGraphIsDAG() QueryOption {
 
 // deployConfig collects Deploy-time settings.
 type deployConfig struct {
-	net      cluster.Network
-	defaults queryConfig
+	net         cluster.Network
+	transport   cluster.Transport
+	remoteAddrs []string
+	dialTimeout time.Duration
+	defaults    queryConfig
 }
 
 // DeployOption configures a Deployment at Deploy time.
 type DeployOption func(*deployConfig)
 
-// WithNetwork installs the deployment's link cost model. The default is
-// the free zero Network.
+// WithNetwork installs the deployment's emulated link cost model. The
+// default is the free zero Network. Only meaningful for in-process
+// deployments — a TCP deployment pays its real network instead.
 func WithNetwork(n Network) DeployOption {
 	return func(dc *deployConfig) { dc.net = cluster.Network(n) }
+}
+
+// WithRemoteSites deploys over TCP: one dgsd daemon per address, each
+// hosting a contiguous block of the fragments, shipped at Deploy time.
+// The deployment then spans OS processes — queries, live updates and
+// standing queries work exactly as in-process, and Stats.WireBytes
+// reports the measured socket traffic per query. Deploy fails if any
+// daemon is unreachable, speaks a different protocol version, or
+// rejects its fragments.
+func WithRemoteSites(addrs ...string) DeployOption {
+	return func(dc *deployConfig) { dc.remoteAddrs = append([]string(nil), addrs...) }
+}
+
+// WithDialTimeout bounds each daemon connect + fragment shipment of a
+// WithRemoteSites deployment (default 30s).
+func WithDialTimeout(d time.Duration) DeployOption {
+	return func(dc *deployConfig) { dc.dialTimeout = d }
+}
+
+// WithTransport installs a caller-built Transport (expert use: tests,
+// custom backends). The transport must host exactly the partition's
+// fragments. Unless it declares cluster.FragmentSharer (sites operate
+// on the driver's own fragment objects), it is treated as remote:
+// Apply replays update batches on the driver's fragmentation to keep
+// its metadata in sync with the sites' copies.
+func WithTransport(tr Transport) DeployOption {
+	return func(dc *deployConfig) { dc.transport = tr }
 }
 
 // WithQueryDefaults sets deployment-level defaults applied to every
@@ -126,6 +163,10 @@ type Deployment struct {
 	part     *Partition
 	c        *cluster.Cluster
 	defaults queryConfig
+	// remote marks a deployment whose sites hold their own fragment
+	// copies (another process); Apply then replays batches locally to
+	// keep the driver's fragmentation metadata in sync.
+	remote bool
 
 	// state guards the resident graph: queries (and standing-query
 	// evaluations) share it, Apply takes it exclusively. In-flight
@@ -140,9 +181,11 @@ type Deployment struct {
 	closed bool
 }
 
-// Deploy makes the fragmentation resident: it starts one site goroutine
-// per fragment plus the coordinator and returns the serving handle.
-// The caller must Close the deployment when done with it.
+// Deploy makes the fragmentation resident and returns the serving
+// handle. In-process (the default), it starts one site goroutine per
+// fragment plus the coordinator; with WithRemoteSites it ships each
+// daemon its fragments over TCP and the sites live there. The caller
+// must Close the deployment when done with it.
 func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 	if part == nil {
 		return nil, errorf("deploy: nil partition")
@@ -151,13 +194,40 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 	for _, o := range opts {
 		o(&dc)
 	}
-	return &Deployment{
+	if dc.transport != nil && len(dc.remoteAddrs) > 0 {
+		return nil, errorf("deploy: WithTransport and WithRemoteSites are mutually exclusive")
+	}
+	d := &Deployment{
 		part:     part,
-		c:        cluster.New(part.NumFragments(), dc.net),
 		defaults: dc.defaults,
 		watchers: make(map[*Maintained]struct{}),
-	}, nil
+	}
+	switch {
+	case dc.transport != nil:
+		if dc.transport.NumSites() != part.NumFragments() {
+			return nil, errorf("deploy: transport hosts %d sites for %d fragments",
+				dc.transport.NumSites(), part.NumFragments())
+		}
+		sharer, ok := dc.transport.(cluster.FragmentSharer)
+		d.remote = !(ok && sharer.SharesDriverFragments())
+		d.c = cluster.NewWithTransport(dc.transport)
+	case len(dc.remoteAddrs) > 0:
+		ctx := context.Background()
+		tr, err := tcpnet.Dial(ctx, dc.remoteAddrs, part.fr, tcpnet.Options{DialTimeout: dc.dialTimeout})
+		if err != nil {
+			return nil, errorf("deploy: %w", err)
+		}
+		d.remote = true
+		d.c = cluster.NewWithTransport(tr)
+	default:
+		d.c = cluster.NewLocal(part.fr, dc.net)
+	}
+	return d, nil
 }
+
+// Remote reports whether the deployment's sites live in other OS
+// processes (fragments were shipped at Deploy time).
+func (d *Deployment) Remote() bool { return d.remote }
 
 // NumSites reports the number of worker sites (= fragments).
 func (d *Deployment) NumSites() int { return d.c.NumSites() }

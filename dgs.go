@@ -11,10 +11,15 @@
 // rank-scheduled dGPMd for DAG patterns/graphs, the two-round dGPMt for
 // tree data graphs, and the evaluation baselines Match, disHHK and dMes.
 //
-// The distributed substrate is simulated in-process: one goroutine per
-// site, real binary message encoding, exact byte accounting. Matching
-// the paper's setting, a graph is fragmented once and then serves a
-// stream of queries: Deploy makes the fragments resident on a running
+// The distributed substrate runs on a pluggable wire transport. The
+// default backend keeps all sites in-process — one goroutine per site,
+// real binary message encoding, exact byte accounting, an optional
+// emulated link cost model — while WithRemoteSites deploys the same
+// fragments across dgsd site-server processes over TCP, where every
+// message crosses a real socket and Stats.WireBytes reports the
+// measured traffic (docs/WIRE.md specifies the protocol). Matching the
+// paper's setting, a graph is fragmented once and then serves a stream
+// of queries: Deploy makes the fragments resident on a running
 // substrate, Deployment.Query evaluates patterns against it — many at a
 // time, with per-query algorithm selection, context cancellation and
 // isolated statistics — and Close tears it down.

@@ -2,7 +2,7 @@ package dgs
 
 // Workload generation facade — the graphs and queries of the paper's
 // evaluation (§6). See internal/workload for the generator details and
-// DESIGN.md §2 for the dataset substitutions.
+// the internal/bench package comment for the scaled dataset sizes.
 
 import (
 	"dgs/internal/graph"

@@ -124,16 +124,41 @@ func (s *shipSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
+// Registered algorithm names of the three baseline sites.
+const (
+	AlgoMatch  = "match"
+	AlgoDisHHK = "dishhk"
+	AlgoDMes   = "dmes"
+)
+
+func init() {
+	cluster.RegisterAlgorithm(AlgoMatch, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		return &shipSite{frag: frag}, nil
+	})
+	cluster.RegisterAlgorithm(AlgoDisHHK, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		q, err := pattern.DecodeBinary(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &candSite{q: q, frag: frag}, nil
+	})
+	cluster.RegisterAlgorithm(AlgoDMes, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		q, err := pattern.DecodeBinary(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		return newDmesSite(q, frag), nil
+	})
+}
+
 // EvalMatch evaluates Q with the naive ship-everything algorithm (§3.1)
 // as one session on a live cluster.
 func EvalMatch(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := range sites {
-		sites[i] = &shipSite{frag: fr.Frags[i]}
-	}
 	coord := newMerger()
-	sess := c.NewSession(sites, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoMatch}, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opShip})
@@ -155,7 +180,7 @@ func EvalMatch(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *
 
 // RunMatch evaluates one query on a throwaway single-query cluster.
 func RunMatch(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	m, st, err := EvalMatch(context.Background(), c, q, fr)
 	if err != nil {

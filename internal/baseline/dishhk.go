@@ -72,13 +72,11 @@ func (s *candSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // EvalDisHHK evaluates Q with the candidate-shipping algorithm of [25]
 // as one session on a live cluster.
 func EvalDisHHK(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := range sites {
-		sites[i] = &candSite{q: q, frag: fr.Frags[i]}
-	}
 	coord := newMerger()
-	sess := c.NewSession(sites, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoDisHHK, Query: pattern.EncodeBinary(q)}, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opCands})
@@ -99,7 +97,7 @@ func EvalDisHHK(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr 
 
 // RunDisHHK evaluates one query on a throwaway single-query cluster.
 func RunDisHHK(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	m, st, err := EvalDisHHK(context.Background(), c, q, fr)
 	if err != nil {

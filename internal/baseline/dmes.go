@@ -212,13 +212,11 @@ func (c *dmesCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // EvalDMes evaluates Q with the superstep vertex-centric algorithm as
 // one session on a live cluster.
 func EvalDMes(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := range sites {
-		sites[i] = newDmesSite(q, fr.Frags[i])
+	coord := &dmesCoord{n: c.NumSites(), nq: q.NumNodes()}
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoDMes, Query: pattern.EncodeBinary(q)}, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
 	}
-	coord := &dmesCoord{n: n, nq: q.NumNodes()}
-	sess := c.NewSession(sites, coord)
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opSuper, Arg: 0})
@@ -243,7 +241,7 @@ func EvalDMes(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *p
 
 // RunDMes evaluates one query on a throwaway single-query cluster.
 func RunDMes(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	m, st, err := EvalDMes(context.Background(), c, q, fr)
 	if err != nil {

@@ -126,15 +126,16 @@ var groups = map[string]struct {
 	"exp2-d":  {[]string{"6g", "6h"}, exp2VaryD},
 	"exp2-F":  {[]string{"6i", "6j"}, exp2VaryF},
 	"exp2-Vf": {[]string{"6k", "6l"}, exp2VaryVf},
-	"exp3-F":  {[]string{"6m", "6n"}, exp3VaryF},
-	"exp3-G":  {[]string{"6o", "6p"}, exp3VaryG},
-	"updates": {[]string{"upd-pt", "upd-ds"}, updatesExp},
+	"exp3-F":    {[]string{"6m", "6n"}, exp3VaryF},
+	"exp3-G":    {[]string{"6o", "6p"}, exp3VaryG},
+	"updates":   {[]string{"upd-pt", "upd-ds"}, updatesExp},
+	"transport": {[]string{"net-pt", "net-ds"}, transportExp},
 }
 
 // Figures lists every reproducible figure ID in order: the paper's 16
-// panels plus the updates experiment's PT/DS pair.
+// panels plus the updates and transport experiments' PT/DS pairs.
 func Figures() []string {
-	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds"}
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds"}
 }
 
 // Groups lists the experiment groups.

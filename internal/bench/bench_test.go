@@ -10,8 +10,8 @@ func tiny() Config { return Config{Scale: 0.05, Queries: 1, Seed: 3, NoNetwork: 
 
 func TestFiguresComplete(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 18 { // the paper's 16 panels + upd-pt/upd-ds
-		t.Fatalf("want 18 panels, got %d", len(ids))
+	if len(ids) != 20 { // the paper's 16 panels + upd-pt/upd-ds + net-pt/net-ds
+		t.Fatalf("want 20 panels, got %d", len(ids))
 	}
 	covered := map[string]bool{}
 	for _, g := range groups {
@@ -24,8 +24,8 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %s has no experiment group", id)
 		}
 	}
-	if len(Groups()) != 10 { // 8 figure groups + ablation + updates
-		t.Fatalf("want 10 groups, got %d", len(Groups()))
+	if len(Groups()) != 11 { // 8 figure groups + ablation + updates + transport
+		t.Fatalf("want 11 groups, got %d", len(Groups()))
 	}
 }
 
@@ -200,5 +200,35 @@ func TestUpdatesGroupShape(t *testing.T) {
 	// re-answering it from scratch, summed over the whole stream.
 	if inc >= rec {
 		t.Fatalf("incremental DS %.2fKB not below recompute DS %.2fKB", inc, rec)
+	}
+}
+
+func TestTransportGroupShape(t *testing.T) {
+	figs, err := RunGroup("transport", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "net-pt" || figs[1].ID != "net-ds" {
+		t.Fatalf("transport figures: %v", figs)
+	}
+	ds := figs[1]
+	if len(ds.Series) != 3 {
+		t.Fatalf("want inproc/tcp/wire series, got %d", len(ds.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range ds.Series {
+		byName[s.Name] = s
+	}
+	for i := range byName["wire/tcp"].Points {
+		wire := byName["wire/tcp"].Points[i].DSkb
+		payload := byName["dGPM/tcp"].Points[i].DSkb
+		// Framing, acks and control traffic ride on top of the payload —
+		// the measured wire bytes must strictly dominate the exact DS.
+		if wire <= payload {
+			t.Fatalf("point %d: wire %.2fKB not above payload %.2fKB", i, wire, payload)
+		}
+		if byName["dGPM/inproc"].Points[i].DSkb == 0 {
+			t.Fatalf("point %d: in-process arm shipped nothing", i)
+		}
 	}
 }

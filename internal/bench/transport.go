@@ -1,0 +1,113 @@
+package bench
+
+// The transport experiment (beyond the paper's figures): the identical
+// dGPM workload served by the two wire backends — the in-process channel
+// network (zero-cost links, the setting of every other figure) and a
+// deployment spanning two loopback-TCP site servers (real sockets, hub
+// routing, per-message acks). Payload DS is near-identical — the same
+// protocol runs either way, modulo arrival-order effects on how the
+// asynchronous fixpoint batches falsifications — so the comparison
+// isolates what a real wire adds: measured frame/ack overhead
+// (WireBytes) and transport latency (PT). This is the repro point for
+// the "bounded communication survives a real byte stream" claim.
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"dgs"
+	"dgs/internal/transport/tcpnet"
+)
+
+// transportExp produces the "net-pt"/"net-ds" panels: PT and bytes per
+// fragment count |F|, for {in-process, loopback TCP}. The DS panel
+// carries three series: payload DS on each backend (equal, by design)
+// and the TCP backend's measured wire bytes.
+func transportExp(cfg Config) ([]*Figure, error) {
+	ctx := context.Background()
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV/2), cfg.scaled(webNE/2), cfg.Seed)
+	queries := make([]*dgs.Pattern, cfg.Queries)
+	for i := range queries {
+		queries[i] = dgs.GenCyclicPatternOver(dict, 5, 10, 4, cfg.Seed+int64(i)*17)
+	}
+
+	// Two site servers on loopback, reused across sweep points.
+	addrs := make([]string, 2)
+	listeners := make([]net.Listener, 2)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &tcpnet.Server{}
+		go srv.Serve(lis)
+		listeners[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	defer func() {
+		for _, lis := range listeners {
+			lis.Close()
+		}
+	}()
+
+	type arm struct {
+		name string
+		opts []dgs.DeployOption
+	}
+	arms := []arm{
+		{"inproc", nil},
+		{"tcp", []dgs.DeployOption{dgs.WithRemoteSites(addrs...)}},
+	}
+
+	fragCounts := []int{2, 4, 8}
+	pt := &Figure{ID: "net-pt", Title: "in-process vs loopback TCP, dGPM", XLabel: "|F|", YLabel: "PT (ms)"}
+	ds := &Figure{ID: "net-ds", Title: "in-process vs loopback TCP, dGPM", XLabel: "|F|", YLabel: "DS (KB)"}
+	ptSeries := map[string]*Series{}
+	dsSeries := map[string]*Series{}
+	for _, a := range arms {
+		ptSeries[a.name] = &Series{Name: "dGPM/" + a.name}
+		dsSeries[a.name] = &Series{Name: "dGPM/" + a.name}
+	}
+	wireSeries := &Series{Name: "wire/tcp"}
+
+	for _, nf := range fragCounts {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.25, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprint(nf)
+		var wireKB float64
+		for _, a := range arms {
+			dep, err := dgs.Deploy(part, a.opts...)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.name, err)
+			}
+			var m measurement
+			var wire int64
+			for _, q := range queries {
+				res, err := dep.Query(ctx, q)
+				if err != nil {
+					dep.Close()
+					return nil, fmt.Errorf("%s: %w", a.name, err)
+				}
+				m.add(res.Stats)
+				wire += res.Stats.WireBytes
+			}
+			dep.Close()
+			ptSeries[a.name].Points = append(ptSeries[a.name].Points, m.point(x))
+			dsSeries[a.name].Points = append(dsSeries[a.name].Points, m.point(x))
+			if a.name == "tcp" {
+				wireKB = float64(wire) / 1024 / float64(len(queries))
+			}
+		}
+		wireSeries.Points = append(wireSeries.Points, Point{X: x, DSkb: wireKB})
+	}
+	for _, a := range arms {
+		pt.Series = append(pt.Series, *ptSeries[a.name])
+		ds.Series = append(ds.Series, *dsSeries[a.name])
+	}
+	ds.Series = append(ds.Series, *wireSeries)
+	return []*Figure{pt, ds}, nil
+}

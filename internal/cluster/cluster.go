@@ -1,29 +1,36 @@
-// Package cluster is the distributed-runtime substrate: it simulates the
-// paper's EC2 deployment (§6) with one goroutine per site, an in-process
-// network that really serializes every message through internal/wire, and
-// exact per-kind byte accounting. Sites are reactive actors — they only
-// act on received messages — which matches the asynchronous message
-// passing model of dGPM (Fig. 3) as well as the superstep coordination
-// dMes needs.
+// Package cluster is the distributed-runtime substrate: a driver-side
+// coordinator plus n worker sites reached through a pluggable Transport.
+// With the in-process backend it simulates the paper's EC2 deployment
+// (§6) — one goroutine per site, every message really serialized through
+// internal/wire, exact per-kind byte accounting — and with the TCP
+// backend (internal/transport/tcpnet) the same sessions span OS
+// processes, the sites living in dgsd daemons. Sites are reactive actors
+// — they only act on received messages — which matches the asynchronous
+// message passing model of dGPM (Fig. 3) as well as the superstep
+// coordination dMes needs.
 //
 // The substrate is persistent: a Cluster is created once (the fragments
 // become resident at its sites) and then serves any number of queries,
-// sequentially or concurrently. Each query runs as a Session — a set of
-// per-site handlers registered under a fresh query ID. Every envelope
-// carries its session's query ID, so one site goroutine serves all
-// in-flight queries, processing their messages serially per site (one
-// machine, one event loop) while different sites run concurrently.
-// Stats, quiescence detection and round counting are all per-session,
-// which is what gives concurrent queries isolated accounting.
+// sequentially or concurrently. Each query runs as a Session — per-site
+// handlers registered under a fresh query ID, instantiated from a
+// SessionSpec by the site-factory registry so that a remote site can
+// build them from its resident fragment. Every envelope carries its
+// session's query ID, so one site serves all in-flight queries,
+// processing their messages serially per site (one machine, one event
+// loop) while different sites run concurrently. Stats, quiescence
+// detection and round counting are all per-session, which is what gives
+// concurrent queries isolated accounting.
 //
 // Termination: the paper's dGPM detects a fixpoint via changed-flags at
 // the coordinator. The runtime provides the equivalent guarantee with a
-// per-session in-flight message counter — the count is positive while any
-// of the session's messages is undelivered or being processed, so
+// per-session in-flight message counter — the count is positive while
+// any of the session's messages is undelivered or being processed, so
 // reaching zero certifies that query's global quiescence (sites are
-// reactive, so no new message can appear out of thin air). Algorithms
-// still exchange their protocol's control traffic, which is accounted
-// separately from data shipment.
+// reactive, so no new message can appear out of thin air). On the TCP
+// backend every message is routed through the driver and acknowledged
+// after processing, which preserves the same invariant across process
+// boundaries. Algorithms still exchange their protocol's control
+// traffic, which is accounted separately from data shipment.
 package cluster
 
 import (
@@ -44,14 +51,15 @@ const Coordinator = -1
 // whole cluster) was closed while waiting.
 var ErrClosed = errors.New("cluster: session closed")
 
-// Network models link cost. Propagation latency pipelines — a message
-// becomes deliverable Latency after it was sent, regardless of how many
-// others are in flight — while receive bandwidth serializes: each
-// receiving site drains one message at a time at Bandwidth bytes/sec
-// (one NIC per site, shared by all sessions). The zero Network delivers
-// instantly — the right setting for unit tests. Benchmarks use EC2Network
-// to reproduce the paper's cluster economics, where shipping a fragment
-// costs real time while a falsification batch is nearly free.
+// Network models link cost for the in-process backend. Propagation
+// latency pipelines — a message becomes deliverable Latency after it was
+// sent, regardless of how many others are in flight — while receive
+// bandwidth serializes: each receiving site drains one message at a time
+// at Bandwidth bytes/sec (one NIC per site, shared by all sessions). The
+// zero Network delivers instantly — the right setting for unit tests.
+// Benchmarks use EC2Network to reproduce the paper's cluster economics;
+// the TCP backend ignores the model because a real network charges real
+// time.
 type Network struct {
 	Latency   time.Duration // per-message propagation delay (pipelined)
 	Bandwidth int64         // bytes per second per receiver; 0 = infinite
@@ -99,6 +107,11 @@ type Stats struct {
 	Wall         time.Duration // set by the driver
 	MaxSiteBusy  time.Duration // longest per-site cumulative Recv time
 	Rounds       int64         // algorithm-defined (communication rounds)
+	// WireBytes is the measured transport-level traffic of the session —
+	// real socket bytes including frame headers on the TCP backend, 0 on
+	// the in-process backend (nothing touches a wire there). Payload
+	// byte counts above are exact on both backends.
+	WireBytes int64
 }
 
 // TotalMsgs reports all messages exchanged.
@@ -117,6 +130,7 @@ func (s Stats) Minus(o Stats) Stats {
 		ControlMsgs:  s.ControlMsgs - o.ControlMsgs,
 		ResultMsgs:   s.ResultMsgs - o.ResultMsgs,
 		Rounds:       s.Rounds - o.Rounds,
+		WireBytes:    s.WireBytes - o.WireBytes,
 		Wall:         s.Wall,
 		MaxSiteBusy:  s.MaxSiteBusy,
 	}
@@ -182,43 +196,58 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// Cluster wires n sites plus a coordinator together and keeps their
-// goroutines alive across queries. Create it once per deployment with
-// New, run queries as Sessions, and Shutdown when done.
+// Cluster is the driver side of a deployment: it runs the coordinator
+// actor, tracks sessions, and reaches the n worker sites through its
+// Transport. Create it once per deployment, run queries as Sessions, and
+// Shutdown when done.
 type Cluster struct {
-	n     int
-	net   Network
-	boxes []*mailbox // index n is the coordinator
-	wg    sync.WaitGroup
+	n        int
+	tr       Transport
+	net      Network // link emulation, when the transport models one
+	coordBox *mailbox
+	wg       sync.WaitGroup
 
 	mu       sync.RWMutex
 	sessions map[uint64]*Session
 	nextQID  uint64
 	closed   bool
+	// dead is set when the transport reports a deployment-fatal failure
+	// (Fail(0)): new sessions are born closed — their waiters observe
+	// deadErr — instead of hanging on a transport that drops every send.
+	dead    bool
+	deadErr error
 }
 
-// New creates a cluster of n sites with the given link model and spawns
-// the long-lived site goroutines. The network is a per-cluster property —
-// there is deliberately no process-global default.
-func New(n int, net Network) *Cluster {
+// NewWithTransport wires a Cluster onto an unbound Transport and starts
+// the coordinator actor. The transport's site count fixes n.
+func NewWithTransport(tr Transport) *Cluster {
 	c := &Cluster{
-		n:        n,
-		net:      net,
+		n:        tr.NumSites(),
+		tr:       tr,
 		sessions: make(map[uint64]*Session),
+		coordBox: newMailbox(),
 	}
-	c.boxes = make([]*mailbox, n+1)
-	for i := range c.boxes {
-		c.boxes[i] = newMailbox()
+	if lm, ok := tr.(interface{ LinkModel() Network }); ok {
+		c.net = lm.LinkModel()
 	}
-	for i := 0; i <= n; i++ {
-		c.wg.Add(1)
-		go c.siteLoop(i)
-	}
+	c.wg.Add(1)
+	go c.coordLoop()
+	tr.Bind(c)
 	return c
+}
+
+// New creates a cluster of n in-process sites with the given link model
+// and no resident fragments — the handler-session substrate tests and
+// custom protocols use. Deployments with fragments use NewLocal.
+func New(n int, net Network) *Cluster {
+	return NewWithTransport(NewInProc(n, nil, net))
 }
 
 // NumSites reports the number of worker sites (excluding the coordinator).
 func (c *Cluster) NumSites() int { return c.n }
+
+// Transport returns the cluster's transport backend.
+func (c *Cluster) Transport() Transport { return c.tr }
 
 // ActiveSessions counts the registered sessions of the given kind —
 // introspection for tests and operators (e.g. how many standing queries
@@ -235,7 +264,8 @@ func (c *Cluster) ActiveSessions(kind SessionKind) int {
 	return n
 }
 
-// Network reports the cluster's link model.
+// Network reports the emulated link model (zero when the transport is a
+// real network).
 func (c *Cluster) Network() Network { return c.net }
 
 // SessionKind labels what a session multiplexed on the cluster is for.
@@ -258,53 +288,100 @@ func (k SessionKind) String() string {
 	return "query"
 }
 
-// NewSession registers a query-kind session; see NewSessionKind.
-func (c *Cluster) NewSession(sites []Handler, coord Handler) *Session {
-	return c.NewSessionKind(SessionQuery, sites, coord)
-}
-
-// NewSessionKind registers one handler per site plus the coordinator
-// handler under a fresh query ID and returns the session. Handlers are
-// installed before the session's first message can be sent, so no
-// delivery races registration. Sessions of different kinds multiplex
-// over the same site goroutines; the kind is introspection metadata
-// (ActiveSessions) plus documentation of the session's lifetime. On a
-// shut-down cluster the returned session is already closed: sends are
+// newSession allocates and registers a session shell. ok=false on a
+// shut-down cluster: the returned session is already closed — sends are
 // dropped and WaitQuiesce reports ErrClosed.
-func (c *Cluster) NewSessionKind(kind SessionKind, sites []Handler, coord Handler) *Session {
-	if len(sites) != c.n {
-		panic(fmt.Sprintf("cluster: %d handlers for %d sites", len(sites), c.n))
-	}
+func (c *Cluster) newSession(kind SessionKind, coord Handler) (*Session, bool) {
 	s := &Session{
-		c:        c,
-		kind:     kind,
-		handlers: append(append([]Handler(nil), sites...), coord),
-		quiesce:  make(chan struct{}, 1),
-		abort:    make(chan struct{}),
-		perKind:  make(map[wire.Kind]int64),
-		busy:     make([]time.Duration, c.n+1),
+		c:       c,
+		kind:    kind,
+		coord:   coord,
+		quiesce: make(chan struct{}, 1),
+		abort:   make(chan struct{}),
+		perKind: make(map[wire.Kind]int64),
+		busy:    make([]time.Duration, c.n+1),
 	}
-	s.ctxs = make([]Ctx, c.n+1)
-	for i := range s.ctxs {
-		s.ctxs[i] = Ctx{s: s, self: c.externalID(i)}
+	s.coordCtx = &Ctx{
+		self:      Coordinator,
+		n:         c.n,
+		send:      func(to int, p wire.Payload) { s.send(Coordinator, to, p) },
+		addRounds: s.AddRounds,
 	}
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.dead {
+		err := c.deadErr
 		c.mu.Unlock()
-		s.drop()
-		return s
+		if err != nil {
+			s.fail(err)
+		} else {
+			s.drop()
+		}
+		return s, false
 	}
 	c.nextQID++
 	s.qid = c.nextQID
 	c.sessions[s.qid] = s
 	c.mu.Unlock()
+	return s, true
+}
+
+// OpenSession registers a session whose site handlers are instantiated
+// from spec — by the in-process registry or by remote daemons, depending
+// on the backend. Handlers are installed (or their installation frames
+// are ordered ahead on every connection) before the session's first
+// message can be sent, so no delivery races registration. A synchronous
+// resolution failure returns an error; remote failures surface through
+// WaitQuiesce. On a shut-down cluster the returned session is already
+// closed: sends are dropped and WaitQuiesce reports ErrClosed.
+func (c *Cluster) OpenSession(kind SessionKind, spec SessionSpec, coord Handler) (*Session, error) {
+	s, ok := c.newSession(kind, coord)
+	if !ok {
+		return s, nil
+	}
+	if err := c.tr.Open(s.qid, kind, spec); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSession registers a query-kind direct-handler session; see
+// NewSessionKind.
+func (c *Cluster) NewSession(sites []Handler, coord Handler) *Session {
+	return c.NewSessionKind(SessionQuery, sites, coord)
+}
+
+// NewSessionKind registers one caller-built handler per site plus the
+// coordinator handler under a fresh query ID and returns the session.
+// Direct handler installation requires an in-process transport
+// (HandlerOpener); networked deployments open sessions from a
+// SessionSpec instead. On a shut-down cluster the returned session is
+// already closed: sends are dropped and WaitQuiesce reports ErrClosed.
+func (c *Cluster) NewSessionKind(kind SessionKind, sites []Handler, coord Handler) *Session {
+	if len(sites) != c.n {
+		panic(fmt.Sprintf("cluster: %d handlers for %d sites", len(sites), c.n))
+	}
+	ho, ok := c.tr.(HandlerOpener)
+	if !ok {
+		panic("cluster: direct handler sessions require an in-process transport; open a SessionSpec session instead")
+	}
+	s, live := c.newSession(kind, coord)
+	if !live {
+		return s
+	}
+	if err := ho.OpenHandlers(s.qid, sites); err != nil {
+		panic(err) // in-process installation cannot fail on a live host
+	}
 	return s
 }
 
-func (c *Cluster) siteLoop(idx int) {
+// coordLoop is the coordinator actor: it serially processes every
+// session's coordinator-addressed messages, mirroring a worker site's
+// event loop (one machine, one event loop).
+func (c *Cluster) coordLoop() {
 	defer c.wg.Done()
 	for {
-		env, ok := c.boxes[idx].get()
+		env, ok := c.coordBox.get()
 		if !ok {
 			return
 		}
@@ -312,7 +389,6 @@ func (c *Cluster) siteLoop(idx int) {
 		s := c.sessions[env.qid]
 		c.mu.RUnlock()
 		if s == nil {
-			// Session already unregistered (query abandoned): discard.
 			continue
 		}
 		if s.dropped.Load() {
@@ -320,7 +396,6 @@ func (c *Cluster) siteLoop(idx int) {
 			continue
 		}
 		if !env.sent.IsZero() {
-			// Pipelined propagation latency, then serialized NIC drain.
 			if wait := time.Until(env.sent.Add(c.net.Latency)); wait > 0 {
 				time.Sleep(wait)
 			}
@@ -330,39 +405,99 @@ func (c *Cluster) siteLoop(idx int) {
 		}
 		p, err := wire.Decode(env.data)
 		if err != nil {
-			panic(fmt.Sprintf("cluster: site %d received undecodable message from %d: %v", c.externalID(idx), env.from, err))
+			panic(fmt.Sprintf("cluster: coordinator received undecodable message from %d: %v", env.from, err))
 		}
 		start := time.Now()
-		s.handlers[idx].Recv(&s.ctxs[idx], env.from, p)
+		s.coord.Recv(s.coordCtx, env.from, p)
 		el := time.Since(start)
 		s.statMu.Lock()
-		s.busy[idx] += el
+		s.busy[c.n] += el
 		s.statMu.Unlock()
 		s.done()
 	}
 }
 
-func (c *Cluster) externalID(idx int) int {
-	if idx == c.n {
-		return Coordinator
+// --- Events (transport upcalls) ---
+
+// SiteSent implements Events: account a site-originated message and
+// route it — to the coordinator actor or back out through the transport.
+func (c *Cluster) SiteSent(qid uint64, from, to int, data []byte) {
+	c.mu.RLock()
+	s := c.sessions[qid]
+	c.mu.RUnlock()
+	if s == nil || s.dropped.Load() {
+		return // abandoned session: suppress, exactly like Session.send
 	}
-	return idx
+	s.route(from, to, data)
 }
 
-func (c *Cluster) internalIdx(id int) int {
-	if id == Coordinator {
-		return c.n
+// Deliver implements Events: enqueue a coordinator-addressed message
+// whose accounting already happened.
+func (c *Cluster) Deliver(qid uint64, from int, data []byte) {
+	env := envelope{qid: qid, from: from, data: data}
+	if c.net.Latency > 0 || c.net.Bandwidth > 0 || c.net.PerMsg > 0 {
+		env.sent = time.Now()
 	}
-	if id < 0 || id >= c.n {
-		panic(fmt.Sprintf("cluster: invalid site id %d", id))
-	}
-	return id
+	c.coordBox.put(env)
 }
 
-// Shutdown closes every active session, stops all site goroutines and
-// waits for them. Idempotent.
+// Retired implements Events: retire one processed message and fold in
+// the handler's busy time and recorded rounds.
+func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64) {
+	c.mu.RLock()
+	s := c.sessions[qid]
+	c.mu.RUnlock()
+	if s == nil {
+		return
+	}
+	if busy > 0 || rounds > 0 {
+		s.statMu.Lock()
+		if site >= 0 && site < len(s.busy) {
+			s.busy[site] += busy
+		}
+		s.stats.Rounds += rounds
+		s.statMu.Unlock()
+	}
+	s.done()
+}
+
+// Fail implements Events: abort one session (or, with qid 0, all of
+// them) with err; WaitQuiesce observes err. A deployment-fatal failure
+// also poisons the cluster — the transport is gone, so sessions opened
+// afterwards fail immediately instead of waiting on dropped sends.
+func (c *Cluster) Fail(qid uint64, err error) {
+	var failed []*Session
+	if qid == 0 {
+		c.mu.Lock()
+		if !c.dead {
+			c.dead = true
+			c.deadErr = err
+		}
+		for _, s := range c.sessions {
+			failed = append(failed, s)
+		}
+		c.mu.Unlock()
+	} else {
+		c.mu.RLock()
+		if s := c.sessions[qid]; s != nil {
+			failed = append(failed, s)
+		}
+		c.mu.RUnlock()
+	}
+	for _, s := range failed {
+		s.fail(err)
+	}
+}
+
+// Shutdown closes every active session, tears the transport down and
+// stops the coordinator actor. Idempotent.
 func (c *Cluster) Shutdown() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
 	c.closed = true
 	active := make([]*Session, 0, len(c.sessions))
 	for _, s := range c.sessions {
@@ -372,30 +507,29 @@ func (c *Cluster) Shutdown() {
 	for _, s := range active {
 		s.Close()
 	}
-	for _, b := range c.boxes {
-		b.close()
-	}
+	c.tr.Shutdown()
+	c.coordBox.close()
 	c.wg.Wait()
 }
 
-// Session is one query's view of the cluster: its handlers, its stats,
-// and its quiescence state. Sessions are created by Cluster.NewSession
-// and must be Closed when the query completes or is abandoned; Close
-// unregisters the handlers and discards the session's remaining traffic.
+// Session is one query's view of the cluster: its coordinator handler,
+// its stats, and its quiescence state. Sessions are created by
+// Cluster.OpenSession (spec-based, any backend) or Cluster.NewSession
+// (direct handlers, in-process only) and must be Closed when the query
+// completes or is abandoned; Close unregisters the handlers and discards
+// the session's remaining traffic.
 type Session struct {
 	c        *Cluster
 	qid      uint64
 	kind     SessionKind
-	handlers []Handler // n sites, then the coordinator
-
-	// ctxs are the per-site sending contexts, built once per session so
-	// the per-message hot path does not allocate.
-	ctxs []Ctx
+	coord    Handler
+	coordCtx *Ctx
 
 	inflight  atomic.Int64
 	quiesce   chan struct{} // receives a token each time inflight hits 0
 	abort     chan struct{} // closed when the session is dropped
 	dropped   atomic.Bool
+	failErr   error // set (at most once) before dropped, read after
 	closeOnce sync.Once
 
 	statMu  sync.Mutex
@@ -404,13 +538,21 @@ type Session struct {
 	perKind map[wire.Kind]int64
 }
 
-// send encodes, accounts, and enqueues within this session.
+// send encodes, accounts, and routes a driver-originated message.
 func (s *Session) send(from, to int, p wire.Payload) {
 	if s.dropped.Load() {
 		return
 	}
-	data := wire.Encode(p)
-	k := p.Kind()
+	s.route(from, to, wire.Encode(p))
+}
+
+// route accounts one encoded message and hands it to the coordinator
+// actor or the transport. Shared by driver sends and site upcalls.
+func (s *Session) route(from, to int, data []byte) {
+	if to != Coordinator && (to < 0 || to >= s.c.n) {
+		panic(fmt.Sprintf("cluster: invalid site id %d", to))
+	}
+	k := wire.Kind(data[0])
 	s.statMu.Lock()
 	s.perKind[k] += int64(len(data))
 	switch {
@@ -426,16 +568,11 @@ func (s *Session) send(from, to int, p wire.Payload) {
 	}
 	s.statMu.Unlock()
 	s.inflight.Add(1)
-	env := envelope{qid: s.qid, from: from, data: data}
-	net := s.c.net
-	if net.Latency > 0 || net.Bandwidth > 0 || net.PerMsg > 0 {
-		env.sent = time.Now()
+	if to == Coordinator {
+		s.c.Deliver(s.qid, from, data)
+		return
 	}
-	if !s.c.boxes[s.c.internalIdx(to)].put(env) {
-		// Cluster shut down under us: the message will never be
-		// delivered; undo the in-flight accounting.
-		s.done()
-	}
+	s.c.tr.Send(s.qid, from, to, data)
 }
 
 // done retires one in-flight message and signals quiescence at zero.
@@ -461,11 +598,15 @@ func (s *Session) Broadcast(p wire.Payload) {
 
 // WaitQuiesce blocks until every one of the session's messages has been
 // delivered and processed and none of its handlers is running, the
-// context is done, or the session is closed. Other sessions' traffic
-// does not affect the wait.
+// context is done, or the session is closed (ErrClosed, or the
+// transport failure that killed it). Other sessions' traffic does not
+// affect the wait.
 func (s *Session) WaitQuiesce(ctx context.Context) error {
 	for {
 		if s.dropped.Load() {
+			if s.failErr != nil {
+				return s.failErr
+			}
 			return ErrClosed
 		}
 		// Context before quiescence: a cancelled query must fail
@@ -480,6 +621,9 @@ func (s *Session) WaitQuiesce(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-s.abort:
+			if s.failErr != nil {
+				return s.failErr
+			}
 			return ErrClosed
 		case <-s.quiesce:
 		}
@@ -496,11 +640,14 @@ func (s *Session) AddRounds(n int64) {
 	s.statMu.Unlock()
 }
 
-// Stats snapshots the session's accounting. Call at quiescence.
+// Stats snapshots the session's accounting, including the measured
+// transport bytes. Call at quiescence.
 func (s *Session) Stats() Stats {
+	wb := s.c.tr.WireBytes(s.qid)
 	s.statMu.Lock()
 	defer s.statMu.Unlock()
 	st := s.stats
+	st.WireBytes = wb
 	for _, b := range s.busy {
 		if b > st.MaxSiteBusy {
 			st.MaxSiteBusy = b
@@ -529,38 +676,53 @@ func (s *Session) drop() {
 	})
 }
 
-// Close unregisters the session from the cluster. Remaining in-flight
-// messages are discarded without being delivered; a handler currently
-// mid-Recv finishes but its sends are suppressed. Idempotent.
+// fail is drop with a cause: WaitQuiesce reports err instead of
+// ErrClosed. The error write is ordered before dropped.Store, so any
+// reader observing the flag sees the cause.
+func (s *Session) fail(err error) {
+	s.closeOnce.Do(func() {
+		s.failErr = err
+		s.dropped.Store(true)
+		close(s.abort)
+	})
+}
+
+// Close unregisters the session from the cluster and its transport.
+// Remaining in-flight messages are discarded without being delivered; a
+// handler currently mid-Recv finishes but its sends are suppressed.
+// Idempotent.
 func (s *Session) Close() {
 	s.drop()
 	s.c.mu.Lock()
 	delete(s.c.sessions, s.qid)
 	s.c.mu.Unlock()
+	s.c.tr.Close(s.qid)
 }
 
 // Ctx is the per-site sending API passed to handlers. All traffic stays
 // within the handler's session.
 type Ctx struct {
-	s    *Session
-	self int
+	self      int
+	n         int
+	send      func(to int, p wire.Payload)
+	addRounds func(n int64)
 }
 
 // Self reports the handler's site ID (Coordinator for the coordinator).
 func (x *Ctx) Self() int { return x.self }
 
 // NumSites reports the number of worker sites.
-func (x *Ctx) NumSites() int { return x.s.c.n }
+func (x *Ctx) NumSites() int { return x.n }
 
 // Send delivers p to site `to` (use Coordinator for Sc).
-func (x *Ctx) Send(to int, p wire.Payload) { x.s.send(x.self, to, p) }
+func (x *Ctx) Send(to int, p wire.Payload) { x.send(to, p) }
 
 // Broadcast sends p to every worker site (coordinator use).
 func (x *Ctx) Broadcast(p wire.Payload) {
-	for i := 0; i < x.s.c.n; i++ {
-		x.s.send(x.self, i, p)
+	for i := 0; i < x.n; i++ {
+		x.send(i, p)
 	}
 }
 
 // AddRounds records algorithm-defined communication rounds.
-func (x *Ctx) AddRounds(n int64) { x.s.AddRounds(n) }
+func (x *Ctx) AddRounds(n int64) { x.addRounds(n) }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -468,5 +469,34 @@ func TestStatsMinus(t *testing.T) {
 	if d.DataBytes != 60 || d.DataMsgs != 6 || d.ControlBytes != 20 || d.ControlMsgs != 2 ||
 		d.ResultBytes != 5 || d.ResultMsgs != 0 || d.Rounds != 3 || d.Wall != time.Second {
 		t.Fatalf("Minus: %+v", d)
+	}
+}
+
+// A deployment-fatal transport failure must poison the cluster: live
+// sessions fail with the cause, and sessions opened afterwards fail
+// immediately instead of waiting forever on dropped sends.
+func TestFatalFailurePoisonsCluster(t *testing.T) {
+	c := New(2, Network{})
+	defer c.Shutdown()
+	s := c.NewSession(nopSites(2), nopHandler{})
+	boom := errors.New("daemon lost")
+	c.Fail(0, boom)
+	if err := s.WaitQuiesce(bg); err != boom {
+		t.Fatalf("live session WaitQuiesce = %v, want the failure cause", err)
+	}
+	s2, err := c.OpenSession(SessionQuery, SessionSpec{Algo: "anything"}, nopHandler{})
+	if err != nil {
+		t.Fatalf("OpenSession on a dead cluster must return a failed session, got error %v", err)
+	}
+	s2.Inject(0, &wire.Control{}) // must not panic or hang
+	done := make(chan error, 1)
+	go func() { done <- s2.WaitQuiesce(bg) }()
+	select {
+	case err := <-done:
+		if err != boom {
+			t.Fatalf("post-failure session WaitQuiesce = %v, want the failure cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-failure session hung — the dead transport was not surfaced")
 	}
 }

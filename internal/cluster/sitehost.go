@@ -1,0 +1,325 @@
+package cluster
+
+// SiteHost is the actor runtime for worker sites, shared by both
+// transport backends: the in-process network runs one host with all n
+// sites in the driver's process, a dgsd daemon runs one host with its
+// shard of sites. Each hosted site is a serial actor — an unbounded
+// mailbox drained by one goroutine — so a handler never races itself,
+// while different sites run concurrently. The host knows nothing about
+// sockets or statistics; it reports every outbound message and every
+// retired message to its SiteSink, and the backend decides whether that
+// means a function call (in-process) or a wire frame (TCP).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dgs/internal/partition"
+	"dgs/internal/wire"
+)
+
+// SiteSink receives a SiteHost's outbound effects. Implementations must
+// be safe for concurrent use (each site goroutine calls in).
+type SiteSink interface {
+	// ForwardSend routes a message a hosted site's handler emitted. to
+	// may be Coordinator, a site on this host, or a site elsewhere —
+	// routing is the sink's problem.
+	ForwardSend(qid uint64, from, to int, data []byte)
+	// Retire reports that the site finished processing one delivered
+	// message, with the handler's busy time and recorded rounds.
+	Retire(qid uint64, site int, busy time.Duration, rounds int64)
+	// Fatal reports an unrecoverable protocol error (an undecodable
+	// message reached a site). The in-process sink panics — exactly the
+	// old behavior — while a daemon reports it to the driver and resets.
+	Fatal(err error)
+}
+
+type siteState struct {
+	id     int // global site ID
+	box    *mailbox
+	rounds int64 // scratch: rounds recorded by the Recv in progress
+}
+
+type hostSession struct {
+	handlers map[int]Handler // by global site ID
+	ctxs     map[int]*Ctx
+}
+
+// SiteHost hosts a set of worker sites identified by their global IDs.
+type SiteHost struct {
+	total  int // sites in the whole deployment
+	sites  map[int]*siteState
+	frags  map[int]*partition.Fragment // may be empty (protocol tests)
+	assign []int32
+	net    Network // link emulation; zero for real networks
+	sink   SiteSink
+
+	mu       sync.RWMutex
+	sessions map[uint64]*hostSession
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewSiteHost starts the site goroutines for the given global site IDs.
+// frags maps a hosted ID to its resident fragment (nil entries and a nil
+// map are allowed — spec factories then receive a nil fragment). net is
+// the emulated link model; pass the zero Network when a real network
+// provides the latency.
+func NewSiteHost(total int, ids []int, frags map[int]*partition.Fragment, assign []int32, net Network, sink SiteSink) *SiteHost {
+	h := &SiteHost{
+		total:    total,
+		sites:    make(map[int]*siteState, len(ids)),
+		frags:    frags,
+		assign:   assign,
+		net:      net,
+		sink:     sink,
+		sessions: make(map[uint64]*hostSession),
+	}
+	for _, id := range ids {
+		st := &siteState{id: id, box: newMailbox()}
+		h.sites[id] = st
+		h.wg.Add(1)
+		go h.siteLoop(st)
+	}
+	return h
+}
+
+// Hosts reports whether site id lives on this host.
+func (h *SiteHost) Hosts(id int) bool {
+	_, ok := h.sites[id]
+	return ok
+}
+
+// Open instantiates session qid on every hosted site from spec, via the
+// algorithm registry.
+func (h *SiteHost) Open(qid uint64, kind SessionKind, spec SessionSpec) error {
+	factory, ok := ResolveAlgorithm(spec.Algo)
+	if !ok {
+		return fmt.Errorf("cluster: unknown algorithm %q", spec.Algo)
+	}
+	handlers := make(map[int]Handler, len(h.sites))
+	for id := range h.sites {
+		hd, err := factory(spec, h.frags[id], h.assign)
+		if err != nil {
+			return fmt.Errorf("cluster: algorithm %q site %d: %w", spec.Algo, id, err)
+		}
+		handlers[id] = hd
+	}
+	return h.install(qid, handlers)
+}
+
+// OpenHandlers installs caller-built handlers, keyed by global site ID.
+// Only meaningful when caller and host share a process.
+func (h *SiteHost) OpenHandlers(qid uint64, handlers map[int]Handler) error {
+	return h.install(qid, handlers)
+}
+
+func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
+	hs := &hostSession{handlers: handlers, ctxs: make(map[int]*Ctx, len(handlers))}
+	for id := range handlers {
+		st, ok := h.sites[id]
+		if !ok {
+			return fmt.Errorf("cluster: handler for site %d which is not hosted here", id)
+		}
+		hs.ctxs[id] = h.siteCtx(qid, st)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		// Shut-down host: accept the registration as a no-op; queued
+		// traffic is already being discarded.
+		return nil
+	}
+	h.sessions[qid] = hs
+	return nil
+}
+
+// siteCtx builds the per-(session, site) handler context. The rounds
+// accumulator lives in siteState and is read back by the site loop after
+// each Recv — safe because one goroutine owns the site.
+func (h *SiteHost) siteCtx(qid uint64, st *siteState) *Ctx {
+	return &Ctx{
+		self: st.id,
+		n:    h.total,
+		send: func(to int, p wire.Payload) {
+			h.sink.ForwardSend(qid, st.id, to, wire.Encode(p))
+		},
+		addRounds: func(n int64) { st.rounds += n },
+	}
+}
+
+// CloseSession discards session qid's handlers; queued envelopes for it
+// are dropped when dequeued.
+func (h *SiteHost) CloseSession(qid uint64) {
+	h.mu.Lock()
+	delete(h.sessions, qid)
+	h.mu.Unlock()
+}
+
+// Enqueue delivers one encoded payload to hosted site `to`. The message
+// is timestamped for link emulation when the host's Network is non-zero.
+func (h *SiteHost) Enqueue(qid uint64, from, to int, data []byte) {
+	st, ok := h.sites[to]
+	if !ok {
+		h.sink.Fatal(fmt.Errorf("cluster: message for site %d which is not hosted here", to))
+		return
+	}
+	env := envelope{qid: qid, from: from, data: data}
+	if h.net.Latency > 0 || h.net.Bandwidth > 0 || h.net.PerMsg > 0 {
+		env.sent = time.Now()
+	}
+	st.box.put(env)
+}
+
+func (h *SiteHost) siteLoop(st *siteState) {
+	defer h.wg.Done()
+	for {
+		env, ok := st.box.get()
+		if !ok {
+			return
+		}
+		h.mu.RLock()
+		hs := h.sessions[env.qid]
+		h.mu.RUnlock()
+		if hs == nil {
+			// Session closed (or never opened here): discard. The driver
+			// released the session's in-flight accounting when it closed.
+			continue
+		}
+		if !env.sent.IsZero() {
+			// Pipelined propagation latency, then serialized NIC drain.
+			if wait := time.Until(env.sent.Add(h.net.Latency)); wait > 0 {
+				time.Sleep(wait)
+			}
+			if x := h.net.xferTime(len(env.data)); x > 0 {
+				time.Sleep(x)
+			}
+		}
+		p, err := wire.Decode(env.data)
+		if err != nil {
+			h.sink.Fatal(fmt.Errorf("cluster: site %d received undecodable message from %d: %v", st.id, env.from, err))
+			continue
+		}
+		st.rounds = 0
+		start := time.Now()
+		hs.handlers[st.id].Recv(hs.ctxs[st.id], env.from, p)
+		h.sink.Retire(env.qid, st.id, time.Since(start), st.rounds)
+	}
+}
+
+// Shutdown stops every site goroutine and waits for them. Idempotent.
+func (h *SiteHost) Shutdown() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	for _, st := range h.sites {
+		st.box.close()
+	}
+	h.wg.Wait()
+}
+
+// --- the in-process backend ---
+
+// InProc is the in-process channel network: all n sites are goroutines
+// in the driver's process, messages are Go slices handed between
+// mailboxes (still fully serialized through internal/wire — byte counts
+// are exact), and link cost is emulated by the Network model. This is
+// the original runtime of the repo, now one Transport among others, and
+// the only backend that supports direct handler sessions.
+type InProc struct {
+	n    int
+	net  Network
+	host *SiteHost
+	ev   Events
+}
+
+var _ Transport = (*InProc)(nil)
+var _ HandlerOpener = (*InProc)(nil)
+var _ FragmentSharer = (*InProc)(nil)
+
+// NewInProc creates the in-process backend hosting n sites with the
+// fragments of fr resident (fr may be nil for fragment-less protocol
+// sessions; spec factories then receive nil fragments).
+func NewInProc(n int, fr *partition.Fragmentation, net Network) *InProc {
+	t := &InProc{n: n, net: net}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	var frags map[int]*partition.Fragment
+	var assign []int32
+	if fr != nil {
+		frags = make(map[int]*partition.Fragment, n)
+		for i, f := range fr.Frags {
+			frags[i] = f
+		}
+		assign = fr.Assign
+	}
+	t.host = NewSiteHost(n, ids, frags, assign, net, (*inprocSink)(t))
+	return t
+}
+
+// inprocSink adapts SiteHost upcalls onto the bound Events. A separate
+// type so InProc's public method set stays the Transport interface.
+type inprocSink InProc
+
+func (s *inprocSink) ForwardSend(qid uint64, from, to int, data []byte) {
+	s.ev.SiteSent(qid, from, to, data)
+}
+
+func (s *inprocSink) Retire(qid uint64, site int, busy time.Duration, rounds int64) {
+	s.ev.Retired(qid, site, busy, rounds)
+}
+
+func (s *inprocSink) Fatal(err error) { panic(err) }
+
+// NumSites implements Transport.
+func (t *InProc) NumSites() int { return t.n }
+
+// Bind implements Transport.
+func (t *InProc) Bind(ev Events) { t.ev = ev }
+
+// LinkModel exposes the emulated Network (Cluster.Network reads it).
+func (t *InProc) LinkModel() Network { return t.net }
+
+// SharesDriverFragments implements FragmentSharer: the sites mutate the
+// driver's own fragment objects, so no driver-side replay is needed.
+func (t *InProc) SharesDriverFragments() bool { return true }
+
+// Open implements Transport via the algorithm registry.
+func (t *InProc) Open(qid uint64, kind SessionKind, spec SessionSpec) error {
+	return t.host.Open(qid, kind, spec)
+}
+
+// OpenHandlers implements HandlerOpener: sites indexed 0..n-1.
+func (t *InProc) OpenHandlers(qid uint64, sites []Handler) error {
+	handlers := make(map[int]Handler, len(sites))
+	for i, h := range sites {
+		handlers[i] = h
+	}
+	return t.host.OpenHandlers(qid, handlers)
+}
+
+// Close implements Transport.
+func (t *InProc) Close(qid uint64) { t.host.CloseSession(qid) }
+
+// Send implements Transport.
+func (t *InProc) Send(qid uint64, from, to int, data []byte) {
+	t.host.Enqueue(qid, from, to, data)
+}
+
+// Shutdown implements Transport.
+func (t *InProc) Shutdown() { t.host.Shutdown() }
+
+// WireBytes implements Transport: an in-process message never touches a
+// wire, so the measured byte count is 0 by definition.
+func (t *InProc) WireBytes(uint64) int64 { return 0 }
+
+// NewLocal creates a cluster over the in-process backend with the
+// fragments of fr resident at its sites — the fragment-once/serve-many
+// substrate for single-process deployments and the Run wrappers.
+func NewLocal(fr *partition.Fragmentation, net Network) *Cluster {
+	return NewWithTransport(NewInProc(fr.NumFragments(), fr, net))
+}

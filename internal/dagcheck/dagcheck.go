@@ -160,16 +160,23 @@ func (c *checkCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	}
 }
 
+// Algo is the registered name of the acyclicity-check site (query-less).
+const Algo = "dagcheck"
+
+func init() {
+	cluster.RegisterAlgorithm(Algo, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		return &checkSite{frag: frag}, nil
+	})
+}
+
 // Eval runs the distributed acyclicity protocol as a session on a live
 // cluster whose sites hold the fragmentation.
 func Eval(ctx context.Context, c *cluster.Cluster, fr *partition.Fragmentation) (bool, cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := range sites {
-		sites[i] = &checkSite{frag: fr.Frags[i]}
-	}
 	coord := &checkCoord{}
-	sess := c.NewSession(sites, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: Algo}, coord)
+	if err != nil {
+		return false, cluster.Stats{}, err
+	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opCheck})
@@ -187,7 +194,7 @@ func Eval(ctx context.Context, c *cluster.Cluster, fr *partition.Fragmentation) 
 
 // IsDAG runs the protocol on a throwaway single-query cluster.
 func IsDAG(fr *partition.Fragmentation) (bool, cluster.Stats) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	ok, st, err := Eval(context.Background(), c, fr)
 	if err != nil {

@@ -223,7 +223,7 @@ func (s *dagSite) advance(ctx *cluster.Ctx) {
 // asserted, the partition-bounded distributed acyclicity protocol
 // (internal/dagcheck) decides G's case on the same cluster.
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
-	ri, qIsDAG := newRankInfo(q)
+	_, qIsDAG := newRankInfo(q)
 	if !qIsDAG {
 		var checkStats cluster.Stats
 		if !gIsDAG {
@@ -241,13 +241,11 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 		return simulation.NewMatch(q.NumNodes()), checkStats, nil
 	}
 
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := 0; i < n; i++ {
-		sites[i] = newDagSite(q, fr.Frags[i], ri)
-	}
 	coord := &collector{nq: q.NumNodes()}
-	sess := c.NewSession(sites, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q)}, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: dgpm.OpStart})
@@ -265,9 +263,27 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 
 // Run evaluates one query on a throwaway single-query cluster.
 func Run(q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	return Eval(context.Background(), c, q, fr, gIsDAG)
+}
+
+// Algo is the registered name of the dGPMd site. The spec carries only
+// the (DAG) query; each site re-derives the rank schedule from it.
+const Algo = "dgpmd"
+
+func init() {
+	cluster.RegisterAlgorithm(Algo, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		q, err := pattern.DecodeBinary(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		ri, ok := newRankInfo(q)
+		if !ok {
+			return nil, fmt.Errorf("dagsim: spec query is cyclic")
+		}
+		return newDagSite(q, frag, ri), nil
+	})
 }
 
 type collector struct {

@@ -49,18 +49,20 @@ func (c *collector) assemble() *simulation.Match {
 
 // Eval evaluates the data-selecting pattern query Q over the
 // fragmentation resident on cluster c, with the configured dGPM variant.
-// It registers fresh per-query handlers as a session, runs the protocol
-// to completion (or ctx cancellation), and returns the maximum match
-// plus the session's isolated network statistics. The cluster stays up;
-// concurrent Eval calls on the same cluster are safe.
+// It opens a fresh per-query spec session — the sites, wherever they
+// live, instantiate their handlers from the resident fragments — runs
+// the protocol to completion (or ctx cancellation), and returns the
+// maximum match plus the session's isolated network statistics. The
+// cluster stays up; concurrent Eval calls on the same cluster are safe.
+// fr must be the fragmentation resident on c (it sizes and documents the
+// deployment; the sites evaluate against their own resident copies).
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := 0; i < n; i++ {
-		sites[i] = newSite(q, fr.Frags[i], fr.Assign, cfg)
-	}
 	coord := &collector{nq: q.NumNodes()}
-	sess := c.NewSession(sites, coord)
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), Config: EncodeConfig(cfg)}
+	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	defer sess.Close()
 
 	start := time.Now()
@@ -82,7 +84,7 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 // Run evaluates one query on a throwaway single-query cluster with a
 // free network — the fragment-once/serve-many path is Eval.
 func Run(q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	m, st, err := Eval(context.Background(), c, q, fr, cfg)
 	if err != nil {

@@ -129,17 +129,16 @@ func (nopHandler) Recv(*cluster.Ctx, int, wire.Payload) {}
 // ApplyUpdates distributes one validated update batch to the owning
 // sites over a maintenance session and waits for the fragment mutations
 // (and their watch/unwatch follow-ups) to quiesce. Distribution always
-// runs to completion once started — messages are reliable in-process —
-// so fragments are never left half-updated unless the cluster itself is
-// shut down mid-batch, in which case cluster.ErrClosed is returned and
-// the deployment is unusable anyway.
+// runs to completion once started — messages are reliable in-process,
+// and over TCP a transport failure kills the whole deployment — so
+// fragments are never left half-updated unless the deployment itself is
+// lost, in which case the returned error says so. The caller recounts
+// driver-side boundary statistics (the sites own the fragments).
 func ApplyUpdates(c *cluster.Cluster, fr *partition.Fragmentation, dels, ins [][2]graph.NodeID) (cluster.Stats, error) {
-	n := fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := 0; i < n; i++ {
-		sites[i] = &updSite{frag: fr.Frags[i], assign: fr.Assign}
+	sess, err := c.OpenSession(cluster.SessionMaintenance, cluster.SessionSpec{Algo: AlgoUpdate}, nopHandler{})
+	if err != nil {
+		return cluster.Stats{}, err
 	}
-	sess := c.NewSessionKind(cluster.SessionMaintenance, sites, nopHandler{})
 	defer sess.Close()
 
 	perSite := make(map[int]*wire.Delta)
@@ -176,7 +175,6 @@ func ApplyUpdates(c *cluster.Cluster, fr *partition.Fragmentation, dels, ins [][
 	if err := sess.WaitQuiesce(context.Background()); err != nil {
 		return cluster.Stats{}, err
 	}
-	fr.RecountBoundary()
 	st := sess.Stats()
 	st.Wall = time.Since(start)
 	return st, nil
@@ -223,13 +221,12 @@ func (m *Maintainer) LastStats() cluster.Stats { return m.last }
 // because restart-in-place would race the old session's in-flight
 // falsifications against the new engines.
 func (m *Maintainer) Reevaluate(ctx context.Context) error {
-	n := m.fr.NumFragments()
-	sites := make([]cluster.Handler, n)
-	for i := 0; i < n; i++ {
-		sites[i] = newSite(m.q, m.fr.Frags[i], m.fr.Assign, MaintConfig())
-	}
 	coord := &collector{nq: m.q.NumNodes()}
-	sess := m.c.NewSessionKind(cluster.SessionMaintenance, sites, coord)
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(m.q), Config: EncodeConfig(MaintConfig())}
+	sess, err := m.c.OpenSession(cluster.SessionMaintenance, spec, coord)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: OpStart})
 	if err := sess.WaitQuiesce(ctx); err != nil {

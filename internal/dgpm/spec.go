@@ -1,0 +1,77 @@
+package dgpm
+
+// Session-spec plumbing: the algorithm names and config encoding that
+// let a site — in this process or in a remote dgsd daemon — instantiate
+// dGPM's per-site handlers from a cluster.SessionSpec. The registry
+// entries live here so that importing the package (as the driver and
+// cmd/dgsd both do) is all it takes to serve the algorithm.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dgs/internal/cluster"
+	"dgs/internal/partition"
+	"dgs/internal/pattern"
+)
+
+const (
+	// Algo is the registered name of the dGPM query/maintenance site
+	// (spec.Config carries an EncodeConfig blob).
+	Algo = "dgpm"
+	// AlgoUpdate is the registered name of the fragment-update site
+	// (query-less; Delta payloads carry the batch).
+	AlgoUpdate = "update"
+)
+
+const (
+	cfgIncremental = 1 << 0
+	cfgPush        = 1 << 1
+)
+
+// EncodeConfig renders cfg for SessionSpec.Config: one flag byte plus
+// the IEEE-754 bits of θ.
+func EncodeConfig(cfg Config) []byte {
+	out := make([]byte, 9)
+	if cfg.Incremental {
+		out[0] |= cfgIncremental
+	}
+	if cfg.Push {
+		out[0] |= cfgPush
+	}
+	binary.LittleEndian.PutUint64(out[1:], math.Float64bits(cfg.Theta))
+	return out
+}
+
+// DecodeConfig parses an EncodeConfig blob.
+func DecodeConfig(b []byte) (Config, error) {
+	if len(b) != 9 {
+		return Config{}, fmt.Errorf("dgpm: config must be 9 bytes, got %d", len(b))
+	}
+	if b[0] &^ (cfgIncremental | cfgPush) != 0 {
+		return Config{}, fmt.Errorf("dgpm: unknown config flags %#x", b[0])
+	}
+	return Config{
+		Incremental: b[0]&cfgIncremental != 0,
+		Push:        b[0]&cfgPush != 0,
+		Theta:       math.Float64frombits(binary.LittleEndian.Uint64(b[1:])),
+	}, nil
+}
+
+func init() {
+	cluster.RegisterAlgorithm(Algo, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		q, err := pattern.DecodeBinary(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := DecodeConfig(spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		return newSite(q, frag, assign, cfg), nil
+	})
+	cluster.RegisterAlgorithm(AlgoUpdate, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		return &updSite{frag: frag, assign: assign}, nil
+	})
+}

@@ -1,0 +1,243 @@
+package partition
+
+// Fragment shipping: the deploy-time wire encoding a networked
+// deployment uses to make a fragment resident at a remote site server
+// (cmd/dgsd). The encoding carries exactly the state §2.2 defines —
+// local nodes with labels and adjacency, virtual nodes with labels and
+// owners, in-nodes with their watcher annotations — and the decoder
+// recomputes the derived counters (edge totals, crossing counts), so a
+// decoded fragment is Validate-equivalent to the original and ready for
+// live mutation (DeleteEdge/InsertEdge bookkeeping included).
+//
+// Layout (little-endian), per fragment:
+//
+//	u32 id
+//	u32 |Local|,   then per local node:   u32 id, u16 label
+//	u32 |Virtual|, then per virtual node: u32 id, u16 label, u32 owner
+//	u32 |InNodes|, then per in-node:      u32 id, u32 #watchers, u32 ×watcher
+//	per local node (same order as Local): u32 degree, u32 ×target
+//
+// Graph-level node labels never change under live updates, so labels can
+// ship once at deploy time; edges are the mutable part and are mutated
+// in place by maintenance sessions after shipping.
+
+import (
+	"sort"
+
+	"dgs/internal/graph"
+	"dgs/internal/wire"
+)
+
+func appendU32(dst []byte, x uint32) []byte { return wire.AppendUint32(dst, x) }
+func appendU16(dst []byte, x uint16) []byte { return wire.AppendUint16(dst, x) }
+
+// AppendFragment appends f's wire encoding to dst.
+func AppendFragment(dst []byte, f *Fragment) []byte {
+	dst = appendU32(dst, uint32(f.ID))
+	dst = appendU32(dst, uint32(len(f.Local)))
+	for _, v := range f.Local {
+		dst = appendU32(dst, v)
+		dst = appendU16(dst, f.Labels[v])
+	}
+	dst = appendU32(dst, uint32(len(f.Virtual)))
+	for _, v := range f.Virtual {
+		dst = appendU32(dst, v)
+		dst = appendU16(dst, f.Labels[v])
+		dst = appendU32(dst, uint32(f.Owner[v]))
+	}
+	dst = appendU32(dst, uint32(len(f.InNodes)))
+	for _, v := range f.InNodes {
+		ws := f.InWatchers[v]
+		dst = appendU32(dst, v)
+		dst = appendU32(dst, uint32(len(ws)))
+		for _, w := range ws {
+			dst = appendU32(dst, uint32(w))
+		}
+	}
+	for _, v := range f.Local {
+		succ := f.Succ[v]
+		dst = appendU32(dst, uint32(len(succ)))
+		for _, w := range succ {
+			dst = appendU32(dst, w)
+		}
+	}
+	return dst
+}
+
+// DecodeFragment parses one AppendFragment encoding from the front of b
+// and returns the fragment plus the remaining bytes.
+func DecodeFragment(b []byte) (*Fragment, []byte, error) {
+	r := wire.NewByteReader(b)
+	id, err := r.U32()
+	if err != nil {
+		return nil, nil, err
+	}
+	f := &Fragment{
+		ID:         int(id),
+		Succ:       make(map[graph.NodeID][]graph.NodeID),
+		Labels:     make(map[graph.NodeID]graph.Label),
+		Owner:      make(map[graph.NodeID]int),
+		InWatchers: make(map[graph.NodeID][]int),
+		crossCnt:   make(map[graph.NodeID]int),
+	}
+	nl, err := r.U32()
+	if err != nil {
+		return nil, nil, err
+	}
+	f.Local = make([]graph.NodeID, nl)
+	for i := range f.Local {
+		if f.Local[i], err = r.U32(); err != nil {
+			return nil, nil, err
+		}
+		l, err := r.U16()
+		if err != nil {
+			return nil, nil, err
+		}
+		f.Labels[f.Local[i]] = l
+	}
+	nv, err := r.U32()
+	if err != nil {
+		return nil, nil, err
+	}
+	f.Virtual = make([]graph.NodeID, nv)
+	for i := range f.Virtual {
+		if f.Virtual[i], err = r.U32(); err != nil {
+			return nil, nil, err
+		}
+		l, err := r.U16()
+		if err != nil {
+			return nil, nil, err
+		}
+		owner, err := r.U32()
+		if err != nil {
+			return nil, nil, err
+		}
+		v := f.Virtual[i]
+		f.Labels[v] = l
+		f.Owner[v] = int(owner)
+	}
+	ni, err := r.U32()
+	if err != nil {
+		return nil, nil, err
+	}
+	f.InNodes = make([]graph.NodeID, ni)
+	for i := range f.InNodes {
+		if f.InNodes[i], err = r.U32(); err != nil {
+			return nil, nil, err
+		}
+		nw, err := r.U32()
+		if err != nil {
+			return nil, nil, err
+		}
+		ws := make([]int, nw)
+		for j := range ws {
+			w, err := r.U32()
+			if err != nil {
+				return nil, nil, err
+			}
+			ws[j] = int(w)
+		}
+		f.InWatchers[f.InNodes[i]] = ws
+	}
+	for _, v := range f.Local {
+		deg, err := r.U32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if deg == 0 {
+			continue
+		}
+		row := make([]graph.NodeID, deg)
+		for j := range row {
+			if row[j], err = r.U32(); err != nil {
+				return nil, nil, err
+			}
+		}
+		f.Succ[v] = row
+		f.numEdges += int(deg)
+		for _, w := range row {
+			if f.IsVirtual(w) {
+				f.numCrossing++
+				f.crossCnt[w]++
+			}
+		}
+	}
+	return f, r.Rest(), nil
+}
+
+// FragmentationFromParts assembles a Fragmentation around fragments that
+// were decoded from the wire (no driver graph available — G is nil).
+// assign is the global owner directory; boundary statistics are
+// recomputed from the fragments. Site servers use this to host their
+// shard; note CurrentGraph and Overlay are unavailable without G.
+func FragmentationFromParts(assign []int32, frags []*Fragment) *Fragmentation {
+	fr := &Fragmentation{Assign: assign, Frags: frags}
+	fr.RecountBoundary()
+	return fr
+}
+
+// ApplyBatchLocal applies a validated update batch directly to every
+// fragment of fr within one process — the driver-side replay a networked
+// deployment runs so that its fragmentation metadata (boundary counts,
+// re-split inputs) stays in lockstep with the daemons' resident
+// fragments, which the distributed maintenance session mutates. It
+// performs the same mutations as the update session — edge ops at the
+// source's fragment, then net watcher fixes at each target's owner — and
+// recounts boundary stats. Labels and owners for insertion targets come
+// from fr.G and fr.Assign. Errors indicate a validation bug upstream.
+func ApplyBatchLocal(fr *Fragmentation, dels, ins [][2]graph.NodeID) error {
+	// Track pre-batch virtual status per (fragment, target) so watcher
+	// notices reflect the batch's NET effect, exactly like the session.
+	type fragTarget struct {
+		frag int
+		node graph.NodeID
+	}
+	wasVirtual := make(map[fragTarget]bool)
+	record := func(fi int, w graph.NodeID) {
+		f := fr.Frags[fi]
+		if f.IsLocal(w) {
+			return
+		}
+		k := fragTarget{fi, w}
+		if _, seen := wasVirtual[k]; !seen {
+			wasVirtual[k] = f.IsVirtual(w)
+		}
+	}
+	for _, e := range dels {
+		fi := int(fr.Assign[e[0]])
+		record(fi, e[1])
+		if _, err := fr.Frags[fi].DeleteEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	for _, e := range ins {
+		fi := int(fr.Assign[e[0]])
+		record(fi, e[1])
+		if _, err := fr.Frags[fi].InsertEdge(e[0], e[1], fr.G.Label(e[1]), int(fr.Assign[e[1]])); err != nil {
+			return err
+		}
+	}
+	keys := make([]fragTarget, 0, len(wasVirtual))
+	for k := range wasVirtual {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].frag != keys[j].frag {
+			return keys[i].frag < keys[j].frag
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		was := wasVirtual[k]
+		now := fr.Frags[k.frag].IsVirtual(k.node)
+		owner := fr.Frags[fr.Assign[k.node]]
+		switch {
+		case now && !was:
+			owner.AddWatcher(k.node, k.frag)
+		case was && !now:
+			owner.RemoveWatcher(k.node, k.frag)
+		}
+	}
+	fr.RecountBoundary()
+	return nil
+}

@@ -1,0 +1,81 @@
+package pattern
+
+// Wire encoding of a pattern query, used by SessionSpec.Query to post a
+// query to sites that may live in another OS process. Labels travel as
+// their raw interned IDs — fragments were shipped with the same driver
+// dictionary, so IDs compare by value on the receiving site; label
+// *names* deliberately do not travel (the receiver never prints them,
+// and Dict.Name degrades to "" for unknown labels).
+//
+// Layout (little-endian):
+//
+//	u16 numNodes, then numNodes × u16 label
+//	u32 numEdges, then numEdges × (u16 from, u16 to)
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dgs/internal/graph"
+)
+
+// EncodeBinary renders p in the wire form SessionSpec.Query carries.
+func EncodeBinary(p *Pattern) []byte {
+	n := p.NumNodes()
+	out := make([]byte, 0, 2+2*n+4+4*p.NumEdges())
+	out = binary.LittleEndian.AppendUint16(out, uint16(n))
+	for _, l := range p.labels {
+		out = binary.LittleEndian.AppendUint16(out, l)
+	}
+	var edges [][2]QNode
+	for u, ss := range p.succ {
+		for _, w := range ss {
+			edges = append(edges, [2]QNode{QNode(u), w})
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(edges)))
+	for _, e := range edges {
+		out = binary.LittleEndian.AppendUint16(out, uint16(e[0]))
+		out = binary.LittleEndian.AppendUint16(out, uint16(e[1]))
+	}
+	return out
+}
+
+// DecodeBinary parses the EncodeBinary form. The pattern gets a private
+// empty dictionary: labels keep their wire IDs (comparable against the
+// co-shipped fragments) but have no names.
+func DecodeBinary(b []byte) (*Pattern, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("pattern: truncated encoding")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	off := 2
+	if len(b) < off+2*n+4 {
+		return nil, fmt.Errorf("pattern: truncated node table")
+	}
+	p := &Pattern{dict: graph.NewDict()}
+	p.labels = make([]graph.Label, n)
+	p.names = make([]string, n)
+	p.succ = make([][]QNode, n)
+	p.pred = make([][]QNode, n)
+	for i := range p.labels {
+		p.labels[i] = binary.LittleEndian.Uint16(b[off:])
+		off += 2
+	}
+	ne := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) != off+4*ne {
+		return nil, fmt.Errorf("pattern: edge table size mismatch")
+	}
+	for i := 0; i < ne; i++ {
+		u := QNode(binary.LittleEndian.Uint16(b[off:]))
+		w := QNode(binary.LittleEndian.Uint16(b[off+2:]))
+		off += 4
+		if int(u) >= n || int(w) >= n {
+			return nil, fmt.Errorf("pattern: edge (%d,%d) references missing node", u, w)
+		}
+		p.succ[u] = append(p.succ[u], w)
+		p.pred[w] = append(p.pred[w], u)
+	}
+	return p, nil
+}

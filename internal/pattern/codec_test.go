@@ -1,0 +1,72 @@
+package pattern
+
+import (
+	"testing"
+
+	"dgs/internal/graph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	dict := graph.NewDict()
+	p := New(dict)
+	a := p.AddNode("paper", "a")
+	b := p.AddNode("author", "b")
+	c := p.AddNode("paper", "c")
+	p.MustAddEdge(a, b)
+	p.MustAddEdge(b, c)
+	p.MustAddEdge(c, a)
+
+	q, err := DecodeBinary(EncodeBinary(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != p.NumNodes() || q.NumEdges() != p.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", q.NumNodes(), q.NumEdges(), p.NumNodes(), p.NumEdges())
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		if q.Label(QNode(u)) != p.Label(QNode(u)) {
+			t.Fatalf("node %d label: wire %d, orig %d — raw IDs must survive", u, q.Label(QNode(u)), p.Label(QNode(u)))
+		}
+		if len(q.Succ(QNode(u))) != len(p.Succ(QNode(u))) {
+			t.Fatalf("node %d out-degree changed", u)
+		}
+	}
+	// Pred must be reconstructed consistently (DecodeBinary builds both
+	// adjacency directions).
+	for u := 0; u < p.NumNodes(); u++ {
+		if len(q.Pred(QNode(u))) != len(p.Pred(QNode(u))) {
+			t.Fatalf("node %d in-degree changed", u)
+		}
+	}
+	// The decoded pattern has no label names, by design — but must not
+	// panic when printed.
+	_ = q.String()
+	if q.IsDAG() != p.IsDAG() {
+		t.Fatal("cyclicity changed across the wire")
+	}
+}
+
+func TestBinaryDecodeRejectsCorrupt(t *testing.T) {
+	dict := graph.NewDict()
+	p := New(dict)
+	a := p.AddNode("x", "")
+	b := p.AddNode("y", "")
+	p.MustAddEdge(a, b)
+	enc := EncodeBinary(p)
+	for _, tc := range [][]byte{
+		nil,
+		enc[:1],
+		enc[:len(enc)-1],
+		append(append([]byte(nil), enc...), 0),
+	} {
+		if _, err := DecodeBinary(tc); err == nil {
+			t.Fatalf("corrupt encoding of length %d accepted", len(tc))
+		}
+	}
+	// An edge referencing a missing node must be rejected.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-2] = 0xFF
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}

@@ -1,0 +1,391 @@
+package tcpnet
+
+// The driver side: Dial connects to the dgsd daemons, performs the
+// version handshake, ships each daemon its block of fragments, and
+// returns a cluster.Transport over which the ordinary Cluster/Session
+// machinery runs unchanged.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/partition"
+	"dgs/internal/wire"
+)
+
+// Options tune a Dial. The zero value is ready to use.
+type Options struct {
+	// DialTimeout bounds each TCP connect + handshake + fragment
+	// shipment when the Dial context carries no earlier deadline.
+	// Default 30s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write after deployment; a stalled
+	// daemon fails the deployment instead of wedging it. Default 30s.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Net is the TCP cluster.Transport: one connection per daemon, sites
+// mapped onto daemons in contiguous blocks (HostedRange).
+type Net struct {
+	n     int
+	opts  Options
+	conns []*conn
+	owner []int // site ID -> index into conns
+
+	ev cluster.Events
+
+	mu          sync.Mutex
+	perQID      map[uint64]int64 // measured frame bytes per session
+	deployBytes int64            // handshake + fragment shipping traffic
+	closing     bool
+
+	wg sync.WaitGroup
+}
+
+var _ cluster.Transport = (*Net)(nil)
+
+type conn struct {
+	t    *Net
+	addr string
+	c    net.Conn
+	br   *bufio.Reader
+	out  *outbox
+}
+
+// Dial connects to one dgsd daemon per address, verifies protocol
+// versions, and makes the fragmentation resident across them: daemon j
+// receives the fragments of sites HostedRange(n, k, j). It returns an
+// unbound Transport — pass it to cluster.NewWithTransport (or
+// dgs.Deploy does both). ctx cancels in-flight connects and handshakes.
+func Dial(ctx context.Context, addrs []string, fr *partition.Fragmentation, opts Options) (*Net, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("tcpnet: no daemon addresses")
+	}
+	opts = opts.withDefaults()
+	n := fr.NumFragments()
+	if n < len(addrs) {
+		return nil, fmt.Errorf("tcpnet: %d fragments cannot span %d daemons", n, len(addrs))
+	}
+	t := &Net{
+		n:      n,
+		opts:   opts,
+		owner:  make([]int, n),
+		perQID: make(map[uint64]int64),
+	}
+	dialer := &net.Dialer{Timeout: opts.DialTimeout}
+	for j, addr := range addrs {
+		lo, hi := HostedRange(n, len(addrs), j)
+		for id := lo; id < hi; id++ {
+			t.owner[id] = j
+		}
+		nc, err := dialer.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+		}
+		cn := &conn{t: t, addr: addr, c: nc, br: bufio.NewReaderSize(nc, 1<<16), out: newOutbox()}
+		t.conns = append(t.conns, cn)
+		if err := t.handshake(ctx, cn, fr, lo, hi); err != nil {
+			t.closeConns()
+			return nil, fmt.Errorf("tcpnet: %s: %w", addr, err)
+		}
+	}
+	return t, nil
+}
+
+// handshake runs HELLO → HELLO-OK → DEPLOY → DEPLOYED on a fresh
+// connection, synchronously and under the context's deadline.
+func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentation, lo, hi int) error {
+	deadline := time.Now().Add(t.opts.DialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := cn.c.SetDeadline(deadline); err != nil {
+		return err
+	}
+	hello := appendU16([]byte(helloMagic), ProtocolVersion)
+	if err := t.writeDirect(cn, frameHello, hello); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	// Await HELLO-OK (ERR accepted in its slot) BEFORE shipping the
+	// fragments: a version-mismatched daemon refuses and closes without
+	// reading further, and a large unread DEPLOY would both waste the
+	// shipment and turn the daemon's explanatory ERR into an opaque
+	// connection reset.
+	typ, body, err := wire.ReadFrame(cn.br)
+	if err != nil {
+		return fmt.Errorf("awaiting HELLO-OK: %w", err)
+	}
+	if typ == frameErr {
+		e, _ := decodeErr(body)
+		return fmt.Errorf("daemon refused: %s", e.msg)
+	}
+	if typ != frameHelloOK {
+		return fmt.Errorf("expected HELLO-OK, got %s", frameName(typ))
+	}
+	v, err := wire.NewByteReader(body).U16()
+	if err != nil || v != ProtocolVersion {
+		return fmt.Errorf("protocol version mismatch: daemon speaks %d, driver %d", v, ProtocolVersion)
+	}
+	hosted := make([]int, 0, hi-lo)
+	var frags []byte
+	for id := lo; id < hi; id++ {
+		hosted = append(hosted, id)
+		frags = partition.AppendFragment(frags, fr.Frags[id])
+	}
+	if err := t.writeDirect(cn, frameDeploy, encodeDeploy(deployBody{
+		total:  t.n,
+		hosted: hosted,
+		assign: fr.Assign,
+		frags:  frags,
+	})); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	typ, body, err = wire.ReadFrame(cn.br)
+	if err != nil {
+		return fmt.Errorf("awaiting DEPLOYED: %w", err)
+	}
+	if typ == frameErr {
+		e, _ := decodeErr(body)
+		return fmt.Errorf("deploy refused: %s", e.msg)
+	}
+	if typ != frameDeployed {
+		return fmt.Errorf("expected DEPLOYED, got %s", frameName(typ))
+	}
+	return cn.c.SetDeadline(time.Time{})
+}
+
+// writeDirect writes one frame synchronously (handshake only; after
+// Bind all writes go through the outbox) and meters it as deploy bytes.
+func (t *Net) writeDirect(cn *conn, typ byte, body []byte) error {
+	frame := wire.AppendFrame(nil, typ, body)
+	t.mu.Lock()
+	t.deployBytes += int64(len(frame))
+	t.mu.Unlock()
+	_, err := cn.c.Write(frame)
+	return err
+}
+
+func (t *Net) closeConns() {
+	for _, cn := range t.conns {
+		cn.c.Close()
+	}
+}
+
+// NumSites implements cluster.Transport.
+func (t *Net) NumSites() int { return t.n }
+
+// NumDaemons reports how many dgsd processes back the deployment.
+func (t *Net) NumDaemons() int { return len(t.conns) }
+
+// DeployBytes reports the measured one-time deployment traffic:
+// handshakes plus shipped fragments.
+func (t *Net) DeployBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deployBytes
+}
+
+// Bind implements cluster.Transport: it installs the event sink and
+// starts the per-connection reader and writer goroutines.
+func (t *Net) Bind(ev cluster.Events) {
+	t.ev = ev
+	for _, cn := range t.conns {
+		t.wg.Add(2)
+		go cn.writeLoop()
+		go cn.readLoop()
+	}
+}
+
+// addWire meters frame bytes onto a session. Only sessions with a live
+// meter (created at Open, removed at Close) accumulate: frames that
+// straggle in after a Close would otherwise resurrect the deleted entry
+// and leak it forever on a long-lived deployment. Unattributable bytes
+// count as deployment traffic instead, so nothing goes unmeasured.
+func (t *Net) addWire(qid uint64, n int) {
+	t.mu.Lock()
+	if _, live := t.perQID[qid]; qid != 0 && live {
+		t.perQID[qid] += int64(n)
+	} else {
+		t.deployBytes += int64(n)
+	}
+	t.mu.Unlock()
+}
+
+// enqueue frames a body for cn and meters it against qid.
+func (t *Net) enqueue(cn *conn, qid uint64, typ byte, body []byte) {
+	frame := wire.AppendFrame(nil, typ, body)
+	if cn.out.put(frame) {
+		t.addWire(qid, len(frame))
+	}
+}
+
+// Open implements cluster.Transport: OPEN frames go to every daemon
+// ahead of any of the session's messages (FIFO per connection), so no
+// delivery can race handler installation. Resolution errors surface
+// asynchronously as ERR frames.
+func (t *Net) Open(qid uint64, kind cluster.SessionKind, spec cluster.SessionSpec) error {
+	t.mu.Lock()
+	t.perQID[qid] = 0 // arm the session's wire meter
+	t.mu.Unlock()
+	body := encodeOpen(openBody{qid: qid, kind: kind, spec: spec})
+	for _, cn := range t.conns {
+		t.enqueue(cn, qid, frameOpen, body)
+	}
+	return nil
+}
+
+// Close implements cluster.Transport. The session's wire meter is
+// released first — the CLOSE frames themselves, and any stragglers
+// still in flight, are then metered as deployment traffic by addWire —
+// so a long-lived deployment serving many queries neither leaks meter
+// entries nor loses measured bytes.
+func (t *Net) Close(qid uint64) {
+	t.mu.Lock()
+	delete(t.perQID, qid)
+	t.mu.Unlock()
+	body := appendU64(nil, qid)
+	for _, cn := range t.conns {
+		t.enqueue(cn, qid, frameClose, body)
+	}
+}
+
+// Send implements cluster.Transport.
+func (t *Net) Send(qid uint64, from, to int, data []byte) {
+	cn := t.conns[t.owner[to]]
+	t.enqueue(cn, qid, frameMsg, encodeMsg(msgBody{qid: qid, from: from, to: to, data: data}))
+}
+
+// WireBytes implements cluster.Transport: measured socket bytes (frame
+// headers included) attributed to the session, both directions.
+func (t *Net) WireBytes(qid uint64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.perQID[qid]
+}
+
+// Shutdown implements cluster.Transport: BYE every daemon, flush the
+// outboxes, close the sockets.
+func (t *Net) Shutdown() {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		return
+	}
+	t.closing = true
+	t.mu.Unlock()
+	for _, cn := range t.conns {
+		cn.out.put(wire.AppendFrame(nil, frameBye, nil))
+		cn.out.close()
+	}
+	// Writers drain (BYE last), then close the write side; readers
+	// unblock on EOF/reset and exit without reporting failure.
+	t.wg.Wait()
+}
+
+func (t *Net) isClosing() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closing
+}
+
+// fail reports a transport loss to the driver once and poisons the
+// outboxes so sends become no-ops.
+func (t *Net) fail(err error) {
+	t.mu.Lock()
+	closing := t.closing
+	t.closing = true
+	t.mu.Unlock()
+	for _, cn := range t.conns {
+		cn.out.close()
+	}
+	if !closing && t.ev != nil {
+		t.ev.Fail(0, err)
+	}
+}
+
+func (cn *conn) writeLoop() {
+	defer cn.t.wg.Done()
+	for {
+		frame, ok := cn.out.get()
+		if !ok {
+			cn.c.Close()
+			return
+		}
+		cn.c.SetWriteDeadline(time.Now().Add(cn.t.opts.WriteTimeout))
+		if _, err := cn.c.Write(frame); err != nil {
+			cn.t.fail(fmt.Errorf("tcpnet: write to %s: %w", cn.addr, err))
+			cn.c.Close()
+			return
+		}
+	}
+}
+
+func (cn *conn) readLoop() {
+	t := cn.t
+	defer t.wg.Done()
+	for {
+		typ, body, err := wire.ReadFrame(cn.br)
+		if err != nil {
+			if !t.isClosing() {
+				t.fail(fmt.Errorf("tcpnet: read from %s: %w", cn.addr, err))
+			}
+			return
+		}
+		switch typ {
+		case frameMsg:
+			m, err := decodeMsg(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad MSG: %w", cn.addr, err))
+				return
+			}
+			// Range-check remote input here: a corrupt or skewed daemon
+			// must fail the deployment, not panic the driver's router.
+			if m.to != cluster.Coordinator && (m.to < 0 || m.to >= t.n) ||
+				m.from != cluster.Coordinator && (m.from < 0 || m.from >= t.n) {
+				t.fail(fmt.Errorf("tcpnet: %s sent MSG with out-of-range site (%d→%d of %d)", cn.addr, m.from, m.to, t.n))
+				return
+			}
+			t.addWire(m.qid, wire.FrameOverhead+len(body))
+			t.ev.SiteSent(m.qid, m.from, m.to, m.data)
+		case frameAck:
+			a, err := decodeAck(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad ACK: %w", cn.addr, err))
+				return
+			}
+			t.addWire(a.qid, wire.FrameOverhead+len(body))
+			t.ev.Retired(a.qid, a.site, time.Duration(a.busyNs), a.rounds)
+		case frameErr:
+			e, err := decodeErr(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad ERR: %w", cn.addr, err))
+				return
+			}
+			if e.qid == 0 {
+				t.fail(fmt.Errorf("tcpnet: daemon %s: %s", cn.addr, e.msg))
+				return
+			}
+			t.ev.Fail(e.qid, fmt.Errorf("tcpnet: daemon %s: %s", cn.addr, e.msg))
+		default:
+			t.fail(fmt.Errorf("tcpnet: unexpected %s from %s", frameName(typ), cn.addr))
+			return
+		}
+	}
+}

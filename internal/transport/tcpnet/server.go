@@ -1,0 +1,243 @@
+package tcpnet
+
+// The daemon side: a Server hosts fragments shipped by a driver and runs
+// their site actors for the lifetime of one connection. cmd/dgsd wraps
+// this in a binary; tests run it in-process against a loopback listener
+// (the code path is identical).
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/partition"
+	"dgs/internal/wire"
+)
+
+// Server hosts one deployment at a time: accept → handshake → DEPLOY →
+// serve sessions until the driver says BYE or the connection drops →
+// reset and accept the next driver. Which algorithms it can serve is
+// decided at build time by the cluster registry (cmd/dgsd imports every
+// algorithm package).
+type Server struct {
+	// Logf receives connection lifecycle lines; nil silences them.
+	Logf func(format string, args ...any)
+	// WriteTimeout bounds each outbound frame write (default 30s).
+	WriteTimeout time.Duration
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts drivers on lis until the listener closes. Connections
+// are served one at a time — a dgsd daemon backs exactly one deployment,
+// matching one EC2 instance in the paper's setup.
+func (s *Server) Serve(lis net.Listener) error {
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.logf("dgsd: driver connected from %s", c.RemoteAddr())
+		s.handle(c)
+		s.logf("dgsd: driver %s gone, state reset", c.RemoteAddr())
+	}
+}
+
+// ListenAndServe listens on addr and Serves.
+func ListenAndServe(addr string, s *Server) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if s.Logf == nil {
+		s.Logf = log.Printf
+	}
+	s.logf("dgsd: listening on %s (protocol v%d, algorithms %v)",
+		lis.Addr(), ProtocolVersion, cluster.RegisteredAlgorithms())
+	return s.Serve(lis)
+}
+
+// daemonSink adapts SiteHost upcalls onto the connection: handler sends
+// become MSG frames to the driver (hub routing), processed messages
+// become ACK frames, and protocol corruption becomes a deployment ERR.
+type daemonSink struct {
+	out *outbox
+}
+
+func (k *daemonSink) ForwardSend(qid uint64, from, to int, data []byte) {
+	k.out.put(wire.AppendFrame(nil, frameMsg, encodeMsg(msgBody{qid: qid, from: from, to: to, data: data})))
+}
+
+func (k *daemonSink) Retire(qid uint64, site int, busy time.Duration, rounds int64) {
+	k.out.put(wire.AppendFrame(nil, frameAck, encodeAck(ackBody{
+		qid: qid, site: site, busyNs: int64(busy), rounds: rounds,
+	})))
+}
+
+func (k *daemonSink) Fatal(err error) {
+	k.out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: err.Error()})))
+	k.out.close()
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 1<<16)
+	writeTimeout := s.WriteTimeout
+	if writeTimeout == 0 {
+		writeTimeout = 30 * time.Second
+	}
+
+	refuse := func(why string) {
+		frame := wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: why}))
+		c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		c.Write(frame)
+		s.logf("dgsd: refused driver %s: %s", c.RemoteAddr(), why)
+	}
+
+	// HELLO: magic + version, before anything else.
+	c.SetReadDeadline(time.Now().Add(writeTimeout))
+	typ, body, err := wire.ReadFrame(br)
+	if err != nil || typ != frameHello {
+		refuse("expected HELLO")
+		return
+	}
+	if len(body) != len(helloMagic)+2 || string(body[:len(helloMagic)]) != helloMagic {
+		refuse("bad HELLO magic — is this a dgs driver?")
+		return
+	}
+	v, _ := wire.NewByteReader(body[len(helloMagic):]).U16()
+	if v != ProtocolVersion {
+		refuse(fmt.Sprintf("protocol version %d not supported (daemon speaks %d)", v, ProtocolVersion))
+		return
+	}
+	// Confirm the version immediately: the driver withholds the (large)
+	// DEPLOY until it has seen HELLO-OK, so a refusal never costs a
+	// fragment shipment.
+	c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if _, err := c.Write(wire.AppendFrame(nil, frameHelloOK, appendU16(nil, ProtocolVersion))); err != nil {
+		return
+	}
+
+	// DEPLOY: become the sites.
+	typ, body, err = wire.ReadFrame(br)
+	if err != nil || typ != frameDeploy {
+		refuse("expected DEPLOY after HELLO")
+		return
+	}
+	dep, err := decodeDeploy(body)
+	if err != nil {
+		refuse("bad DEPLOY: " + err.Error())
+		return
+	}
+	frags := make(map[int]*partition.Fragment, len(dep.hosted))
+	rest := dep.frags
+	for _, id := range dep.hosted {
+		var f *partition.Fragment
+		f, rest, err = partition.DecodeFragment(rest)
+		if err != nil {
+			refuse(fmt.Sprintf("bad fragment for site %d: %v", id, err))
+			return
+		}
+		if f.ID != id {
+			refuse(fmt.Sprintf("fragment %d shipped in site %d's slot", f.ID, id))
+			return
+		}
+		frags[id] = f
+	}
+	if len(rest) != 0 {
+		refuse(fmt.Sprintf("%d trailing bytes after fragments", len(rest)))
+		return
+	}
+
+	out := newOutbox()
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			frame, ok := out.get()
+			if !ok {
+				return
+			}
+			c.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := c.Write(frame); err != nil {
+				// Sever the connection: a driver waiting on our ACKs would
+				// otherwise never learn its frames stopped flowing (it has
+				// no reason to close first), and its sessions would hang.
+				// Closing makes the driver's readLoop fail the deployment;
+				// our read loop unblocks and resets. Then drain silently.
+				c.Close()
+				for {
+					if _, ok := out.get(); !ok {
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	sink := &daemonSink{out: out}
+	host := cluster.NewSiteHost(dep.total, dep.hosted, frags, dep.assign, cluster.Network{}, sink)
+
+	out.put(wire.AppendFrame(nil, frameDeployed, nil))
+	s.logf("dgsd: hosting %d/%d sites, %d-node assign directory", len(dep.hosted), dep.total, len(dep.assign))
+
+	// Serve frames until BYE or disconnect. No read deadline: a deployed
+	// daemon waits indefinitely for its driver's next query.
+	c.SetReadDeadline(time.Time{})
+	sessions := 0
+	for {
+		typ, body, err := wire.ReadFrame(br)
+		if err != nil {
+			s.logf("dgsd: driver read: %v", err)
+			break
+		}
+		switch typ {
+		case frameOpen:
+			o, err := decodeOpen(body)
+			if err != nil {
+				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "bad OPEN: " + err.Error()})))
+				continue
+			}
+			if err := host.Open(o.qid, o.kind, o.spec); err != nil {
+				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: o.qid, msg: err.Error()})))
+				continue
+			}
+			sessions++
+		case frameMsg:
+			m, err := decodeMsg(body)
+			if err != nil {
+				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "bad MSG: " + err.Error()})))
+				continue
+			}
+			// The payload aliases the frame buffer, which is not reused,
+			// so handing it straight to the host is safe.
+			host.Enqueue(m.qid, m.from, m.to, m.data)
+		case frameClose:
+			qid, err := wire.NewByteReader(body).U64()
+			if err == nil {
+				host.CloseSession(qid)
+			}
+		case frameBye:
+			s.logf("dgsd: driver said BYE after %d sessions", sessions)
+			goto done
+		default:
+			out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "unexpected " + frameName(typ)})))
+			goto done
+		}
+	}
+done:
+	host.Shutdown()
+	out.close()
+	<-writerDone
+}

@@ -1,0 +1,389 @@
+// Package tcpnet is the TCP backend of the cluster Transport: the same
+// sessions the in-process backend serves, but with the worker sites
+// living in dgsd daemon processes and every message crossing a real
+// socket as a length-prefixed internal/wire frame. docs/WIRE.md is the
+// normative description of the protocol this package implements.
+//
+// Topology: the driver holds one long-lived connection per daemon and
+// routes ALL traffic — even site-to-site messages between two sites of
+// the same daemon pass through the driver. This hub routing is what
+// preserves the runtime's termination guarantee across process
+// boundaries: the driver increments its per-session in-flight counter
+// when a message enters the network (a MSG frame arrives or is sent) and
+// decrements it when the processing daemon's ACK arrives, and because a
+// daemon writes a handler's output frames before the triggering
+// message's ACK on the same FIFO connection, the counter can never hit
+// zero while work is outstanding. It also makes the driver the natural
+// metering point: Stats.WireBytes on this backend is the measured frame
+// bytes (headers included) that crossed the driver's sockets for the
+// session. The price is a driver hop on site-to-site messages; direct
+// daemon-to-daemon links are future work and would need a distributed
+// termination protocol.
+//
+// Connection lifecycle: dial (context-aware) → HELLO/HELLO-OK version
+// handshake → DEPLOY fragment shipping → DEPLOYED → any number of
+// sessions (OPEN/MSG/ACK/CLOSE) → BYE → TCP close. A daemon serves one
+// deployment at a time and resets when the driver disconnects. Errors
+// travel as ERR frames: qid-scoped ones kill a session, qid-0 ones kill
+// the deployment. Writes never block protocol progress — each
+// connection's frames pass through an unbounded outbox drained by a
+// writer goroutine, which rules out the distributed write-deadlock of
+// mutually full TCP buffers.
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+
+	"dgs/internal/cluster"
+	"dgs/internal/wire"
+)
+
+// ProtocolVersion is negotiated in the HELLO handshake. A daemon that
+// sees a different major version refuses the deployment with an ERR
+// frame instead of guessing at frame semantics.
+const ProtocolVersion uint16 = 1
+
+// helloMagic opens every HELLO body so that a stray connection to the
+// wrong port fails fast and explicitly.
+const helloMagic = "DGSN"
+
+// Frame types (the byte after the length prefix; see docs/WIRE.md).
+const (
+	frameHello    = 0x01 // driver→daemon: magic, protocol version
+	frameHelloOK  = 0x02 // daemon→driver: accepted version
+	frameDeploy   = 0x03 // driver→daemon: assign directory + hosted fragments
+	frameDeployed = 0x04 // daemon→driver: fragments resident
+	frameOpen     = 0x05 // driver→daemon: open session qid from spec
+	frameClose    = 0x06 // driver→daemon: discard session qid
+	frameMsg      = 0x07 // both ways: one payload for (qid, from→to)
+	frameAck      = 0x08 // daemon→driver: one message processed
+	frameErr      = 0x09 // daemon→driver: session (qid) or deployment (0) error
+	frameBye      = 0x0A // driver→daemon: graceful goodbye
+)
+
+func frameName(t byte) string {
+	switch t {
+	case frameHello:
+		return "HELLO"
+	case frameHelloOK:
+		return "HELLO-OK"
+	case frameDeploy:
+		return "DEPLOY"
+	case frameDeployed:
+		return "DEPLOYED"
+	case frameOpen:
+		return "OPEN"
+	case frameClose:
+		return "CLOSE"
+	case frameMsg:
+		return "MSG"
+	case frameAck:
+		return "ACK"
+	case frameErr:
+		return "ERR"
+	case frameBye:
+		return "BYE"
+	default:
+		return fmt.Sprintf("frame(%#x)", t)
+	}
+}
+
+// --- frame body codecs ---
+//
+// All integers little-endian, on wire's shared append/ByteReader
+// primitives. Site IDs are int32 on the wire so the coordinator's -1
+// survives; strings and blobs are u32-length-prefixed.
+
+func appendU16(dst []byte, x uint16) []byte { return wire.AppendUint16(dst, x) }
+func appendU32(dst []byte, x uint32) []byte { return wire.AppendUint32(dst, x) }
+func appendU64(dst []byte, x uint64) []byte { return wire.AppendUint64(dst, x) }
+func appendI32(dst []byte, x int) []byte    { return wire.AppendUint32(dst, uint32(int32(x))) }
+func appendBlob(dst []byte, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func readI32(r *wire.ByteReader) (int, error) {
+	x, err := r.U32()
+	return int(int32(x)), err
+}
+
+func readBlob(r *wire.ByteReader) ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	return r.Take(int(n))
+}
+
+// openBody is the OPEN frame payload.
+type openBody struct {
+	qid  uint64
+	kind cluster.SessionKind
+	spec cluster.SessionSpec
+}
+
+func encodeOpen(o openBody) []byte {
+	dst := appendU64(nil, o.qid)
+	dst = append(dst, byte(o.kind))
+	dst = appendBlob(dst, []byte(o.spec.Algo))
+	dst = appendBlob(dst, o.spec.Query)
+	return appendBlob(dst, o.spec.Config)
+}
+
+func decodeOpen(b []byte) (openBody, error) {
+	r := wire.NewByteReader(b)
+	var o openBody
+	var err error
+	if o.qid, err = r.U64(); err != nil {
+		return o, err
+	}
+	k, err := r.Byte()
+	if err != nil {
+		return o, err
+	}
+	o.kind = cluster.SessionKind(k)
+	algo, err := readBlob(r)
+	if err != nil {
+		return o, err
+	}
+	o.spec.Algo = string(algo)
+	if o.spec.Query, err = readBlob(r); err != nil {
+		return o, err
+	}
+	if o.spec.Config, err = readBlob(r); err != nil {
+		return o, err
+	}
+	return o, r.Done()
+}
+
+// msgBody is the MSG frame payload. data is the wire-encoded payload
+// message, unchanged from what Session accounting sees.
+type msgBody struct {
+	qid      uint64
+	from, to int
+	data     []byte
+}
+
+func encodeMsg(m msgBody) []byte {
+	dst := make([]byte, 0, 16+len(m.data))
+	dst = appendU64(dst, m.qid)
+	dst = appendI32(dst, m.from)
+	dst = appendI32(dst, m.to)
+	return append(dst, m.data...)
+}
+
+func decodeMsg(b []byte) (msgBody, error) {
+	r := wire.NewByteReader(b)
+	var m msgBody
+	var err error
+	if m.qid, err = r.U64(); err != nil {
+		return m, err
+	}
+	if m.from, err = readI32(r); err != nil {
+		return m, err
+	}
+	if m.to, err = readI32(r); err != nil {
+		return m, err
+	}
+	m.data = r.Rest()
+	if len(m.data) == 0 {
+		return m, fmt.Errorf("tcpnet: MSG with empty payload")
+	}
+	return m, nil
+}
+
+// ackBody is the ACK frame payload: one processed message at `site`,
+// with the handler's busy time and recorded rounds piggybacked so the
+// driver's Stats stay meaningful across the process boundary.
+type ackBody struct {
+	qid    uint64
+	site   int
+	busyNs int64
+	rounds int64
+}
+
+func encodeAck(a ackBody) []byte {
+	dst := make([]byte, 0, 28)
+	dst = appendU64(dst, a.qid)
+	dst = appendI32(dst, a.site)
+	dst = appendU64(dst, uint64(a.busyNs))
+	return appendU64(dst, uint64(a.rounds))
+}
+
+func decodeAck(b []byte) (ackBody, error) {
+	r := wire.NewByteReader(b)
+	var a ackBody
+	var err error
+	if a.qid, err = r.U64(); err != nil {
+		return a, err
+	}
+	if a.site, err = readI32(r); err != nil {
+		return a, err
+	}
+	bn, err := r.U64()
+	if err != nil {
+		return a, err
+	}
+	a.busyNs = int64(bn)
+	rn, err := r.U64()
+	if err != nil {
+		return a, err
+	}
+	a.rounds = int64(rn)
+	return a, r.Done()
+}
+
+// errBody is the ERR frame payload; qid 0 addresses the deployment.
+type errBody struct {
+	qid uint64
+	msg string
+}
+
+func encodeErr(e errBody) []byte {
+	dst := appendU64(nil, e.qid)
+	return appendBlob(dst, []byte(e.msg))
+}
+
+func decodeErr(b []byte) (errBody, error) {
+	r := wire.NewByteReader(b)
+	var e errBody
+	var err error
+	if e.qid, err = r.U64(); err != nil {
+		return e, err
+	}
+	m, err := readBlob(r)
+	if err != nil {
+		return e, err
+	}
+	e.msg = string(m)
+	return e, r.Done()
+}
+
+// deployBody is the DEPLOY frame payload: the deployment's shape, the
+// global owner directory, and the wire encodings of exactly the
+// fragments this daemon hosts (in hosted-ID order).
+type deployBody struct {
+	total  int   // sites in the whole deployment
+	hosted []int // site IDs this daemon hosts
+	assign []int32
+	frags  []byte // partition.AppendFragment encodings, concatenated
+}
+
+func encodeDeploy(d deployBody) []byte {
+	dst := make([]byte, 0, 16+4*len(d.hosted)+4*len(d.assign)+len(d.frags))
+	dst = appendU32(dst, uint32(d.total))
+	dst = appendU32(dst, uint32(len(d.hosted)))
+	for _, id := range d.hosted {
+		dst = appendU32(dst, uint32(id))
+	}
+	dst = appendU32(dst, uint32(len(d.assign)))
+	for _, a := range d.assign {
+		dst = appendU32(dst, uint32(a))
+	}
+	return append(dst, d.frags...)
+}
+
+func decodeDeploy(b []byte) (deployBody, error) {
+	r := wire.NewByteReader(b)
+	var d deployBody
+	total, err := r.U32()
+	if err != nil {
+		return d, err
+	}
+	d.total = int(total)
+	nh, err := r.U32()
+	if err != nil {
+		return d, err
+	}
+	if uint64(nh)*4 > uint64(r.Remaining()) {
+		return d, fmt.Errorf("tcpnet: hosted count %d exceeds frame", nh)
+	}
+	d.hosted = make([]int, nh)
+	for i := range d.hosted {
+		x, err := r.U32()
+		if err != nil {
+			return d, err
+		}
+		d.hosted[i] = int(x)
+	}
+	na, err := r.U32()
+	if err != nil {
+		return d, err
+	}
+	if uint64(na)*4 > uint64(r.Remaining()) {
+		return d, fmt.Errorf("tcpnet: assign length %d exceeds frame", na)
+	}
+	d.assign = make([]int32, na)
+	for i := range d.assign {
+		x, err := r.U32()
+		if err != nil {
+			return d, err
+		}
+		d.assign[i] = int32(x)
+	}
+	d.frags = r.Rest()
+	return d, nil
+}
+
+// --- outbox ---
+
+// outbox is an unbounded FIFO of encoded frames with a dedicated writer
+// goroutine per connection. Senders never block on the socket, which
+// rules out the circular write-deadlock of hub routing under all-to-all
+// bursts (driver reader blocked writing to daemon B, daemon B blocked
+// writing to the driver, ...). close drains what was queued first.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newOutbox() *outbox {
+	o := &outbox{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+func (o *outbox) put(frame []byte) bool {
+	o.mu.Lock()
+	ok := !o.closed
+	if ok {
+		o.queue = append(o.queue, frame)
+	}
+	o.mu.Unlock()
+	o.cond.Signal()
+	return ok
+}
+
+// get blocks for the next frame; ok=false after close and drain.
+func (o *outbox) get() ([]byte, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.queue) == 0 && !o.closed {
+		o.cond.Wait()
+	}
+	if len(o.queue) == 0 {
+		return nil, false
+	}
+	f := o.queue[0]
+	o.queue = o.queue[1:]
+	return f, true
+}
+
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	o.cond.Broadcast()
+}
+
+// HostedRange computes the contiguous block of site IDs daemon j of k
+// hosts in an n-site deployment: sites [j·n/k, (j+1)·n/k). Both Dial and
+// the DEPLOY frame use it, so it is the one place the placement policy
+// lives.
+func HostedRange(n, k, j int) (lo, hi int) {
+	return j * n / k, (j + 1) * n / k
+}

@@ -219,14 +219,11 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 	}
 
 	n := fr.NumFragments()
-	sites := make([]*treeSite, n)
-	handlers := make([]cluster.Handler, n)
-	for i := 0; i < n; i++ {
-		sites[i] = &treeSite{q: q, frag: fr.Frags[i]}
-		handlers[i] = sites[i]
-	}
 	coord := &treeCoord{n: n, nq: q.NumNodes()}
-	sess := c.NewSession(handlers, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q)}, coord)
+	if err != nil {
+		return nil, cluster.Stats{}, err
+	}
 	defer sess.Close()
 
 	start := time.Now()
@@ -275,7 +272,20 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 
 // Run evaluates one query on a throwaway single-query cluster.
 func Run(q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
-	c := cluster.New(fr.NumFragments(), cluster.Network{})
+	c := cluster.NewLocal(fr, cluster.Network{})
 	defer c.Shutdown()
 	return Eval(context.Background(), c, q, fr)
+}
+
+// Algo is the registered name of the dGPMt site.
+const Algo = "dgpmt"
+
+func init() {
+	cluster.RegisterAlgorithm(Algo, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
+		q, err := pattern.DecodeBinary(spec.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &treeSite{q: q, frag: frag}, nil
+	})
 }

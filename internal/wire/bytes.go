@@ -1,0 +1,103 @@
+package wire
+
+// Shared little-endian primitives for the codecs layered on top of the
+// payload encodings — fragment shipping (internal/partition) and
+// transport frame bodies (internal/transport/tcpnet). One
+// bounds-checked implementation, so a hardening fix lands everywhere at
+// once instead of in per-package copies.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendUint16 appends x little-endian.
+func AppendUint16(dst []byte, x uint16) []byte { return binary.LittleEndian.AppendUint16(dst, x) }
+
+// AppendUint32 appends x little-endian.
+func AppendUint32(dst []byte, x uint32) []byte { return binary.LittleEndian.AppendUint32(dst, x) }
+
+// AppendUint64 appends x little-endian.
+func AppendUint64(dst []byte, x uint64) []byte { return binary.LittleEndian.AppendUint64(dst, x) }
+
+// ByteReader is a bounds-checked sequential reader over an encoded
+// buffer. Every accessor returns an error instead of panicking on
+// truncation, so decoders stay total on hostile input.
+type ByteReader struct {
+	b   []byte
+	off int
+}
+
+// NewByteReader reads from the front of b.
+func NewByteReader(b []byte) *ByteReader { return &ByteReader{b: b} }
+
+// U16 reads a little-endian uint16.
+func (r *ByteReader) U16() (uint16, error) {
+	if r.off+2 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated u16")
+	}
+	x := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return x, nil
+}
+
+// U32 reads a little-endian uint32.
+func (r *ByteReader) U32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated u32")
+	}
+	x := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return x, nil
+}
+
+// U64 reads a little-endian uint64.
+func (r *ByteReader) U64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated u64")
+	}
+	x := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return x, nil
+}
+
+// Byte reads one byte.
+func (r *ByteReader) Byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("wire: truncated byte")
+	}
+	x := r.b[r.off]
+	r.off++
+	return x, nil
+}
+
+// Take reads the next n bytes without copying (the slice aliases the
+// input buffer).
+func (r *ByteReader) Take(n int) ([]byte, error) {
+	if n < 0 || n > len(r.b)-r.off {
+		return nil, fmt.Errorf("wire: truncated: want %d bytes, have %d", n, len(r.b)-r.off)
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Remaining reports how many unread bytes are left.
+func (r *ByteReader) Remaining() int { return len(r.b) - r.off }
+
+// Rest returns every unread byte (aliasing the input buffer) and
+// advances to the end.
+func (r *ByteReader) Rest() []byte {
+	b := r.b[r.off:]
+	r.off = len(r.b)
+	return b
+}
+
+// Done errors if unread bytes remain — decoders use it to keep
+// encodings canonical.
+func (r *ByteReader) Done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package wire
+
+// Stream framing for the TCP transport. A frame is the unit the
+// networked runtime writes to a socket:
+//
+//	u32 length (little-endian) | u8 frame type | body (length-1 bytes)
+//
+// The length covers the type byte plus the body, so an empty frame has
+// length 1. Frame *types* belong to the transport protocol
+// (internal/transport/tcpnet, docs/WIRE.md §transport frames); this file
+// only fixes the byte-level framing so that the encoder, the decoder and
+// the fuzzer agree on one definition. Payload messages (Kind-tagged,
+// Encode/Decode above) travel as the body of MSG frames unchanged — the
+// framing adds exactly FrameOverhead bytes around each.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame's length field: 256 MiB, far above any
+// fragment shipment we produce, low enough to fail fast on a corrupt or
+// hostile length prefix instead of attempting a giant allocation.
+const MaxFrame = 1 << 28
+
+// FrameOverhead is the fixed per-frame byte cost (length prefix + type).
+const FrameOverhead = 5
+
+// AppendFrame appends one frame carrying typ and body to dst.
+func AppendFrame(dst []byte, typ byte, body []byte) []byte {
+	if len(body)+1 > MaxFrame {
+		panic(fmt.Sprintf("wire: frame body %d exceeds MaxFrame", len(body)))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)+1))
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// ReadFrame reads exactly one frame from r. The returned body aliases a
+// fresh allocation. io.EOF is returned untouched on a clean boundary;
+// a partial frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame", n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	typ = hdr[4]
+	body = make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, body, nil
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, 0x07, []byte("hello"))
+	buf = AppendFrame(buf, 0x01, nil)
+	buf = AppendFrame(buf, 0xFF, bytes.Repeat([]byte{0xAB}, 1000))
+
+	r := bytes.NewReader(buf)
+	typ, body, err := ReadFrame(r)
+	if err != nil || typ != 0x07 || string(body) != "hello" {
+		t.Fatalf("frame 1: %v %#x %q", err, typ, body)
+	}
+	typ, body, err = ReadFrame(r)
+	if err != nil || typ != 0x01 || len(body) != 0 {
+		t.Fatalf("frame 2: %v %#x %d", err, typ, len(body))
+	}
+	typ, body, err = ReadFrame(r)
+	if err != nil || typ != 0xFF || len(body) != 1000 {
+		t.Fatalf("frame 3: %v %#x %d", err, typ, len(body))
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("clean boundary must be io.EOF, got %v", err)
+	}
+}
+
+func TestFrameOverheadIsExact(t *testing.T) {
+	f := AppendFrame(nil, 0x07, []byte("xyz"))
+	if len(f) != FrameOverhead+3 {
+		t.Fatalf("frame length %d, want %d", len(f), FrameOverhead+3)
+	}
+}
+
+func TestFrameRejectsHostileLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := AppendFrame(nil, 0x07, []byte("some body bytes"))
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if cut >= 4 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncation at %d: %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// FuzzFrameRoundTrip: any (type, body) must survive framing, and the
+// reader must never panic or over-read on arbitrary stream prefixes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), []byte{})
+	f.Add(byte(7), []byte("payload"))
+	f.Fuzz(func(t *testing.T, typ byte, body []byte) {
+		frame := AppendFrame(nil, typ, body)
+		gotTyp, gotBody, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if gotTyp != typ || !bytes.Equal(gotBody, body) {
+			t.Fatal("frame round trip changed content")
+		}
+		// Arbitrary prefix of the body as a stream: must error or parse,
+		// never panic.
+		ReadFrame(bytes.NewReader(body))
+	})
+}

@@ -8,7 +8,8 @@
 // refinement cost), acyclicity (dGPMd's precondition), and ID locality
 // (so partition.Blocks starts from a low boundary that
 // partition.TargetRatio can dial up to the experiments' |Vf| settings).
-// The default sizes are scaled ~1/10 from the paper; see DESIGN.md §2.
+// The default sizes are scaled ~1/10 from the paper (the internal/bench
+// package comment lists them).
 package workload
 
 import (

@@ -17,6 +17,7 @@ import (
 
 	"dgs/internal/dgpm"
 	"dgs/internal/graph"
+	"dgs/internal/partition"
 )
 
 // EdgeOp is one update of an update batch: the deletion or insertion of
@@ -56,6 +57,7 @@ func addStats(a *Stats, b Stats) {
 	a.ControlBytes += b.ControlBytes
 	a.ResultBytes += b.ResultBytes
 	a.Rounds += b.Rounds
+	a.WireBytes += b.WireBytes
 	if b.MaxSiteBusy > a.MaxSiteBusy {
 		a.MaxSiteBusy = b.MaxSiteBusy
 	}
@@ -105,6 +107,18 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 		return st, errorf("apply: deployment closed while distributing updates")
 	}
 	st.Delta = fromCluster(deltaStats)
+	if d.remote {
+		// The maintenance session mutated the daemons' resident copies;
+		// replay the batch on the driver's fragmentation so boundary
+		// metadata (and any future re-split) stays in lockstep.
+		if err := partition.ApplyBatchLocal(d.part.fr, dels, ins); err != nil {
+			panic("dgs: local replay diverged from validation: " + err.Error())
+		}
+	} else {
+		// In-process sites mutate the driver's own fragments; only the
+		// derived boundary statistics need refreshing.
+		d.part.fr.RecountBoundary()
+	}
 	for _, e := range dels {
 		if err := ov.DeleteEdge(e[0], e[1]); err != nil {
 			panic("dgs: overlay diverged from validation: " + err.Error())

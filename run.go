@@ -77,6 +77,11 @@ type Stats struct {
 	Rounds int64
 	// MaxSiteBusy is the busiest site's cumulative compute time.
 	MaxSiteBusy time.Duration
+	// WireBytes is the measured transport traffic of the query: real
+	// socket bytes (frame headers included) on a WithRemoteSites
+	// deployment, 0 in-process. DataBytes above counts exact payload
+	// encodings on both transports.
+	WireBytes int64
 }
 
 func fromCluster(s cluster.Stats) Stats {
@@ -88,6 +93,7 @@ func fromCluster(s cluster.Stats) Stats {
 		ResultBytes:  s.ResultBytes,
 		Rounds:       s.Rounds,
 		MaxSiteBusy:  s.MaxSiteBusy,
+		WireBytes:    s.WireBytes,
 	}
 }
 

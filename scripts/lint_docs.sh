@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Documentation lint, enforced by `make docs` and CI:
+#   1. every package (root, internal/*, cmd/*) has a package comment;
+#   2. the operator-facing documents exist and are non-trivial.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$' || true)
+if [ -n "$missing" ]; then
+  echo "packages without a package comment:"
+  echo "$missing" | sed 's/^/  /'
+  fail=1
+fi
+
+for doc in README.md docs/WIRE.md DESIGN.md; do
+  if [ ! -s "$doc" ]; then
+    echo "missing required document: $doc"
+    fail=1
+  fi
+done
+
+# The wire spec must cover every payload kind the codec knows.
+for kind in falsify rankbatch push reroute subgraph vectors eqsystem values matches control delta; do
+  if ! grep -qi "$kind" docs/WIRE.md; then
+    echo "docs/WIRE.md does not mention payload kind '$kind'"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs lint failed"
+  exit 1
+fi
+echo "docs lint: ok"
