@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp clean
+.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition clean
 
 # tier1 is the gate every change must pass: static checks, full build,
 # and the test suite under the race detector (the Deployment API serves
@@ -40,6 +40,19 @@ docs:
 # dgsd processes on loopback, one dgsrun -connect query per algorithm.
 smoke-tcp:
 	./scripts/tcp_smoke.sh
+
+# partition-smoke runs the partition bench group on a tiny graph (both
+# backends) and asserts the quality claim in miniature: LDG must beat
+# the random fixture on |Ef|, and every point must carry its
+# fragmentation metadata.
+partition-smoke:
+	$(GO) test ./internal/bench -run '^TestPartitionSmoke$$' -v
+
+# bench-partition regenerates BENCH_PARTITION.json: the 256-site
+# partitioner quality sweep (build time, |Vf|/|Ef|, dGPM/dMes PT+DS,
+# measured TCP wire bytes per strategy).
+bench-partition:
+	$(GO) run ./cmd/benchfig -group partition -json BENCH_PARTITION.json
 
 examples:
 	$(GO) run ./examples/quickstart

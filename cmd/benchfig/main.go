@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dgs/internal/bench"
@@ -31,10 +32,18 @@ func main() {
 		queries  = flag.Int("queries", 2, "random queries averaged per point")
 		seed     = flag.Int64("seed", 1, "random seed")
 		jsonPath = flag.String("json", "", "also write the produced figures as JSON to this file (BENCH_*.json recording)")
+		partList = flag.String("part", "", "comma-separated partitioner strategies for the partition group (default: random,blocks,ldg,fennel; see dgsrun -part for the registry)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *partList != "" {
+		for _, s := range strings.Split(*partList, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Partitioners = append(cfg.Partitioners, s)
+			}
+		}
+	}
 	var produced []*bench.Figure
 	switch {
 	case *all:

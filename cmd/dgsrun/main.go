@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dgs"
 )
@@ -45,6 +46,9 @@ func main() {
 		nodes     = flag.Int("nodes", 60000, "generated |V|")
 		edges     = flag.Int("edges", 300000, "generated |E|")
 		frags     = flag.Int("frags", 8, "number of fragments |F|")
+		partName  = flag.String("part", "", "partitioner strategy: "+strings.Join(dgs.Partitioners(), "|")+" (default: targetratio, or tree/chain as the algorithm requires)")
+		slack     = flag.Float64("slack", 0.10, "balance slack for quality-first partitioners (ldg, fennel); ≤0 selects the default 10%")
+		refine    = flag.Int("refine", 0, "incremental refinement passes after the base assignment")
 		vf        = flag.Float64("vf", 0.25, "target |Vf|/|V| ratio (non-tree)")
 		queryFile = flag.String("query", "", "pattern DSL file")
 		qnodes    = flag.Int("qnodes", 5, "generated query |Vq|")
@@ -121,6 +125,11 @@ func main() {
 
 	var part *dgs.Partition
 	switch {
+	case *partName != "":
+		part, err = dgs.PartitionWith(g, *partName, *frags,
+			dgs.WithPartitionSeed(*seed), dgs.WithPartitionMetric(dgs.ByVf),
+			dgs.WithPartitionTarget(*vf), dgs.WithBalanceSlack(*slack),
+			dgs.WithRefinePasses(*refine))
 	case algo == dgs.AlgoDGPMt:
 		part, err = dgs.PartitionTree(g, *frags)
 	case *gen == "chain":
@@ -131,7 +140,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println("partition:", part)
+	fmt.Printf("partition: %v [%s, built in %v]\n", part, part.Strategy(), part.BuildTime().Round(time.Millisecond))
 
 	var dopts []dgs.DeployOption
 	if *ec2 {

@@ -96,6 +96,15 @@ func confPartitions(t *testing.T, wl confWorkload) map[string]*Partition {
 	if out["TargetRatio"], err = PartitionTargetRatio(g, 6, ByVf, 0.3, 31); err != nil {
 		t.Fatal(err)
 	}
+	// The quality-first streaming partitioners: every algorithm must
+	// stay correct on low-cut fragmentations, not just the experiment
+	// fixtures that raise the ratio.
+	if out["LDG"], err = PartitionWith(g, "ldg", 6, WithPartitionSeed(31)); err != nil {
+		t.Fatal(err)
+	}
+	if out["Fennel"], err = PartitionWith(g, "fennel", 6, WithPartitionSeed(31), WithRefinePasses(4)); err != nil {
+		t.Fatal(err)
+	}
 	if wl.gIsTree {
 		// dGPMt's Corollary-4 precondition: fragments must be connected
 		// subtrees; only this strategy guarantees it.
@@ -139,8 +148,9 @@ func confModes(t *testing.T) []struct {
 }
 
 // TestConformanceMatrix — all seven algorithms × {cyclic, DAG, tree}
-// workloads × {Random, Blocks, TargetRatio} partitions × {in-process,
-// loopback-TCP} transports agree with centralized Simulate.
+// workloads × {Random, Blocks, TargetRatio, LDG, Fennel} partitions ×
+// {in-process, loopback-TCP} transports agree with centralized
+// Simulate.
 // Combinations outside an algorithm's preconditions (dGPMd needs a DAG
 // pattern or DAG graph; dGPMt needs a tree graph) are skipped
 // explicitly. On the TCP backend every deployment spans two dgsd

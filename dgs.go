@@ -49,7 +49,7 @@ package dgs
 import (
 	"fmt"
 	"io"
-	"math/rand"
+	"time"
 
 	"dgs/internal/graph"
 	"dgs/internal/partition"
@@ -222,57 +222,109 @@ func (p *Partition) Assignment() []int32 {
 	return append([]int32(nil), p.fr.Assign...)
 }
 
+// Strategy names the registered partitioner that produced this
+// partition ("custom" for explicit assignments).
+func (p *Partition) Strategy() string { return p.fr.Strategy }
+
+// BuildTime reports the wall time spent planning and building the
+// fragmentation.
+func (p *Partition) BuildTime() time.Duration { return p.fr.BuildTime }
+
+// FragmentSizes returns each fragment's node count |Vi| sorted
+// descending — the balance a partitioner achieved.
+func (p *Partition) FragmentSizes() []int { return p.fr.FragmentSizes() }
+
 // String summarizes the partition.
 func (p *Partition) String() string { return p.fr.String() }
 
-// PartitionRandom fragments g into n balanced random fragments.
-func PartitionRandom(g *Graph, n int, seed int64) (*Partition, error) {
-	fr, err := partition.Random(g.g, n, rand.New(rand.NewSource(seed)))
+// PartitionOption tunes PartitionWith.
+type PartitionOption func(*partition.Options)
+
+// WithPartitionSeed fixes the seed driving every randomized choice of a
+// strategy; runs with equal seeds produce identical assignments.
+func WithPartitionSeed(seed int64) PartitionOption {
+	return func(o *partition.Options) { o.Seed = seed }
+}
+
+// WithPartitionMetric selects the boundary metric (ByVf or ByEf) for
+// the strategies that target or refine a ratio.
+func WithPartitionMetric(m Metric) PartitionOption {
+	return func(o *partition.Options) { o.Metric = m }
+}
+
+// WithPartitionTarget sets the boundary ratio the "targetratio"
+// strategy aims for.
+func WithPartitionTarget(target float64) PartitionOption {
+	return func(o *partition.Options) { o.Target = target }
+}
+
+// WithBalanceSlack bounds fragment imbalance for the quality-first
+// strategies: no fragment holds more than ceil((1+slack)·|V|/n) nodes.
+// A slack ≤ 0 selects the default 10% (there is no way to request
+// perfectly tight balance; use "random" or "blocks" for ±1 balance).
+func WithBalanceSlack(slack float64) PartitionOption {
+	return func(o *partition.Options) { o.Slack = slack }
+}
+
+// WithRefinePasses runs up to n incremental plurality-vote refinement
+// passes after the base assignment (random, blocks, ldg, fennel).
+func WithRefinePasses(n int) PartitionOption {
+	return func(o *partition.Options) { o.RefinePasses = n }
+}
+
+// Partitioners lists the registered partitioning strategies, sorted by
+// name: the quality-first streaming planners ("ldg", "fennel"), the
+// paper's experiment fixtures ("random", "blocks", "targetratio",
+// "chain") and the dGPMt precondition planner ("tree").
+func Partitioners() []string { return partition.Partitioners() }
+
+// PartitionWith fragments g into n fragments with the named registered
+// strategy. The result records the strategy and build time, making
+// every downstream measurement attributable to its fragmentation:
+//
+//	part, err := dgs.PartitionWith(g, "ldg", 256, dgs.WithPartitionSeed(1))
+//	fmt.Println(part.Strategy(), part.Ef(), part.BuildTime())
+func PartitionWith(g *Graph, name string, n int, opts ...PartitionOption) (*Partition, error) {
+	var o partition.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	fr, err := partition.PartitionBy(g.g, name, n, o)
 	if err != nil {
 		return nil, err
 	}
 	return &Partition{fr: fr}, nil
+}
+
+// PartitionRandom fragments g into n balanced random fragments.
+func PartitionRandom(g *Graph, n int, seed int64) (*Partition, error) {
+	return PartitionWith(g, "random", n, WithPartitionSeed(seed))
 }
 
 // PartitionBlocks fragments g into n contiguous ID blocks (low boundary
 // on the locality-biased generator outputs).
 func PartitionBlocks(g *Graph, n int) (*Partition, error) {
-	fr, err := partition.Blocks(g.g, n)
-	if err != nil {
-		return nil, err
-	}
-	return &Partition{fr: fr}, nil
+	return PartitionWith(g, "blocks", n)
 }
 
 // PartitionTargetRatio fragments g into n fragments whose boundary
 // metric is close to target — the experiments' |Vf|/|Ef| knob (§6).
 func PartitionTargetRatio(g *Graph, n int, metric Metric, target float64, seed int64) (*Partition, error) {
-	fr, err := partition.TargetRatio(g.g, n, metric, target, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, err
-	}
-	return &Partition{fr: fr}, nil
+	return PartitionWith(g, "targetratio", n,
+		WithPartitionMetric(metric), WithPartitionTarget(target), WithPartitionSeed(seed))
 }
 
 // PartitionTree splits a tree graph into ~n connected subtrees (dGPMt's
 // precondition, Corollary 4).
 func PartitionTree(g *Graph, n int) (*Partition, error) {
-	fr, err := partition.ConnectedTree(g.g, n)
-	if err != nil {
-		return nil, err
-	}
-	return &Partition{fr: fr}, nil
+	return PartitionWith(g, "tree", n)
 }
 
 // PartitionChain assigns contiguous ID runs to n fragments — with the
 // Fig-2 chain graphs this is the paper's worst-case fragmentation where
 // every node is on the boundary.
 func PartitionChain(g *Graph, n int) (*Partition, error) {
-	fr, err := partition.Chain(g.g, n)
-	if err != nil {
-		return nil, err
-	}
-	return &Partition{fr: fr}, nil
+	return PartitionWith(g, "chain", n)
 }
 
 // PartitionFromAssign builds a fragmentation from an explicit node→site

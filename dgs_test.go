@@ -285,3 +285,44 @@ func TestMatchAccessors(t *testing.T) {
 		t.Fatal("String empty")
 	}
 }
+
+func TestPartitionWithAPI(t *testing.T) {
+	dict := NewDict()
+	g := GenWeb(dict, 2000, 8000, 9)
+	names := Partitioners()
+	if len(names) != 7 {
+		t.Fatalf("Partitioners() = %v, want 7 strategies", names)
+	}
+	if _, err := PartitionWith(g, "no-such", 4); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	rnd, err := PartitionWith(g, "random", 16, WithPartitionSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldg, err := PartitionWith(g, "ldg", 16, WithPartitionSeed(3), WithBalanceSlack(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldg.Strategy() != "ldg" || rnd.Strategy() != "random" {
+		t.Fatalf("strategies not stamped: %q %q", ldg.Strategy(), rnd.Strategy())
+	}
+	if ldg.BuildTime() <= 0 {
+		t.Fatal("build time not stamped")
+	}
+	if ldg.Ef() >= rnd.Ef() {
+		t.Fatalf("ldg cut %d not below random cut %d on a locality graph", ldg.Ef(), rnd.Ef())
+	}
+	sizes := ldg.FragmentSizes()
+	if cap := (2000*11 + 159) / (10 * 16); sizes[0] > cap { // ceil(1.1·|V|/n)
+		t.Fatalf("ldg balance slack violated: max %d > cap %d", sizes[0], cap)
+	}
+	// The wrappers route through the registry and stamp metadata too.
+	tr, err := PartitionTargetRatio(g, 8, ByVf, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy() != "targetratio" {
+		t.Fatalf("wrapper strategy = %q", tr.Strategy())
+	}
+}

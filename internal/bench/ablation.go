@@ -59,7 +59,7 @@ func runAblation(cfg Config) ([]*Figure, error) {
 		}
 		x := fmt.Sprint(nf)
 		for i, v := range variants {
-			m := &measurement{}
+			m := &measurement{part: partMeta(part)}
 			for _, q := range queries {
 				res, err := dep.Query(context.Background(), q, v.opts...)
 				if err != nil {

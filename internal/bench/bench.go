@@ -38,6 +38,9 @@ type Config struct {
 	// NoNetwork disables the EC2-like link cost model (used by fast unit
 	// tests; the figures are meant to run with it on).
 	NoNetwork bool
+	// Partitioners restricts the "partition" group to the named
+	// strategies (benchfig -part); empty means the group's default set.
+	Partitioners []string
 }
 
 func (c Config) norm() Config {
@@ -61,6 +64,43 @@ func (c Config) scaled(n int) int {
 	return v
 }
 
+// PartMeta attributes a measured point to the fragmentation it ran on:
+// the partitioner strategy, the boundary sizes that parameterize every
+// cost bound of the paper, the fragment count and balance, and the
+// build time. Recorded into every BENCH_*.json point so past numbers
+// stay comparable when partitioners evolve.
+type PartMeta struct {
+	Strategy string  `json:"strategy"`
+	Frags    int     `json:"frags"`
+	Nodes    int     `json:"nodes"` // |V| of the fragmented graph
+	Vf       int     `json:"vf"`
+	Ef       int     `json:"ef"`
+	MaxNodes int     `json:"max_nodes"` // largest fragment's |Vi| (balance)
+	BuildMs  float64 `json:"build_ms"`
+}
+
+// partMeta snapshots a partition's attribution metadata.
+func partMeta(part *dgs.Partition) *PartMeta {
+	sizes := part.FragmentSizes()
+	maxNodes := 0
+	if len(sizes) > 0 {
+		maxNodes = sizes[0]
+	}
+	nodes := 0
+	for _, s := range sizes {
+		nodes += s
+	}
+	return &PartMeta{
+		Strategy: part.Strategy(),
+		Frags:    part.NumFragments(),
+		Nodes:    nodes,
+		Vf:       part.Vf(),
+		Ef:       part.Ef(),
+		MaxNodes: maxNodes,
+		BuildMs:  float64(part.BuildTime().Microseconds()) / 1000,
+	}
+}
+
 // Point is one x-position of one series.
 type Point struct {
 	X      string
@@ -68,6 +108,9 @@ type Point struct {
 	DSkb   float64
 	Msgs   int64
 	Rounds int64
+	// Part attributes the point to the fragmentation it was measured
+	// on; nil only for points with no deployment behind them.
+	Part *PartMeta `json:"Part,omitempty"`
 }
 
 // Series is one algorithm's curve.
@@ -130,12 +173,14 @@ var groups = map[string]struct {
 	"exp3-G":    {[]string{"6o", "6p"}, exp3VaryG},
 	"updates":   {[]string{"upd-pt", "upd-ds"}, updatesExp},
 	"transport": {[]string{"net-pt", "net-ds"}, transportExp},
+	"partition": {[]string{"part-pt", "part-ds"}, partitionExp},
 }
 
 // Figures lists every reproducible figure ID in order: the paper's 16
-// panels plus the updates and transport experiments' PT/DS pairs.
+// panels plus the updates, transport and partition experiments' PT/DS
+// pairs.
 func Figures() []string {
-	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds"}
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds", "part-pt", "part-ds"}
 }
 
 // Groups lists the experiment groups.
@@ -186,6 +231,7 @@ type measurement struct {
 	msgs   int64
 	rounds int64
 	n      int
+	part   *PartMeta
 }
 
 func (m *measurement) add(st dgs.Stats) {
@@ -198,10 +244,10 @@ func (m *measurement) add(st dgs.Stats) {
 
 func (m *measurement) point(x string) Point {
 	if m.n == 0 {
-		return Point{X: x}
+		return Point{X: x, Part: m.part}
 	}
 	n := float64(m.n)
-	return Point{X: x, PTms: m.pt / n, DSkb: m.ds / n, Msgs: m.msgs / int64(m.n), Rounds: m.rounds / int64(m.n)}
+	return Point{X: x, PTms: m.pt / n, DSkb: m.ds / n, Msgs: m.msgs / int64(m.n), Rounds: m.rounds / int64(m.n), Part: m.part}
 }
 
 // runPoint deploys the partition once and evaluates the given algorithms
@@ -214,8 +260,9 @@ func runPoint(cfg Config, algos []dgs.Algorithm, queries []*dgs.Pattern, part *d
 	}
 	defer dep.Close()
 	out := make(map[dgs.Algorithm]*measurement, len(algos))
+	meta := partMeta(part)
 	for _, a := range algos {
-		out[a] = &measurement{}
+		out[a] = &measurement{part: meta}
 	}
 	for _, q := range queries {
 		for _, a := range algos {

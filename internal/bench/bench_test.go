@@ -10,8 +10,8 @@ func tiny() Config { return Config{Scale: 0.05, Queries: 1, Seed: 3, NoNetwork: 
 
 func TestFiguresComplete(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 20 { // the paper's 16 panels + upd-pt/upd-ds + net-pt/net-ds
-		t.Fatalf("want 20 panels, got %d", len(ids))
+	if len(ids) != 22 { // the paper's 16 panels + upd/net/part PT+DS pairs
+		t.Fatalf("want 22 panels, got %d", len(ids))
 	}
 	covered := map[string]bool{}
 	for _, g := range groups {
@@ -24,8 +24,8 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %s has no experiment group", id)
 		}
 	}
-	if len(Groups()) != 11 { // 8 figure groups + ablation + updates + transport
-		t.Fatalf("want 11 groups, got %d", len(Groups()))
+	if len(Groups()) != 12 { // 8 figure groups + ablation + updates + transport + partition
+		t.Fatalf("want 12 groups, got %d", len(Groups()))
 	}
 }
 
@@ -230,5 +230,71 @@ func TestTransportGroupShape(t *testing.T) {
 		if byName["dGPM/inproc"].Points[i].DSkb == 0 {
 			t.Fatalf("point %d: in-process arm shipped nothing", i)
 		}
+	}
+}
+
+// TestPartitionSmoke is the CI partition-smoke gate: the partition
+// group must run end to end on a tiny graph (both backends), every
+// point must carry its fragmentation metadata, and LDG must beat the
+// random fixture on |Ef| even at toy scale.
+func TestPartitionSmoke(t *testing.T) {
+	figs, err := RunGroup("partition", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "part-pt" || figs[1].ID != "part-ds" {
+		t.Fatalf("group shape wrong: %v", figs)
+	}
+	pt, ds := figs[0], figs[1]
+	if len(pt.Series) != 4 || len(ds.Series) != 6 { // dGPM/dMes × inproc/tcp (+2 wire series on DS)
+		t.Fatalf("series counts: PT=%d DS=%d", len(pt.Series), len(ds.Series))
+	}
+	ef := map[string]int{}
+	for _, s := range append(pt.Series, ds.Series...) {
+		for _, p := range s.Points {
+			if p.Part == nil {
+				t.Fatalf("series %s point %s has no partition metadata", s.Name, p.X)
+			}
+			if p.Part.Strategy != p.X {
+				t.Fatalf("series %s point %s attributed to %q", s.Name, p.X, p.Part.Strategy)
+			}
+			if p.Part.BuildMs < 0 || p.Part.Frags < 8 {
+				t.Fatalf("series %s point %s has bogus metadata %+v", s.Name, p.X, p.Part)
+			}
+			ef[p.X] = p.Part.Ef
+		}
+	}
+	for _, strat := range []string{"random", "blocks", "ldg", "fennel"} {
+		if _, ok := ef[strat]; !ok {
+			t.Fatalf("strategy %s never measured (have %v)", strat, ef)
+		}
+	}
+	if ef["ldg"] >= ef["random"] {
+		t.Fatalf("LDG cut %d not below random cut %d", ef["ldg"], ef["random"])
+	}
+	t.Logf("Ef: random=%d blocks=%d ldg=%d fennel=%d", ef["random"], ef["blocks"], ef["ldg"], ef["fennel"])
+	// Equal balance footing: every strategy within the 10% slack cap the
+	// group partitions under, computed from the recorded metadata.
+	for _, s := range pt.Series {
+		for _, p := range s.Points {
+			cap_ := (p.Part.Nodes*11 + 10*p.Part.Frags - 1) / (10 * p.Part.Frags) // ceil(1.1·|V|/|F|)
+			if p.Part.MaxNodes == 0 || p.Part.MaxNodes > cap_ {
+				t.Fatalf("strategy %s max fragment %d outside slack cap %d (|V|=%d, |F|=%d)",
+					p.X, p.Part.MaxNodes, cap_, p.Part.Nodes, p.Part.Frags)
+			}
+		}
+	}
+	// The TCP arm must have measured real wire bytes for at least one
+	// strategy (tiny graphs can round small, but not all-zero).
+	var wire float64
+	for _, s := range ds.Series {
+		if s.Name == "dGPM-wire/tcp" || s.Name == "dMes-wire/tcp" {
+			for _, p := range s.Points {
+				wire += p.DSkb
+			}
+		}
+	}
+	if wire == 0 {
+		t.Fatal("TCP arm measured no wire bytes")
 	}
 }

@@ -20,6 +20,30 @@ import (
 	"dgs/internal/transport/tcpnet"
 )
 
+// startLoopbackServers starts n tcpnet site servers on loopback and
+// returns their addresses plus a shutdown func. Shared by the transport
+// and partition experiments.
+func startLoopbackServers(n int) (addrs []string, stop func(), err error) {
+	listeners := make([]net.Listener, 0, n)
+	stop = func() {
+		for _, lis := range listeners {
+			lis.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := &tcpnet.Server{}
+		go srv.Serve(lis)
+		listeners = append(listeners, lis)
+		addrs = append(addrs, lis.Addr().String())
+	}
+	return addrs, stop, nil
+}
+
 // transportExp produces the "net-pt"/"net-ds" panels: PT and bytes per
 // fragment count |F|, for {in-process, loopback TCP}. The DS panel
 // carries three series: payload DS on each backend (equal, by design)
@@ -34,23 +58,11 @@ func transportExp(cfg Config) ([]*Figure, error) {
 	}
 
 	// Two site servers on loopback, reused across sweep points.
-	addrs := make([]string, 2)
-	listeners := make([]net.Listener, 2)
-	for i := range addrs {
-		lis, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		srv := &tcpnet.Server{}
-		go srv.Serve(lis)
-		listeners[i] = lis
-		addrs[i] = lis.Addr().String()
+	addrs, stopServers, err := startLoopbackServers(2)
+	if err != nil {
+		return nil, err
 	}
-	defer func() {
-		for _, lis := range listeners {
-			lis.Close()
-		}
-	}()
+	defer stopServers()
 
 	type arm struct {
 		name string
@@ -79,12 +91,13 @@ func transportExp(cfg Config) ([]*Figure, error) {
 		}
 		x := fmt.Sprint(nf)
 		var wireKB float64
+		meta := partMeta(part)
 		for _, a := range arms {
 			dep, err := dgs.Deploy(part, a.opts...)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a.name, err)
 			}
-			var m measurement
+			m := measurement{part: meta}
 			var wire int64
 			for _, q := range queries {
 				res, err := dep.Query(ctx, q)
@@ -102,7 +115,7 @@ func transportExp(cfg Config) ([]*Figure, error) {
 				wireKB = float64(wire) / 1024 / float64(len(queries))
 			}
 		}
-		wireSeries.Points = append(wireSeries.Points, Point{X: x, DSkb: wireKB})
+		wireSeries.Points = append(wireSeries.Points, Point{X: x, DSkb: wireKB, Part: meta})
 	}
 	for _, a := range arms {
 		pt.Series = append(pt.Series, *ptSeries[a.name])

@@ -50,14 +50,14 @@ func updatesExp(cfg Config) ([]*Figure, error) {
 			return nil, err
 		}
 		x := fmt.Sprint(bi + 1)
-		var m measurement
+		m := measurement{part: partMeta(part)}
 		m.add(w.LastStats())
 		inc.Points = append(inc.Points, m.point(x))
 		res, err := dep.Query(ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		var mr measurement
+		mr := measurement{part: partMeta(part)}
 		mr.add(res.Stats)
 		rec.Points = append(rec.Points, mr.point(x))
 		if !res.Match.Equal(w.Current()) {

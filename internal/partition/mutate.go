@@ -93,16 +93,18 @@ func (f *Fragment) InsertEdge(v, w graph.NodeID, wLabel graph.Label, wOwner int)
 }
 
 // AddWatcher records that fragment id now holds local node v as virtual.
-// It reports whether v thereby became an in-node.
+// It reports whether v thereby became an in-node. Watcher lists are kept
+// sorted, so membership and insertion are binary searches — this sits on
+// the Apply hot path alongside insertSorted/removeSorted.
 func (f *Fragment) AddWatcher(v graph.NodeID, id int) (becameIn bool) {
 	ws := f.InWatchers[v]
-	for _, w := range ws {
-		if w == id {
-			return false
-		}
+	i := sort.SearchInts(ws, id)
+	if i < len(ws) && ws[i] == id {
+		return false
 	}
-	ws = append(ws, id)
-	sort.Ints(ws)
+	ws = append(ws, 0)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = id
 	f.InWatchers[v] = ws
 	if len(ws) == 1 {
 		f.InNodes = insertSorted(f.InNodes, v)
@@ -115,11 +117,8 @@ func (f *Fragment) AddWatcher(v graph.NodeID, id int) (becameIn bool) {
 // It reports whether v thereby stopped being an in-node.
 func (f *Fragment) RemoveWatcher(v graph.NodeID, id int) (droppedIn bool) {
 	ws := f.InWatchers[v]
-	for i, w := range ws {
-		if w == id {
-			ws = append(ws[:i], ws[i+1:]...)
-			break
-		}
+	if i := sort.SearchInts(ws, id); i < len(ws) && ws[i] == id {
+		ws = append(ws[:i], ws[i+1:]...)
 	}
 	if len(ws) > 0 {
 		f.InWatchers[v] = ws

@@ -16,7 +16,10 @@ package partition
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"dgs/internal/graph"
 )
@@ -95,6 +98,14 @@ type Fragmentation struct {
 	Assign []int32 // node -> fragment ID
 	Frags  []*Fragment
 
+	// Strategy names the registered partitioner that produced this
+	// fragmentation ("custom" for explicit assignments, "" when built
+	// directly through Build). BuildTime is the wall time of planning
+	// plus Build, stamped by PartitionBy. Together they make every
+	// downstream measurement attributable to its fragmentation.
+	Strategy  string
+	BuildTime time.Duration
+
 	// ov tracks live edge updates against G; nil until the first
 	// mutation. CurrentGraph materializes it for oracles and re-splits.
 	ov *graph.Overlay
@@ -148,7 +159,23 @@ func (fr *Fragmentation) String() string {
 // must be in [0, n). Fragments with no local nodes are allowed (they just
 // sit idle), matching the paper's "multiple fragments on one site are one
 // fragment" convention in reverse.
+//
+// Fragments are constructed concurrently by a worker pool (fragments
+// are independent given the shared read-only graph and assignment), so
+// a 256-site fragmentation of a large graph scales with cores; the
+// output is byte-for-byte identical to a sequential build.
 func Build(g *graph.Graph, assign []int32, n int) (*Fragmentation, error) {
+	return buildWorkers(g, assign, n, runtime.GOMAXPROCS(0))
+}
+
+// watchPair records that fragment holder sees node w as virtual; the
+// pair is routed to w's owner, which derives InNodes and InWatchers.
+type watchPair struct {
+	w      graph.NodeID
+	holder int32
+}
+
+func buildWorkers(g *graph.Graph, assign []int32, n, workers int) (*Fragmentation, error) {
 	if len(assign) != g.NumNodes() {
 		return nil, fmt.Errorf("partition: assign length %d != |V| %d", len(assign), g.NumNodes())
 	}
@@ -164,74 +191,123 @@ func Build(g *graph.Graph, assign []int32, n int) (*Fragmentation, error) {
 			crossCnt:   make(map[graph.NodeID]int),
 		}
 	}
+	// Local node lists, in ascending ID order (so already sorted).
 	for v := 0; v < g.NumNodes(); v++ {
 		fi := assign[v]
 		if fi < 0 || int(fi) >= n {
 			return nil, fmt.Errorf("partition: node %d assigned to invalid fragment %d", v, fi)
 		}
-		f := fr.Frags[fi]
-		f.Local = append(f.Local, graph.NodeID(v))
-		f.Labels[graph.NodeID(v)] = g.Label(graph.NodeID(v))
+		fr.Frags[fi].Local = append(fr.Frags[fi].Local, graph.NodeID(v))
 	}
 
-	virtSeen := make(map[graph.NodeID]bool) // global Vf dedup
-	inSeen := make([]map[graph.NodeID]bool, n)
-	virtSeenPer := make([]map[graph.NodeID]bool, n)
-	watcherSeen := make(map[uint64]bool) // (node, watcher) dedup
-	for i := 0; i < n; i++ {
-		inSeen[i] = make(map[graph.NodeID]bool)
-		virtSeenPer[i] = make(map[graph.NodeID]bool)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 || g.NumNodes() < 2048 {
+		workers = 1 // pool overhead dominates on small graphs
 	}
 
-	for v := 0; v < g.NumNodes(); v++ {
-		src := graph.NodeID(v)
-		fi := int(assign[v])
+	// Phase 1 — per-fragment, in parallel: adjacency, labels, crossing
+	// counters and the Virtual set; emit (virtual node, holder) pairs
+	// for phase 2. Workers only write their own fragment and slot.
+	emitted := make([][]watchPair, n)
+	runFragments(n, workers, func(fi int) {
 		f := fr.Frags[fi]
-		succ := g.Succ(src)
-		if len(succ) > 0 {
-			f.Succ[src] = succ // CSR slice is immutable; safe to share
-			f.numEdges += len(succ)
-		}
-		for _, w := range succ {
-			fj := int(assign[w])
-			if fj == fi {
+		var out []watchPair
+		for _, src := range f.Local {
+			f.Labels[src] = g.Label(src)
+			succ := g.Succ(src)
+			if len(succ) == 0 {
 				continue
 			}
-			// (src, w) is a crossing edge: w is virtual in Fi, in-node in Fj.
-			f.numCrossing++
-			f.crossCnt[w]++
-			fr.ef++
-			if !virtSeenPer[fi][w] {
-				virtSeenPer[fi][w] = true
-				f.Virtual = append(f.Virtual, w)
-				f.Labels[w] = g.Label(w)
-				f.Owner[w] = fj
+			f.Succ[src] = succ // CSR slice is immutable; safe to share
+			f.numEdges += len(succ)
+			for _, w := range succ {
+				fj := int(assign[w])
+				if fj == fi {
+					continue
+				}
+				// (src, w) is a crossing edge: w is virtual in Fi, in-node in Fj.
+				f.numCrossing++
+				f.crossCnt[w]++
+				if f.crossCnt[w] == 1 {
+					f.Virtual = append(f.Virtual, w)
+					f.Labels[w] = g.Label(w)
+					f.Owner[w] = fj
+					out = append(out, watchPair{w, int32(fi)})
+				}
 			}
-			if !virtSeen[w] {
-				virtSeen[w] = true
-				fr.vf++
-			}
-			fj2 := fr.Frags[fj]
-			if !inSeen[fj][w] {
-				inSeen[fj][w] = true
-				fj2.InNodes = append(fj2.InNodes, w)
-			}
-			key := uint64(w)<<16 | uint64(fi)
-			if !watcherSeen[key] {
-				watcherSeen[key] = true
-				fj2.InWatchers[w] = append(fj2.InWatchers[w], fi)
-			}
+		}
+		sort.Slice(f.Virtual, func(i, j int) bool { return f.Virtual[i] < f.Virtual[j] })
+		emitted[fi] = out
+	})
+
+	// Phase 2 — serial scatter of the O(Σ|Fi.O|) watch pairs to the
+	// owning fragments' buckets.
+	buckets := make([][]watchPair, n)
+	for fi := 0; fi < n; fi++ {
+		for _, p := range emitted[fi] {
+			owner := assign[p.w]
+			buckets[owner] = append(buckets[owner], p)
 		}
 	}
-	for _, f := range fr.Frags {
-		sort.Slice(f.Local, func(i, j int) bool { return f.Local[i] < f.Local[j] })
-		sort.Slice(f.Virtual, func(i, j int) bool { return f.Virtual[i] < f.Virtual[j] })
-		sort.Slice(f.InNodes, func(i, j int) bool { return f.InNodes[i] < f.InNodes[j] })
-		for _, ws := range f.InWatchers {
-			sort.Ints(ws)
+
+	// Phase 3 — per-owner, in parallel: sort each bucket to derive the
+	// sorted InNodes set and per-node watcher lists.
+	vfPer := make([]int, n)
+	runFragments(n, workers, func(fj int) {
+		f := fr.Frags[fj]
+		b := buckets[fj]
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].w != b[j].w {
+				return b[i].w < b[j].w
+			}
+			return b[i].holder < b[j].holder
+		})
+		for i, p := range b {
+			if i == 0 || p.w != b[i-1].w {
+				f.InNodes = append(f.InNodes, p.w)
+			}
+			f.InWatchers[p.w] = append(f.InWatchers[p.w], int(p.holder))
 		}
+		vfPer[fj] = len(f.InNodes)
+	})
+
+	// In-node sets are disjoint across fragments (each node has one
+	// owner), so |Vf| is their summed size.
+	for fj := 0; fj < n; fj++ {
+		fr.vf += vfPer[fj]
+		fr.ef += fr.Frags[fj].numCrossing
 	}
 	return fr, nil
+}
+
+// runFragments invokes fn(fi) for every fragment index, fanning the
+// indices out over a pool of workers. fn must only touch state owned by
+// its fragment.
+func runFragments(n, workers int, fn func(fi int)) {
+	if workers <= 1 {
+		for fi := 0; fi < n; fi++ {
+			fn(fi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range work {
+				fn(fi)
+			}
+		}()
+	}
+	for fi := 0; fi < n; fi++ {
+		work <- fi
+	}
+	close(work)
+	wg.Wait()
 }
 
 // Validate checks the structural invariants of §2.2; used in tests and

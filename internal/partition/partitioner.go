@@ -1,0 +1,211 @@
+package partition
+
+// The Partitioner planning seam. Fragmentation quality decides every
+// cost bound of the paper — response time, data shipment and the wire
+// bytes a networked deployment actually moves are all parameterized by
+// the boundary size |Vf|/|Ef| — so strategies are first-class,
+// registered plugins rather than a fixed menu of functions. The
+// registry mirrors the algorithm SiteFactory registry in
+// internal/cluster: each strategy registers itself under a stable name
+// in init, callers resolve by name (dgs.PartitionWith, dgsrun -part,
+// the "partition" bench group), and PartitionBy stamps the produced
+// Fragmentation with its strategy name and build time so downstream
+// measurements stay attributable to the fragmentation that produced
+// them.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dgs/internal/graph"
+)
+
+// Options tunes a Partitioner run. The zero value asks for the
+// strategy's defaults; strategies ignore knobs that do not apply to
+// them (Blocks has no randomness, ConnectedTree no target ratio).
+type Options struct {
+	// Seed drives every randomized choice. A fixed seed yields a
+	// deterministic assignment for every registered strategy.
+	Seed int64
+
+	// Metric selects the boundary ratio targeted by "targetratio"
+	// and steered by Refine: ByVf (|Vf|/|V|) or ByEf (|Ef|/|E|).
+	Metric Metric
+
+	// Target is the boundary ratio "targetratio" aims for.
+	Target float64
+
+	// Slack bounds fragment imbalance for the quality-first
+	// strategies (ldg, fennel, refinement): no fragment may hold more
+	// than ceil((1+Slack)·|V|/n) local nodes. 0 means the default 10%.
+	Slack float64
+
+	// RefinePasses runs up to that many incremental plurality-vote
+	// refinement passes (see Refine) after the base assignment, for
+	// the strategies where refinement preserves their contract
+	// (random, blocks, ldg, fennel). 0 disables refinement;
+	// "targetratio", "chain" and "tree" ignore it.
+	RefinePasses int
+}
+
+// DefaultSlack is the balance slack used when Options.Slack is unset.
+const DefaultSlack = 0.10
+
+func (o Options) slack() float64 {
+	if o.Slack <= 0 {
+		return DefaultSlack
+	}
+	return o.Slack
+}
+
+func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// capFor is the hard per-fragment node capacity implied by a slack:
+// ceil((1+slack)·nn/n), exactly the bound the Options documentation
+// promises.
+func capFor(nn, n int, slack float64) int {
+	c := (int(float64(nn)*(1+slack)) + n - 1) / n
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Partitioner plans an n-way fragmentation of a graph. Implementations
+// must be deterministic for a fixed Options.Seed and safe for
+// concurrent use (they hold no per-run state).
+type Partitioner interface {
+	// Name is the registry key, stable across releases ("random",
+	// "ldg", ...).
+	Name() string
+	// Partition fragments g into (up to) n fragments under opts.
+	Partition(g *graph.Graph, n int, opts Options) (*Fragmentation, error)
+}
+
+var (
+	partRegMu sync.Mutex
+	partReg   = make(map[string]Partitioner)
+)
+
+// RegisterPartitioner installs a strategy under p.Name(). Strategies
+// register themselves in init; duplicate names panic.
+func RegisterPartitioner(p Partitioner) {
+	partRegMu.Lock()
+	defer partRegMu.Unlock()
+	if _, dup := partReg[p.Name()]; dup {
+		panic(fmt.Sprintf("partition: partitioner %q registered twice", p.Name()))
+	}
+	partReg[p.Name()] = p
+}
+
+// ResolvePartitioner looks a registered strategy up by name.
+func ResolvePartitioner(name string) (Partitioner, bool) {
+	partRegMu.Lock()
+	defer partRegMu.Unlock()
+	p, ok := partReg[name]
+	return p, ok
+}
+
+// Partitioners lists the registered strategy names, sorted.
+func Partitioners() []string {
+	partRegMu.Lock()
+	defer partRegMu.Unlock()
+	names := make([]string, 0, len(partReg))
+	for n := range partReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PartitionBy resolves name against the registry, runs the strategy,
+// and stamps the result with the strategy name and the wall time of
+// planning + Build — the metadata the bench recorder attaches to every
+// measured point.
+func PartitionBy(g *graph.Graph, name string, n int, opts Options) (*Fragmentation, error) {
+	p, ok := ResolvePartitioner(name)
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown partitioner %q (have %v)", name, Partitioners())
+	}
+	start := time.Now()
+	fr, err := p.Partition(g, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	fr.Strategy = name
+	fr.BuildTime = time.Since(start)
+	return fr, nil
+}
+
+// funcPartitioner adapts a planning function to the Partitioner seam.
+type funcPartitioner struct {
+	name string
+	fn   func(g *graph.Graph, n int, opts Options) (*Fragmentation, error)
+}
+
+func (p funcPartitioner) Name() string { return p.name }
+func (p funcPartitioner) Partition(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+	return p.fn(g, n, opts)
+}
+
+// refineAndBuild optionally runs the incremental refinement pass over a
+// planned assignment, then builds the fragmentation. Shared by the
+// strategies whose contract survives arbitrary node moves.
+func refineAndBuild(g *graph.Graph, assign []int32, n int, opts Options) (*Fragmentation, error) {
+	if opts.RefinePasses > 0 && n > 1 {
+		Refine(g, assign, n, opts.Metric, opts.RefinePasses, opts.slack(), opts.rng())
+	}
+	return Build(g, assign, n)
+}
+
+func init() {
+	RegisterPartitioner(funcPartitioner{"random", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		if err := checkN(n); err != nil {
+			return nil, err
+		}
+		assign, err := randomAssign(g, n, opts.rng())
+		if err != nil {
+			return nil, err
+		}
+		return refineAndBuild(g, assign, n, opts)
+	}})
+	RegisterPartitioner(funcPartitioner{"blocks", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		if err := checkN(n); err != nil {
+			return nil, err
+		}
+		return refineAndBuild(g, blockAssign(g.NumNodes(), n), n, opts)
+	}})
+	RegisterPartitioner(funcPartitioner{"targetratio", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		return TargetRatio(g, n, opts.Metric, opts.Target, opts.rng())
+	}})
+	RegisterPartitioner(funcPartitioner{"chain", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		return Chain(g, n)
+	}})
+	RegisterPartitioner(funcPartitioner{"tree", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		return ConnectedTree(g, n)
+	}})
+	RegisterPartitioner(funcPartitioner{"ldg", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		if err := checkN(n); err != nil {
+			return nil, err
+		}
+		assign := streamAssign(g, n, opts.slack(), opts.rng(), ldgScore(g, n, opts.slack()))
+		return refineAndBuild(g, assign, n, opts)
+	}})
+	RegisterPartitioner(funcPartitioner{"fennel", func(g *graph.Graph, n int, opts Options) (*Fragmentation, error) {
+		if err := checkN(n); err != nil {
+			return nil, err
+		}
+		assign := streamAssign(g, n, opts.slack(), opts.rng(), fennelScore(g, n))
+		return refineAndBuild(g, assign, n, opts)
+	}})
+}
+
+func checkN(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("partition: need n ≥ 1, got %d", n)
+	}
+	return nil
+}

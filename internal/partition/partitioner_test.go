@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dgs/internal/graph"
+)
+
+func TestPartitionerRegistry(t *testing.T) {
+	want := []string{"blocks", "chain", "fennel", "ldg", "random", "targetratio", "tree"}
+	got := Partitioners()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered partitioners = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if _, ok := ResolvePartitioner(name); !ok {
+			t.Fatalf("ResolvePartitioner(%q) failed", name)
+		}
+	}
+	if _, err := PartitionBy(randomGraph(rand.New(rand.NewSource(1)), 10, 20), "nope", 2, Options{}); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+}
+
+func TestPartitionByStampsMetadata(t *testing.T) {
+	g := localityGraph(rand.New(rand.NewSource(3)), 500, 2000, 20)
+	fr, err := PartitionBy(g, "ldg", 8, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Strategy != "ldg" {
+		t.Fatalf("Strategy = %q", fr.Strategy)
+	}
+	if fr.BuildTime <= 0 {
+		t.Fatalf("BuildTime = %v", fr.BuildTime)
+	}
+	fr2, err := FromAssign(g, fr.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Strategy != "custom" {
+		t.Fatalf("FromAssign Strategy = %q", fr2.Strategy)
+	}
+}
+
+// dagGraph emits only forward edges (v < w), so the graph is acyclic.
+func dagGraph(r *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[r.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		v := r.Intn(n - 1)
+		w := v + 1 + r.Intn(n-v-1)
+		b.AddEdge(graph.NodeID(v), graph.NodeID(w))
+	}
+	return b.MustBuild()
+}
+
+// treeGraph emits a random rooted tree: each node's parent is a random
+// earlier node.
+func treeGraph(r *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("A")
+	}
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.NodeID(r.Intn(v)), graph.NodeID(v))
+	}
+	return b.MustBuild()
+}
+
+// TestPartitionerProperties is the registry-wide property test: every
+// registered strategy, on seeded random/DAG/tree graphs, must produce a
+// Validate-clean fragmentation, hold its balance contract, be
+// deterministic for a fixed seed, and round-trip through
+// FromAssign(Assignment()).
+func TestPartitionerProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	graphs := map[string]*graph.Graph{
+		"random": randomGraph(r, 300, 1200),
+		"dag":    dagGraph(r, 300, 900),
+		"tree":   treeGraph(r, 300),
+	}
+	const n = 6
+	opts := Options{Seed: 17, Metric: ByVf, Target: 0.3}
+	for _, name := range Partitioners() {
+		for gname, g := range graphs {
+			t.Run(name+"/"+gname, func(t *testing.T) {
+				if name == "tree" && gname != "tree" {
+					if _, err := PartitionBy(g, name, n, opts); err == nil {
+						t.Fatal("tree partitioner accepted a non-tree graph")
+					}
+					return
+				}
+				fr, err := PartitionBy(g, name, n, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fr.Validate(); err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				// Determinism: a second run with the same seed yields the
+				// identical assignment.
+				fr2, err := PartitionBy(g, name, n, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fr.Assign, fr2.Assign) {
+					t.Fatal("assignment not deterministic for a fixed seed")
+				}
+				// Balance contracts: random is ±1-balanced; the streaming
+				// strategies must respect the slack capacity.
+				sizes := fr.FragmentSizes()
+				switch name {
+				case "random":
+					if sizes[0]-sizes[len(sizes)-1] > 1 {
+						t.Fatalf("random unbalanced: %v", sizes)
+					}
+				case "ldg", "fennel":
+					if cap_ := capFor(g.NumNodes(), n, opts.slack()); sizes[0] > cap_ {
+						t.Fatalf("%s exceeds capacity: max %d > %d", name, sizes[0], cap_)
+					}
+				}
+				// FromAssign(Assignment()) round-trips the boundary structure.
+				rt, err := FromAssign(g, append([]int32(nil), fr.Assign...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rt.Vf() != fr.Vf() || rt.Ef() != fr.Ef() {
+					t.Fatalf("round-trip boundary mismatch: Vf %d/%d Ef %d/%d", rt.Vf(), fr.Vf(), rt.Ef(), fr.Ef())
+				}
+				if err := rt.Validate(); err != nil {
+					t.Fatalf("round-trip Validate: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingBeatsRandomCut is the quality claim in miniature: on a
+// locality-biased graph, one LDG/Fennel streaming pass must produce a
+// strictly smaller |Ef| than a balanced random assignment.
+func TestStreamingBeatsRandomCut(t *testing.T) {
+	g := localityGraph(rand.New(rand.NewSource(5)), 2000, 10000, 25)
+	const n = 16
+	base, err := PartitionBy(g, "random", n, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ldg", "fennel"} {
+		fr, err := PartitionBy(g, name, n, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Ef() >= base.Ef() {
+			t.Fatalf("%s cut %d not below random cut %d", name, fr.Ef(), base.Ef())
+		}
+		t.Logf("%s: Ef %d vs random %d (%.1f%%)", name, fr.Ef(), base.Ef(), 100*float64(fr.Ef())/float64(base.Ef()))
+	}
+}
+
+// TestRefinePassesOption: refinement must not raise the cut and must
+// keep the result Validate-clean for the strategies that accept it.
+func TestRefinePassesOption(t *testing.T) {
+	g := communityGraph(rand.New(rand.NewSource(13)), 600, 3600)
+	for _, name := range []string{"random", "blocks", "ldg", "fennel"} {
+		plain, err := PartitionBy(g, name, 6, Options{Seed: 5, Metric: ByEf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := PartitionBy(g, name, 6, Options{Seed: 5, Metric: ByEf, RefinePasses: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.Ef() > plain.Ef() {
+			t.Fatalf("%s: refinement raised the cut %d -> %d", name, plain.Ef(), refined.Ef())
+		}
+		if err := refined.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgs/internal/graph"
+)
+
+// TestCutStateMatchesRescan is the equivalence proof for the incremental
+// counters: after any sequence of single-node relocations, cutState's
+// |Ef|/|Vf| must equal a direct O(|E|) recount of the same assignment.
+func TestCutStateMatchesRescan(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nv := 2 + int(n8)%60
+		g := randomGraph(r, nv, r.Intn(5*nv))
+		n := 2 + r.Intn(5)
+		assign, err := randomAssign(g, n, r)
+		if err != nil {
+			return false
+		}
+		g.EnsureReverse()
+		cs := newCutState(g, assign, n)
+		for step := 0; step < 40; step++ {
+			cs.move(graph.NodeID(r.Intn(nv)), int32(r.Intn(n)))
+			if cs.ratio(ByEf) != efRatioOf(g, assign) || cs.ratio(ByVf) != vfRatioOf(g, assign) {
+				t.Logf("seed %d step %d: incremental ef=%d vf=%d, rescan ef=%.4f vf=%.4f",
+					seed, step, cs.ef, cs.vf, efRatioOf(g, assign), vfRatioOf(g, assign))
+				return false
+			}
+		}
+		// Sizes must track too.
+		sizes := make([]int, n)
+		for _, a := range assign {
+			sizes[a]++
+		}
+		for i := range sizes {
+			if sizes[i] != cs.sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// communityGraph has two interleaved communities (even↔even, odd↔odd),
+// so a Blocks start has a high cut and refinement has real work to do.
+func communityGraph(r *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("A")
+	}
+	for i := 0; i < m; i++ {
+		v := r.Intn(n)
+		w := r.Intn(n)
+		if (v+w)%2 == 1 {
+			w = (w + 1) % n
+		}
+		b.AddEdge(graph.NodeID(v), graph.NodeID(w))
+	}
+	return b.MustBuild()
+}
+
+func TestRefineImprovesAndKeepsBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	g := communityGraph(r, 400, 2400)
+	n := 4
+	assign := blockAssign(g.NumNodes(), n)
+	before := efRatioOf(g, assign)
+	moves := Refine(g, assign, n, ByEf, 20, DefaultSlack, rand.New(rand.NewSource(7)))
+	if moves == 0 {
+		t.Fatal("refine made no move on a refinable graph")
+	}
+	after := efRatioOf(g, assign)
+	if after >= before {
+		t.Fatalf("refine did not lower the cut: %.4f -> %.4f", before, after)
+	}
+	cap_ := capFor(g.NumNodes(), n, DefaultSlack)
+	sizes := make([]int, n)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	for i, s := range sizes {
+		if s > cap_ {
+			t.Fatalf("fragment %d has %d nodes, capacity %d", i, s, cap_)
+		}
+	}
+	fr, err := Build(g, assign, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refineRescanReference replicates the pre-incremental refinement loop:
+// the same plurality-vote mover, but re-deriving the ratio with an
+// O(|E|) scan at every relocation — the behavior TargetRatio/Refine no
+// longer exhibit. Kept test-side as the benchmark baseline.
+func refineRescanReference(g *graph.Graph, assign []int32, n int, metric Metric, target float64, passes, maxSize int, rng *rand.Rand) {
+	nn := g.NumNodes()
+	sizes := make([]int, n)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	order := rng.Perm(nn)
+	votes := make(map[int32]int, 8)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for _, vi := range order {
+			v := graph.NodeID(vi)
+			home := assign[v]
+			for k := range votes {
+				delete(votes, k)
+			}
+			deg := 0
+			for _, w := range g.Succ(v) {
+				if w != v {
+					votes[assign[w]]++
+					deg++
+				}
+			}
+			for _, u := range g.Pred(v) {
+				if u != v {
+					votes[assign[u]]++
+					deg++
+				}
+			}
+			if deg == 0 {
+				continue
+			}
+			best, bestCnt := home, votes[home]
+			for f, c := range votes {
+				if c > bestCnt || (c == bestCnt && f < best) {
+					best, bestCnt = f, c
+				}
+			}
+			if best == home || bestCnt <= votes[home] || sizes[best]+1 > maxSize {
+				continue
+			}
+			assign[v] = best
+			sizes[home]--
+			sizes[best]++
+			moved++
+			if ratioOf(g, assign, metric) <= target { // the O(|E|) per-step rescan
+				return
+			}
+		}
+		if moved == 0 || ratioOf(g, assign, metric) <= target {
+			return
+		}
+	}
+}
+
+// BenchmarkRefineIncrementalVsRescan shows the asymptotic win of the
+// per-node crossing counters: the /incremental arm is the production
+// Refine, the /rescan arm pays an O(|E|) ratio recomputation per
+// relocation as the old raiseRatio/lowerRatio did.
+func BenchmarkRefineIncrementalVsRescan(b *testing.B) {
+	for _, nn := range []int{2_000, 20_000} {
+		r := rand.New(rand.NewSource(5))
+		g := communityGraph(r, nn, 6*nn)
+		g.EnsureReverse()
+		n := 16
+		maxSize := capFor(nn, n, DefaultSlack)
+		b.Run(fmt.Sprintf("incremental/V=%d", nn), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				assign := blockAssign(nn, n)
+				cs := newCutState(g, assign, n)
+				refineToTarget(cs, ByEf, 0.01, 20, maxSize, rand.New(rand.NewSource(9)))
+			}
+		})
+		b.Run(fmt.Sprintf("rescan/V=%d", nn), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				assign := blockAssign(nn, n)
+				refineRescanReference(g, assign, n, ByEf, 0.01, 20, maxSize, rand.New(rand.NewSource(9)))
+			}
+		})
+	}
+}

@@ -5,7 +5,9 @@ package partition
 // target |Vf|/|V| or |Ef|/|E| ratio (the paper's Ja-be-Ja-style [27]
 // swapping), connected-subtree partitioning for dGPMt, and the
 // pathological chain fragmentation of Fig. 2 used by the impossibility
-// demonstration.
+// demonstration. The quality-first streaming strategies (LDG, Fennel)
+// live in streaming.go; all strategies are reachable by name through
+// the Partitioner registry (partitioner.go).
 
 import (
 	"fmt"
@@ -18,6 +20,14 @@ import (
 // Random assigns nodes to n fragments uniformly (balanced sizes ±1): the
 // paper's "randomly partitioned G into a set F of fragments".
 func Random(g *graph.Graph, n int, rng *rand.Rand) (*Fragmentation, error) {
+	assign, err := randomAssign(g, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	return Build(g, assign, n)
+}
+
+func randomAssign(g *graph.Graph, n int, rng *rand.Rand) ([]int32, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("partition: need n ≥ 1, got %d", n)
 	}
@@ -27,7 +37,7 @@ func Random(g *graph.Graph, n int, rng *rand.Rand) (*Fragmentation, error) {
 	for i, v := range perm {
 		assign[v] = int32(i % n)
 	}
-	return Build(g, assign, n)
+	return assign, nil
 }
 
 // Metric selects which boundary ratio TargetRatio aims for.
@@ -48,7 +58,10 @@ func Blocks(g *graph.Graph, n int) (*Fragmentation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("partition: need n ≥ 1, got %d", n)
 	}
-	nn := g.NumNodes()
+	return Build(g, blockAssign(g.NumNodes(), n), n)
+}
+
+func blockAssign(nn, n int) []int32 {
 	per := (nn + n - 1) / n
 	if per == 0 {
 		per = 1
@@ -61,7 +74,7 @@ func Blocks(g *graph.Graph, n int) (*Fragmentation, error) {
 		}
 		assign[v] = int32(f)
 	}
-	return Build(g, assign, n)
+	return assign
 }
 
 // TargetRatio produces an n-way partition whose boundary metric is close
@@ -70,27 +83,25 @@ func Blocks(g *graph.Graph, n int) (*Fragmentation, error) {
 // (resp. |Ef|/|E|) reached a threshold". It starts from the low-boundary
 // Blocks partition and randomly relocates nodes (raising the ratio) until
 // the target is met; if the start is already above target, it runs greedy
-// plurality-vote reduction passes (Ja-be-Ja style) instead. The achieved
-// ratio is within tolerance of target when reachable.
+// plurality-vote reduction passes (Ja-be-Ja style) instead. Both
+// directions track the ratio with incremental per-node crossing counters
+// (cutState), so a relocation step costs O(deg(v)), not O(|E|). The
+// achieved ratio is within tolerance of target when reachable.
 func TargetRatio(g *graph.Graph, n int, metric Metric, target float64, rng *rand.Rand) (*Fragmentation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("partition: need n ≥ 1, got %d", n)
 	}
-	base, err := Blocks(g, n)
-	if err != nil {
-		return nil, err
-	}
+	assign := blockAssign(g.NumNodes(), n)
 	if n == 1 {
-		return base, nil
+		return Build(g, assign, n)
 	}
-	assign := append([]int32(nil), base.Assign...)
-	cur := ratioOf(g, assign, metric)
-	switch {
+	g.EnsureReverse()
+	cs := newCutState(g, assign, n)
+	switch cur := cs.ratio(metric); {
 	case cur < target:
-		raiseRatio(g, assign, n, metric, target, rng)
+		raiseRatio(cs, n, metric, target, rng)
 	case cur > target:
-		g.EnsureReverse()
-		lowerRatio(g, assign, n, metric, target, rng)
+		refineToTarget(cs, metric, target, 30, capFor(g.NumNodes(), n, DefaultSlack), rng)
 	}
 	return Build(g, assign, n)
 }
@@ -105,88 +116,28 @@ func ratioOf(g *graph.Graph, assign []int32, metric Metric) float64 {
 // raiseRatio relocates randomly chosen nodes to random other fragments
 // until the boundary ratio reaches target. Each relocation of a node with
 // neighbors can only create crossing edges, so the ratio climbs to the
-// graph's maximum if needed.
-func raiseRatio(g *graph.Graph, assign []int32, n int, metric Metric, target float64, rng *rand.Rand) {
-	nn := g.NumNodes()
+// graph's maximum if needed. The ratio is read from the incremental
+// counters after every move (O(1)), so the loop stops as soon as the
+// target is crossed instead of overshooting by a whole batch.
+func raiseRatio(cs *cutState, n int, metric Metric, target float64, rng *rand.Rand) {
+	nn := cs.g.NumNodes()
 	if nn == 0 {
 		return
 	}
-	step := nn/50 + 1
-	for tries := 0; tries < 200; tries++ {
-		for i := 0; i < step; i++ {
-			v := rng.Intn(nn)
-			f := int32(rng.Intn(n))
-			for f == assign[v] && n > 1 {
-				f = int32(rng.Intn(n))
-			}
-			assign[v] = f
+	budget := 200 * (nn/50 + 1) // same total move budget as the historical batched loop
+	for tries := 0; tries < budget && cs.ratio(metric) < target; tries++ {
+		v := graph.NodeID(rng.Intn(nn))
+		f := int32(rng.Intn(n))
+		for f == cs.assign[v] && n > 1 {
+			f = int32(rng.Intn(n))
 		}
-		if ratioOf(g, assign, metric) >= target {
-			return
-		}
+		cs.move(v, f)
 	}
 }
 
-// lowerRatio runs greedy plurality-vote passes: move each node to the
-// fragment holding most of its (in+out) neighbors when that strictly
-// improves locality and balance permits, stopping once the ratio drops to
-// target or no improving move exists.
-func lowerRatio(g *graph.Graph, assign []int32, n int, metric Metric, target float64, rng *rand.Rand) {
-	nn := g.NumNodes()
-	sizes := make([]int, n)
-	for _, a := range assign {
-		sizes[a]++
-	}
-	maxSize := (nn+n-1)/n + nn/(10*n) + 1 // ≤ ~10% over balanced
-	order := rng.Perm(nn)
-	votes := make(map[int32]int, 8)
-	for pass := 0; pass < 30; pass++ {
-		moved := 0
-		for _, vi := range order {
-			v := graph.NodeID(vi)
-			home := assign[v]
-			for k := range votes {
-				delete(votes, k)
-			}
-			deg := 0
-			for _, w := range g.Succ(v) {
-				if w != v {
-					votes[assign[w]]++
-					deg++
-				}
-			}
-			for _, w := range g.Pred(v) {
-				if w != v {
-					votes[assign[w]]++
-					deg++
-				}
-			}
-			if deg == 0 {
-				continue
-			}
-			best, bestCnt := home, votes[home]
-			for f, c := range votes {
-				if c > bestCnt || (c == bestCnt && f < best) {
-					best, bestCnt = f, c
-				}
-			}
-			if best == home || bestCnt <= votes[home] || sizes[best]+1 > maxSize {
-				continue
-			}
-			assign[v] = best
-			sizes[home]--
-			sizes[best]++
-			moved++
-			if moved%512 == 0 && ratioOf(g, assign, metric) <= target {
-				return
-			}
-		}
-		if moved == 0 || ratioOf(g, assign, metric) <= target {
-			return
-		}
-	}
-}
-
+// efRatioOf recomputes |Ef|/|E| by a full edge scan — the O(|E|)
+// reference implementation, used to seed cutState indirectly and to
+// cross-check the incremental counters in tests.
 func efRatioOf(g *graph.Graph, assign []int32) float64 {
 	if g.NumEdges() == 0 {
 		return 0
@@ -201,6 +152,7 @@ func efRatioOf(g *graph.Graph, assign []int32) float64 {
 	return float64(cross) / float64(g.NumEdges())
 }
 
+// vfRatioOf recomputes |Vf|/|V| by a full edge scan (see efRatioOf).
 func vfRatioOf(g *graph.Graph, assign []int32) float64 {
 	if g.NumNodes() == 0 {
 		return 0
@@ -223,20 +175,7 @@ func Chain(g *graph.Graph, n int) (*Fragmentation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("partition: need n ≥ 1, got %d", n)
 	}
-	nn := g.NumNodes()
-	per := (nn + n - 1) / n
-	if per == 0 {
-		per = 1
-	}
-	assign := make([]int32, nn)
-	for v := 0; v < nn; v++ {
-		f := v / per
-		if f >= n {
-			f = n - 1
-		}
-		assign[v] = int32(f)
-	}
-	return Build(g, assign, n)
+	return Build(g, blockAssign(g.NumNodes(), n), n)
 }
 
 // ConnectedTree partitions a rooted tree (or forest) into ~n connected
@@ -261,25 +200,11 @@ func ConnectedTree(g *graph.Graph, n int) (*Fragmentation, error) {
 		assign[i] = -1
 	}
 	nextFrag := int32(0)
-	// Post-order walk; when an accumulated subtree reaches the quota, seal
-	// it as a fragment. size[v] counts not-yet-sealed descendants incl. v.
+	// Iterative post-order walk (survives deep trees); when an accumulated
+	// subtree reaches the quota, seal it as a fragment. size[v] counts
+	// not-yet-sealed descendants incl. v.
 	size := make([]int, nn)
-	var post func(v graph.NodeID)
-	var stackSafe func(v graph.NodeID)
-	post = func(v graph.NodeID) {
-		size[v] = 1
-		for _, w := range g.Succ(v) {
-			post(w)
-			size[v] += size[w]
-		}
-		if size[v] >= quota {
-			seal(g, v, assign, nextFrag)
-			nextFrag++
-			size[v] = 0
-		}
-	}
-	// Iterative version to survive deep trees.
-	stackSafe = func(root graph.NodeID) {
+	walk := func(root graph.NodeID) {
 		type frame struct {
 			v  graph.NodeID
 			ei int
@@ -307,9 +232,8 @@ func ConnectedTree(g *graph.Graph, n int) (*Fragmentation, error) {
 			}
 		}
 	}
-	_ = post
 	for _, r := range roots {
-		stackSafe(r)
+		walk(r)
 		if assign[r] == -1 { // leftover top piece
 			seal(g, r, assign, nextFrag)
 			nextFrag++
@@ -347,7 +271,12 @@ func FromAssign(g *graph.Graph, assign []int32) (*Fragmentation, error) {
 			max = a
 		}
 	}
-	return Build(g, assign, int(max)+1)
+	fr, err := Build(g, assign, int(max)+1)
+	if err != nil {
+		return nil, err
+	}
+	fr.Strategy = "custom"
+	return fr, nil
 }
 
 // FragmentSizes returns each fragment's |Vi| sorted descending; handy for

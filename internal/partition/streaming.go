@@ -1,0 +1,109 @@
+package partition
+
+// Quality-first streaming partitioners. Both place nodes one at a time
+// (in a seeded random order, so a fixed seed is deterministic) and
+// score every fragment by how many already-placed neighbors it holds,
+// discounted by how full it is:
+//
+//   - LDG (linear deterministic greedy, Stanton & Kliot KDD'12):
+//     score_i = cnt_i · (1 − size_i/cap), cap = (1+slack)·|V|/n.
+//   - Fennel (Tsourakakis et al. WSDM'14): score_i = cnt_i −
+//     α·γ·size_i^(γ−1) with γ = 3/2 and α = √n·|E|/|V|^(3/2), the
+//     interpolation between cut and balance objectives from the paper.
+//
+// Neighborhoods are undirected (out- plus in-edges): a crossing edge
+// costs the same in either direction, and the paper's |Vf| counts
+// boundary nodes regardless of orientation. A hard capacity cap keeps
+// every fragment within the balance slack, so quality never buys
+// imbalance the deployment would pay for in |Fm|.
+
+import (
+	"math"
+	"math/rand"
+
+	"dgs/internal/graph"
+)
+
+// ldgScore is the LDG objective: neighbors held, linearly discounted by
+// fill toward the capacity cap.
+func ldgScore(g *graph.Graph, n int, slack float64) func(cnt, size int) float64 {
+	cap_ := float64(capFor(g.NumNodes(), n, slack))
+	return func(cnt, size int) float64 {
+		return float64(cnt) * (1 - float64(size)/cap_)
+	}
+}
+
+// fennelScore is the Fennel objective with γ = 3/2: neighbors held
+// minus the marginal balance cost α·γ·size^(γ−1).
+func fennelScore(g *graph.Graph, n int) func(cnt, size int) float64 {
+	nn := g.NumNodes()
+	if nn == 0 {
+		return func(cnt, size int) float64 { return float64(cnt) }
+	}
+	alpha := math.Sqrt(float64(n)) * float64(g.NumEdges()) / math.Pow(float64(nn), 1.5)
+	return func(cnt, size int) float64 {
+		return float64(cnt) - alpha*1.5*math.Sqrt(float64(size))
+	}
+}
+
+// streamAssign runs one streaming pass over the nodes in a seeded
+// random order. Each node goes to the fragment maximizing score among
+// those below the capacity cap; ties break toward the smaller, then
+// lower-numbered fragment, so the result is deterministic for a fixed
+// rng seed.
+func streamAssign(g *graph.Graph, n int, slack float64, rng *rand.Rand, score func(cnt, size int) float64) []int32 {
+	nn := g.NumNodes()
+	assign := make([]int32, nn)
+	if n == 1 || nn == 0 {
+		return assign
+	}
+	g.EnsureReverse()
+	cap_ := capFor(nn, n, slack)
+	sizes := make([]int, n)
+	placed := make([]bool, nn)
+	cnt := make([]int, n)
+	touched := make([]int32, 0, 16)
+	for _, vi := range rng.Perm(nn) {
+		v := graph.NodeID(vi)
+		for _, f := range touched {
+			cnt[f] = 0
+		}
+		touched = touched[:0]
+		for _, w := range g.Succ(v) {
+			if w != v && placed[w] {
+				if cnt[assign[w]] == 0 {
+					touched = append(touched, assign[w])
+				}
+				cnt[assign[w]]++
+			}
+		}
+		for _, u := range g.Pred(v) {
+			if u != v && placed[u] {
+				if cnt[assign[u]] == 0 {
+					touched = append(touched, assign[u])
+				}
+				cnt[assign[u]]++
+			}
+		}
+		best := int32(-1)
+		bestScore := math.Inf(-1)
+		for f := 0; f < n; f++ {
+			if sizes[f] >= cap_ {
+				continue
+			}
+			s := score(cnt[f], sizes[f])
+			if s > bestScore ||
+				(s == bestScore && best >= 0 && (sizes[f] < sizes[best] || (sizes[f] == sizes[best] && int32(f) < best))) {
+				best, bestScore = int32(f), s
+			}
+		}
+		if best < 0 {
+			// Unreachable: total capacity exceeds |V| by construction.
+			best = int32(vi % n)
+		}
+		assign[v] = best
+		sizes[best]++
+		placed[v] = true
+	}
+	return assign
+}
