@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition clean
+.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving clean
 
 # tier1 is the gate every change must pass: static checks, full build,
 # and the test suite under the race detector (the Deployment API serves
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDecode$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDeltaRoundTrip$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzFrameRoundTrip$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/pattern -run=^$$ -fuzz=^FuzzParsePattern$$ -fuzztime=$(FUZZTIME)
 
 # docs fails when any package lacks a package comment or an
 # operator-facing document (README, wire spec) is missing/stale.
@@ -53,6 +54,18 @@ partition-smoke:
 # measured TCP wire bytes per strategy).
 bench-partition:
 	$(GO) run ./cmd/benchfig -group partition -json BENCH_PARTITION.json
+
+# gw-smoke runs the serving stack as separate processes: 2 dgsd site
+# servers + 1 dgsgw gateway, asserting cache hit, update-driven
+# invalidation and post-update recompute over HTTP.
+gw-smoke:
+	./scripts/gw_smoke.sh
+
+# bench-serving regenerates BENCH_SERVING.json: the 256-site gateway
+# serving experiment (95/5 read/update mix, skewed vs uniform traffic,
+# QPS + p99 + cache hit rate, cache on vs off).
+bench-serving:
+	$(GO) run ./cmd/benchfig -group serving -queries 4 -json BENCH_SERVING.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -10,6 +10,13 @@
 //	benchfig -all               # all 16 panels
 //	benchfig -all -scale 0.2    # smaller datasets (faster)
 //	benchfig -all -queries 5    # average over more random queries
+//
+// Beyond the paper's figures, the updates/transport/partition/serving
+// groups measure the repo's extensions (incremental maintenance, TCP
+// wire cost, partitioner quality, gateway QPS+p99+cache hit rate);
+// -json records any run as a BENCH_*.json artifact:
+//
+//	benchfig -group serving -json BENCH_SERVING.json
 package main
 
 import (

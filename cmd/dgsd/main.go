@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"dgs/internal/buildinfo"
 	"dgs/internal/transport/tcpnet"
 
 	// Imported for their cluster-registry entries: a daemon can only
@@ -41,10 +42,15 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7332", "TCP address to serve sites on")
-		quiet  = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+		listen  = flag.String("listen", ":7332", "TCP address to serve sites on")
+		quiet   = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dgsd", buildinfo.Version())
+		return
+	}
 	srv := &tcpnet.Server{}
 	if *quiet {
 		srv.Logf = func(string, ...any) {}

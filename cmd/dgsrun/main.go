@@ -26,21 +26,13 @@ import (
 	"time"
 
 	"dgs"
+	"dgs/internal/buildinfo"
+	"dgs/internal/serve"
 )
-
-var algos = map[string]dgs.Algorithm{
-	"dgpm":     dgs.AlgoDGPM,
-	"dgpmnopt": dgs.AlgoDGPMNoOpt,
-	"dgpmd":    dgs.AlgoDGPMd,
-	"dgpmt":    dgs.AlgoDGPMt,
-	"match":    dgs.AlgoMatch,
-	"dishhk":   dgs.AlgoDisHHK,
-	"dmes":     dgs.AlgoDMes,
-}
 
 func main() {
 	var (
-		algoName  = flag.String("algo", "dgpm", "dgpm|dgpmnopt|dgpmd|dgpmt|match|dishhk|dmes")
+		algoName  = flag.String("algo", "dgpm", strings.Join(serve.AlgorithmNames(), "|"))
 		gen       = flag.String("gen", "web", "generator: web|citation|synthetic|tree|chain")
 		graphFile = flag.String("graph", "", "load a DGSG1 graph instead of generating")
 		nodes     = flag.Int("nodes", 60000, "generated |V|")
@@ -60,10 +52,15 @@ func main() {
 		ec2       = flag.Bool("ec2", false, "charge the EC2-like link cost model (paper §6)")
 		repeat    = flag.Int("repeat", 1, "serve the query N times on the one deployment")
 		connect   = flag.String("connect", "", "comma-separated dgsd addresses: deploy the fragments over TCP instead of in-process")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dgsrun", buildinfo.Version())
+		return
+	}
 
-	algo, ok := algos[strings.ToLower(*algoName)]
+	algo, ok := serve.AlgorithmByName(*algoName)
 	if !ok {
 		fail(fmt.Errorf("unknown algorithm %q", *algoName))
 	}

@@ -10,7 +10,9 @@ package dgs
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dgs/internal/baseline"
@@ -26,6 +28,12 @@ import (
 // in-process channel network by default, loopback/remote TCP via
 // WithRemoteSites, or any custom implementation via WithTransport.
 type Transport = cluster.Transport
+
+// ErrClosed marks an operation against a closed deployment — returned
+// (wrapped; test with errors.Is) by Query, Apply and Watch after Close,
+// and by queries a concurrent Close aborted. It is the server-side
+// "shutting down" condition, distinct from caller mistakes.
+var ErrClosed = errors.New("deployment is closed")
 
 // Network models per-deployment link cost: pipelined propagation latency,
 // serialized per-site receive bandwidth, and per-message receive
@@ -173,6 +181,13 @@ type Deployment struct {
 	// queries therefore see the graph as of their start; queries issued
 	// after Apply returns see the updated graph.
 	state sync.RWMutex
+	// version counts the update batches that changed the graph. It is
+	// written only while state is held exclusively (Apply), so a query —
+	// which holds the read lock throughout its evaluation — observes one
+	// stable version for its whole run. Caches key freshness off it.
+	// Accessed atomically so Version() never blocks behind an in-flight
+	// Apply (health probes must stay live during large updates).
+	version atomic.Uint64
 
 	watchMu  sync.Mutex
 	watchers map[*Maintained]struct{}
@@ -235,6 +250,15 @@ func (d *Deployment) NumSites() int { return d.c.NumSites() }
 // Partition returns the resident fragmentation.
 func (d *Deployment) Partition() *Partition { return d.part }
 
+// Version reports the graph version: a monotone counter starting at 0
+// that Apply bumps once per batch that changes the graph (a batch whose
+// ops all cancel out does not bump it). Every Result is tagged with the
+// version its query evaluated against, so a result cache can tell
+// whether a stored answer still reflects the resident graph. Version
+// never blocks: during an in-flight Apply it reports the pre-batch
+// version until the batch commits.
+func (d *Deployment) Version() uint64 { return d.version.Load() }
+
 // Query evaluates the data-selecting pattern query q against the
 // resident fragments. Concurrent calls are safe: each query runs as its
 // own session on the shared sites, with isolated Stats. Cancelling ctx
@@ -256,7 +280,7 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {
-		return nil, errorf("query: deployment is closed")
+		return nil, errorf("query: %w", ErrClosed)
 	}
 	cfg := d.defaults
 	for _, o := range opts {
@@ -290,11 +314,13 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 	}
 	if err != nil {
 		if err == cluster.ErrClosed {
-			return nil, errorf("query %s: deployment closed while evaluating", cfg.algo)
+			return nil, errorf("query %s: %w while evaluating", cfg.algo, ErrClosed)
 		}
 		return nil, errorf("query %s: %w", cfg.algo, err)
 	}
-	return &Result{Match: &Match{m: m}, Stats: fromCluster(st)}, nil
+	// d.version cannot change while the read lock is held, so the tag is
+	// exactly the graph state the evaluation observed.
+	return &Result{Match: &Match{m: m}, Stats: fromCluster(st), Version: d.version.Load()}, nil
 }
 
 // QueryBoolean evaluates q as a Boolean pattern query: true iff G

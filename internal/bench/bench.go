@@ -108,6 +108,11 @@ type Point struct {
 	DSkb   float64
 	Msgs   int64
 	Rounds int64
+	// QPS, P99ms and HitRate are the serving group's axes: sustained
+	// throughput, tail latency, and result-cache hit rate of one arm.
+	QPS     float64 `json:"QPS,omitempty"`
+	P99ms   float64 `json:"P99ms,omitempty"`
+	HitRate float64 `json:"HitRate,omitempty"`
 	// Part attributes the point to the fragmentation it was measured
 	// on; nil only for points with no deployment behind them.
 	Part *PartMeta `json:"Part,omitempty"`
@@ -145,9 +150,14 @@ func (f *Figure) Table() string {
 		fmt.Fprintf(&sb, "%-12s", f.Series[0].Points[i].X)
 		for _, s := range f.Series {
 			p := s.Points[i]
-			if f.YLabel == "DS (KB)" {
+			switch f.YLabel {
+			case "DS (KB)":
 				fmt.Fprintf(&sb, "%14.2f", p.DSkb)
-			} else {
+			case "QPS":
+				fmt.Fprintf(&sb, "%14.1f", p.QPS)
+			case "p99 (ms)":
+				fmt.Fprintf(&sb, "%14.1f", p.P99ms)
+			default:
 				fmt.Fprintf(&sb, "%14.1f", p.PTms)
 			}
 		}
@@ -163,24 +173,25 @@ var groups = map[string]struct {
 	figs []string
 	run  groupRunner
 }{
-	"exp1-F":  {[]string{"6a", "6b"}, exp1VaryF},
-	"exp1-Q":  {[]string{"6c", "6d"}, exp1VaryQ},
-	"exp1-Vf": {[]string{"6e", "6f"}, exp1VaryVf},
-	"exp2-d":  {[]string{"6g", "6h"}, exp2VaryD},
-	"exp2-F":  {[]string{"6i", "6j"}, exp2VaryF},
-	"exp2-Vf": {[]string{"6k", "6l"}, exp2VaryVf},
+	"exp1-F":    {[]string{"6a", "6b"}, exp1VaryF},
+	"exp1-Q":    {[]string{"6c", "6d"}, exp1VaryQ},
+	"exp1-Vf":   {[]string{"6e", "6f"}, exp1VaryVf},
+	"exp2-d":    {[]string{"6g", "6h"}, exp2VaryD},
+	"exp2-F":    {[]string{"6i", "6j"}, exp2VaryF},
+	"exp2-Vf":   {[]string{"6k", "6l"}, exp2VaryVf},
 	"exp3-F":    {[]string{"6m", "6n"}, exp3VaryF},
 	"exp3-G":    {[]string{"6o", "6p"}, exp3VaryG},
 	"updates":   {[]string{"upd-pt", "upd-ds"}, updatesExp},
 	"transport": {[]string{"net-pt", "net-ds"}, transportExp},
 	"partition": {[]string{"part-pt", "part-ds"}, partitionExp},
+	"serving":   {[]string{"srv-qps", "srv-p99"}, servingExp},
 }
 
 // Figures lists every reproducible figure ID in order: the paper's 16
 // panels plus the updates, transport and partition experiments' PT/DS
-// pairs.
+// pairs and the serving experiment's QPS/p99 pair.
 func Figures() []string {
-	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds", "part-pt", "part-ds"}
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds", "part-pt", "part-ds", "srv-qps", "srv-p99"}
 }
 
 // Groups lists the experiment groups.

@@ -10,8 +10,8 @@ func tiny() Config { return Config{Scale: 0.05, Queries: 1, Seed: 3, NoNetwork: 
 
 func TestFiguresComplete(t *testing.T) {
 	ids := Figures()
-	if len(ids) != 22 { // the paper's 16 panels + upd/net/part PT+DS pairs
-		t.Fatalf("want 22 panels, got %d", len(ids))
+	if len(ids) != 24 { // the paper's 16 panels + upd/net/part PT+DS pairs + serving QPS/p99
+		t.Fatalf("want 24 panels, got %d", len(ids))
 	}
 	covered := map[string]bool{}
 	for _, g := range groups {
@@ -24,8 +24,8 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %s has no experiment group", id)
 		}
 	}
-	if len(Groups()) != 12 { // 8 figure groups + ablation + updates + transport + partition
-		t.Fatalf("want 12 groups, got %d", len(Groups()))
+	if len(Groups()) != 13 { // 8 figure groups + ablation + updates + transport + partition + serving
+		t.Fatalf("want 13 groups, got %d", len(Groups()))
 	}
 }
 
@@ -296,5 +296,50 @@ func TestPartitionSmoke(t *testing.T) {
 	}
 	if wire == 0 {
 		t.Fatal("TCP arm measured no wire bytes")
+	}
+}
+
+// TestServingSmoke runs the serving group in miniature and asserts its
+// structural claims: both figures produced, every point carries QPS,
+// p99 and fragmentation metadata, and the cache-on arm actually hit its
+// cache on the skewed workload.
+func TestServingSmoke(t *testing.T) {
+	figs, err := RunGroup("serving", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "srv-qps" || figs[1].ID != "srv-p99" {
+		t.Fatalf("serving group shape wrong: %v", figs)
+	}
+	qps := figs[0]
+	if len(qps.Series) != 2 {
+		t.Fatalf("want cache-on/cache-off series, got %d", len(qps.Series))
+	}
+	for _, s := range qps.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want skewed+uniform", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.QPS <= 0 || p.P99ms <= 0 {
+				t.Fatalf("series %s point %s lacks throughput/latency: %+v", s.Name, p.X, p)
+			}
+			if p.Part == nil || p.Part.Frags == 0 {
+				t.Fatalf("series %s point %s lacks fragmentation metadata", s.Name, p.X)
+			}
+		}
+	}
+	for _, s := range qps.Series {
+		for _, p := range s.Points {
+			switch s.Name {
+			case "cache-on":
+				if p.X == "skewed" && p.HitRate <= 0 {
+					t.Fatalf("cache-on skewed arm never hit the cache: %+v", p)
+				}
+			case "cache-off":
+				if p.HitRate != 0 {
+					t.Fatalf("cache-off arm reports hit rate %v", p.HitRate)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,238 @@
+package bench
+
+// The serving experiment (beyond the paper's figures; the gap its §7
+// leaves to systems like FDB): a 256-site deployment fronted by the
+// internal/serve gateway absorbs a mixed read/update stream — 95%
+// queries over a small pattern catalog, 5% single-edge deletion batches
+// — driven by concurrent clients. Measured per arm: sustained QPS, p99
+// query latency, and the cache hit rate, with the result cache on vs
+// off, on a skewed (repeating-pattern) and a uniform workload. The
+// claim: for skewed traffic the version-tagged cache more than doubles
+// QPS even though every update invalidates the whole cache, because
+// tens of queries land between consecutive updates and the popular
+// patterns repeat inside that window.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgs"
+	"dgs/internal/serve"
+)
+
+// servingSites is the acceptance scale: the deployment spans 256 sites
+// at Scale 1 (cfg.scaled shrinks it for smoke tests).
+const servingSites = 256
+
+// servingOp is one element of the pre-drawn workload stream.
+type servingOp struct {
+	pattern string        // query op: the pattern DSL text
+	del     [2]dgs.NodeID // update op when pattern == ""
+}
+
+// servingStream draws the mixed stream: every 20th op deletes a fresh
+// edge (the 5% update share), the rest query the catalog with the given
+// cumulative weights.
+func servingStream(g *dgs.Graph, patterns []string, weights []float64, nOps int, seed int64) ([]servingOp, error) {
+	r := rand.New(rand.NewSource(seed))
+	// Distinct deletable edges, drawn up front so concurrent appliers
+	// never race on the same edge's lifecycle.
+	edges := make([][2]dgs.NodeID, 0, nOps/20+1)
+	seen := map[[2]dgs.NodeID]bool{}
+	for v := 0; v < g.NumNodes() && len(edges) < nOps/20+1; v++ {
+		for _, w := range g.Succ(dgs.NodeID(v)) {
+			e := [2]dgs.NodeID{dgs.NodeID(v), w}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+			if len(edges) >= nOps/20+1 {
+				break
+			}
+		}
+	}
+	if len(edges) < nOps/20 {
+		return nil, fmt.Errorf("bench: serving stream needs %d deletable edges, graph has %d", nOps/20, len(edges))
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	ops := make([]servingOp, nOps)
+	nextEdge := 0
+	for i := range ops {
+		if i%20 == 19 { // 5% updates
+			ops[i] = servingOp{del: edges[nextEdge]}
+			nextEdge++
+			continue
+		}
+		x := r.Float64() * total
+		k := sort.SearchFloat64s(cum, x)
+		if k >= len(patterns) {
+			k = len(patterns) - 1
+		}
+		ops[i] = servingOp{pattern: patterns[k]}
+	}
+	return ops, nil
+}
+
+// runServingArm replays the stream against a fresh deployment of g
+// through a gateway Server, with clients concurrent workers.
+func runServingArm(cfg Config, g *dgs.Graph, dict *dgs.Dict, nSites int, ops []servingOp, cacheOn bool, clients int) (Point, error) {
+	part, err := dgs.PartitionWith(g, "blocks", nSites)
+	if err != nil {
+		return Point{}, err
+	}
+	dep, err := dgs.Deploy(part, dgs.WithNetwork(cfg.network()))
+	if err != nil {
+		return Point{}, err
+	}
+	defer dep.Close()
+	cacheSize := 1024
+	if !cacheOn {
+		cacheSize = -1
+	}
+	srv := serve.New(dep, dict, serve.Options{
+		MaxInFlight: clients,
+		MaxQueue:    4 * clients,
+		CacheSize:   cacheSize,
+	})
+
+	ctx := context.Background()
+	var (
+		next      int64 = -1
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+		errOnce   sync.Once
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(ops) {
+					return
+				}
+				op := ops[i]
+				if op.pattern == "" {
+					_, err := srv.Apply(ctx, serve.ApplyRequest{
+						Ops: []serve.ApplyOp{{Del: true, V: op.del[0], W: op.del[1]}},
+					})
+					if err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("apply #%d: %w", i, err) })
+						return
+					}
+					continue
+				}
+				qStart := time.Now()
+				_, err := srv.Query(ctx, serve.QueryRequest{Pattern: op.pattern})
+				lat := time.Since(qStart)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("query #%d: %w", i, err) })
+					return
+				}
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				latMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Point{}, firstErr
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var mean time.Duration
+	for _, l := range latencies {
+		mean += l
+	}
+	if len(latencies) > 0 {
+		mean /= time.Duration(len(latencies))
+	}
+	p99 := time.Duration(0)
+	if n := len(latencies); n > 0 {
+		idx := (99 * n) / 100
+		if idx >= n {
+			idx = n - 1
+		}
+		p99 = latencies[idx]
+	}
+	c := srv.Counters()
+	return Point{
+		PTms: float64(mean.Microseconds()) / 1000,
+		// Query throughput: the same population the latency stats
+		// describe (the 5% applies pay their cost inside elapsed but are
+		// not counted as served queries).
+		QPS:     float64(len(latencies)) / elapsed.Seconds(),
+		P99ms:   float64(p99.Microseconds()) / 1000,
+		HitRate: c.HitRate(),
+		Part:    partMeta(part),
+	}, nil
+}
+
+// servingExp produces the "srv-qps"/"srv-p99" panels.
+func servingExp(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenSynthetic(dict, cfg.scaled(synNV/8), cfg.scaled(synNE/8), cfg.Seed)
+	nSites := cfg.scaled(servingSites)
+	if nSites > g.NumNodes()/8 {
+		nSites = g.NumNodes() / 8 // keep fragments non-degenerate in smoke runs
+	}
+	// The pattern catalog: 8 selective-but-nonempty queries, rendered to
+	// DSL text — the gateway's actual input format.
+	patterns := make([]string, 8)
+	for i := range patterns {
+		patterns[i] = dgs.GenCyclicPatternOver(dict, 4+i%2, 6+i%3, 4, cfg.Seed+int64(300+i)).String()
+	}
+	// Skewed: zipf-like repeating traffic (the acceptance workload).
+	// Uniform: every pattern equally likely (the cache's worst case
+	// short of unique-per-request patterns).
+	skews := []struct {
+		name    string
+		weights []float64
+	}{
+		{"skewed", []float64{40, 20, 13, 10, 8, 4, 3, 2}},
+		{"uniform", []float64{1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	nOps := 100 * cfg.Queries
+	clients := 4
+
+	qps := &Figure{ID: "srv-qps", Title: "gateway serving, 95/5 read/update mix, cache on vs off", XLabel: "workload", YLabel: "QPS"}
+	p99 := &Figure{ID: "srv-p99", Title: "gateway serving, 95/5 read/update mix, cache on vs off", XLabel: "workload", YLabel: "p99 (ms)"}
+	for _, arm := range []struct {
+		name    string
+		cacheOn bool
+	}{{"cache-on", true}, {"cache-off", false}} {
+		sQPS := Series{Name: arm.name}
+		sP99 := Series{Name: arm.name}
+		for _, sk := range skews {
+			ops, err := servingStream(g, patterns, sk.weights, nOps, cfg.Seed+77)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := runServingArm(cfg, g, dict, nSites, ops, arm.cacheOn, clients)
+			if err != nil {
+				return nil, fmt.Errorf("serving %s/%s: %w", arm.name, sk.name, err)
+			}
+			pt.X = sk.name
+			sQPS.Points = append(sQPS.Points, pt)
+			sP99.Points = append(sP99.Points, pt)
+		}
+		qps.Series = append(qps.Series, sQPS)
+		p99.Series = append(p99.Series, sP99)
+	}
+	return []*Figure{qps, p99}, nil
+}

@@ -1,0 +1,45 @@
+// Package buildinfo reports the binary's module version and VCS
+// revision, shared by every daemon's -version flag and the gateway's
+// /healthz payload.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Version renders the best identification the build embeds: the module
+// version when built from a tagged module, otherwise the VCS revision
+// (with a "-dirty" suffix for modified trees), otherwise "devel". The Go
+// toolchain only stamps VCS data for builds from a checkout, so tests
+// and `go run` typically report "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		return fmt.Sprintf("%s (%s)", ver, rev)
+	}
+	return ver
+}

@@ -1,0 +1,112 @@
+package pattern
+
+// Native fuzz target for the pattern DSL parser — the gateway's trust
+// boundary: every /query body goes through Parse, so arbitrary text
+// must produce a pattern or an error, never a panic. Accepted inputs
+// must round-trip: String() renders in the Parse format, re-parsing it
+// must succeed, reproduce the structure, and be a fixed point (the
+// cache keys queries by this rendering, so canonicalization must be
+// stable). Seed corpus lives in testdata/fuzz/FuzzParsePattern/.
+
+import (
+	"testing"
+
+	"dgs/internal/graph"
+)
+
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"node a l0\nnode b l1\nedge a b\n",
+		"node a l0\nnode b l1\nedge a b\nedge b a\n",
+		"  node   x   lbl \n# comment\n\nedge x x\n",
+		"node u1 l0\nnode u0 l1\nedge u1 u0\n", // names shadowing the u<i> fallback
+		"node a l0\nedge a missing\n",
+		"node a l0\nnode a l1\n", // duplicate
+		"node a\n",               // arity
+		"frob a b\n",             // unknown directive
+		"",
+		"edge a b\n",
+		"node é ü\nedge é é\n", // non-ASCII identifiers
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(graph.NewDict(), src)
+		if err != nil {
+			return // rejected input; only panics are bugs here
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid pattern: %v", err)
+		}
+		rendered := p.String()
+		p2, err := Parse(graph.NewDict(), rendered)
+		if err != nil {
+			t.Fatalf("re-parse of String() failed: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if got := p2.String(); got != rendered {
+			t.Fatalf("String() is not a canonical fixed point:\nfirst:  %q\nsecond: %q", rendered, got)
+		}
+		if p2.NumNodes() != p.NumNodes() || p2.NumEdges() != p.NumEdges() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)",
+				p.NumNodes(), p.NumEdges(), p2.NumNodes(), p2.NumEdges())
+		}
+		for u := QNode(0); int(u) < p.NumNodes(); u++ {
+			if p.LabelName(u) != p2.LabelName(u) {
+				t.Fatalf("node %d label changed: %q -> %q", u, p.LabelName(u), p2.LabelName(u))
+			}
+			if p.NodeName(u) != p2.NodeName(u) {
+				t.Fatalf("node %d name changed: %q -> %q", u, p.NodeName(u), p2.NodeName(u))
+			}
+			a, b := sorted(p.Succ(u)), sorted(p2.Succ(u))
+			if len(a) != len(b) {
+				t.Fatalf("node %d out-degree changed: %d -> %d", u, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("node %d successors diverge: %v vs %v", u, a, b)
+				}
+			}
+		}
+	})
+}
+
+func sorted(s []QNode) []QNode {
+	out := append([]QNode(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestParseStringRoundTrip pins the property on hand-built patterns,
+// including the unnamed-node "u<i>" rendering fallback the generators
+// rely on (workload patterns carry no names).
+func TestParseStringRoundTrip(t *testing.T) {
+	dict := graph.NewDict()
+	p := New(dict)
+	a := p.AddNode("l0", "") // unnamed: renders as u0
+	b := p.AddNode("l1", "")
+	c := p.AddNode("l0", "hub")
+	p.MustAddEdge(a, b)
+	p.MustAddEdge(b, a)
+	p.MustAddEdge(c, a)
+	p.MustAddEdge(c, b)
+
+	rendered := p.String()
+	p2, err := Parse(graph.NewDict(), rendered)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, rendered)
+	}
+	if p2.String() != rendered {
+		t.Fatalf("not a fixed point:\n%s\nvs\n%s", rendered, p2.String())
+	}
+	if p2.NumNodes() != 3 || p2.NumEdges() != 4 {
+		t.Fatalf("structure lost: %d nodes %d edges", p2.NumNodes(), p2.NumEdges())
+	}
+	if p2.NodeName(0) != "u0" || p2.NodeName(2) != "hub" {
+		t.Fatalf("names lost: %q %q", p2.NodeName(0), p2.NodeName(2))
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+// The result cache and its in-flight coalescing. Entries are keyed by
+// the canonical query key (pattern.String() ordering + evaluation
+// config) and tagged with the graph version their result was computed
+// at; a lookup only hits when that tag equals the deployment's current
+// version, so every Apply that changes the graph implicitly invalidates
+// the whole cache without any eviction sweep. Concurrent identical
+// misses coalesce: one leader runs the distributed session, followers
+// wait for its result, so N simultaneous identical queries cost one
+// session and one admission slot.
+
+import (
+	"container/list"
+	"sync"
+
+	"dgs"
+)
+
+// entry is one cached result.
+type entry struct {
+	key     string
+	res     *dgs.Result // immutable once stored
+	version uint64      // graph version the result was computed at
+	elem    *list.Element
+}
+
+// cache is a mutex-guarded LRU of version-tagged results.
+type cache struct {
+	mu  sync.Mutex
+	max int
+	lru list.List // front = most recent; values are *entry
+	m   map[string]*entry
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, m: make(map[string]*entry)}
+}
+
+// get returns the cached result for key if it was computed at graph
+// version now. An older tag is a miss and evicts the entry — versions
+// are monotone, so it can never hit again. A NEWER tag (the caller read
+// the version just before a racing Apply and a fresher query re-filled
+// the entry) is a plain miss: the entry stays, it is what the next
+// caller wants.
+func (c *cache) get(key string, now uint64) (*dgs.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	if e.version < now {
+		c.lru.Remove(e.elem)
+		delete(c.m, key)
+		return nil, false
+	}
+	if e.version > now {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.res, true
+}
+
+// put stores res, tagged with the version it carries, evicting the
+// least-recently-used entry beyond capacity. An existing entry for the
+// key is replaced only by a result at least as new.
+func (c *cache) put(key string, res *dgs.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		if res.Version >= e.version {
+			e.res, e.version = res, res.Version
+			c.lru.MoveToFront(e.elem)
+		}
+		return
+	}
+	e := &entry{key: key, res: res, version: res.Version}
+	e.elem = c.lru.PushFront(e)
+	c.m[key] = e
+	for len(c.m) > c.max {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.m, old.key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// flight is one in-progress evaluation other callers can join.
+type flight struct {
+	done chan struct{} // closed when res/err are set
+	res  *dgs.Result
+	err  error
+}
+
+// flightGroup coalesces concurrent evaluations of the same key. Flights
+// are keyed by (query key, graph version): arrivals after an Apply start
+// a fresh flight instead of joining one that is computing against the
+// previous graph.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flight
+}
+
+type flightKey struct {
+	key     string
+	version uint64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[flightKey]*flight)}
+}
+
+// join returns the in-progress flight for k, or registers a new one the
+// caller must lead (run the query, then settle it).
+func (g *flightGroup) join(k flightKey) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[k]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[k] = f
+	return f, true
+}
+
+// settle publishes the leader's outcome and wakes every follower.
+func (g *flightGroup) settle(k flightKey, f *flight, res *dgs.Result, err error) {
+	g.mu.Lock()
+	delete(g.m, k)
+	g.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}

@@ -1,0 +1,74 @@
+package serve
+
+// Admission control: a bounded-concurrency semaphore with a bounded
+// waiting queue. A query either gets a slot, waits its turn (charged
+// against its deadline), or is shed immediately with ErrOverload — the
+// gateway never builds an unbounded backlog, so latency under overload
+// stays bounded by MaxInFlight·(service time) + the queue depth instead
+// of growing with the arrival rate.
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverload rejects a query because every execution slot is busy and
+// the waiting queue is full. Callers should surface it as an explicit
+// "try again later" (HTTP 503), not retry in a tight loop.
+var ErrOverload = errors.New("serve: overloaded: all slots busy and queue full")
+
+// gate is the admission semaphore.
+type gate struct {
+	slots chan struct{} // buffered; holding a token = executing
+
+	mu      sync.Mutex
+	waiting int
+	maxWait int
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{slots: make(chan struct{}, maxInFlight), maxWait: maxQueue}
+}
+
+// acquire claims an execution slot, queueing if none is free. It fails
+// with ErrOverload when the queue is full and with ctx.Err() when the
+// caller's deadline expires while waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.maxWait {
+		g.mu.Unlock()
+		return ErrOverload
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (g *gate) release() { <-g.slots }
+
+// inFlight reports the number of executing queries.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// queueDepth reports the number of queries waiting for a slot.
+func (g *gate) queueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}

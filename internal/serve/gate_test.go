@@ -1,0 +1,142 @@
+package serve
+
+// Admission-control semantics: concurrency is bounded, the waiting
+// queue is bounded, and beyond both the gateway sheds immediately —
+// overload produces fast explicit rejections, not unbounded latency.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgs"
+)
+
+func TestGateUnit(t *testing.T) {
+	g := newGate(2, 1)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.inFlight() != 2 {
+		t.Fatalf("inFlight %d, want 2", g.inFlight())
+	}
+
+	// Third acquire queues; poll until it is visibly waiting.
+	queued := make(chan error, 1)
+	go func() { queued <- g.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.queueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth is beyond the queue bound: shed immediately.
+	start := time.Now()
+	if err := g.acquire(ctx); err != ErrOverload {
+		t.Fatalf("over-queue acquire: %v, want ErrOverload", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("overload rejection took %v — not immediate", d)
+	}
+
+	// With the queue still occupied, another arrival sheds too.
+	if err := g.acquire(ctx); err != ErrOverload {
+		t.Fatalf("second over-queue acquire: %v, want ErrOverload", err)
+	}
+
+	// Releasing a slot admits the queued waiter.
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	g.release()
+	g.release()
+	if g.inFlight() != 0 || g.queueDepth() != 0 {
+		t.Fatalf("gate not drained: inFlight=%d queue=%d", g.inFlight(), g.queueDepth())
+	}
+}
+
+func TestGateQueuedDeadline(t *testing.T) {
+	g := newGate(1, 4)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := g.acquire(dctx); err != context.DeadlineExceeded {
+		t.Fatalf("queued waiter past deadline: %v, want DeadlineExceeded", err)
+	}
+	g.release()
+}
+
+// TestOverloadSheds drives the whole server past its capacity: with one
+// execution slot and a one-deep queue, a burst of slow queries must
+// produce explicit ErrOverload rejections — quickly — while admitted
+// queries still complete correctly.
+func TestOverloadSheds(t *testing.T) {
+	w := newWorld(t, Options{MaxInFlight: 1, MaxQueue: 1},
+		dgs.WithNetwork(dgs.Network{Latency: 5 * time.Millisecond}))
+	ctx := context.Background()
+
+	const burst = 8
+	var (
+		wg         sync.WaitGroup
+		rejected   int64
+		served     int64
+		slowestRej int64 // ns
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct patterns with NoCache: no coalescing, every query
+			// wants its own slot.
+			req := QueryRequest{
+				Pattern: "node a l0\nnode b l1\nedge a b\n",
+				NoCache: true,
+			}
+			start := time.Now()
+			_, err := w.srv.Query(ctx, req)
+			switch {
+			case err == nil:
+				atomic.AddInt64(&served, 1)
+			case err == ErrOverload:
+				atomic.AddInt64(&rejected, 1)
+				if d := int64(time.Since(start)); d > atomic.LoadInt64(&slowestRej) {
+					atomic.StoreInt64(&slowestRej, d)
+				}
+			default:
+				t.Errorf("query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if rejected == 0 {
+		t.Fatal("burst past capacity produced no overload rejections")
+	}
+	if served < 1 {
+		t.Fatal("no query served at all under overload")
+	}
+	if served+rejected != burst {
+		t.Fatalf("served %d + rejected %d != %d", served, rejected, burst)
+	}
+	// Sheds must be immediate — far under one service time (which the
+	// emulated latency stretches to tens of ms).
+	if d := time.Duration(slowestRej); d > 2*time.Second {
+		t.Fatalf("slowest rejection took %v — shedding is not bounding latency", d)
+	}
+	c := w.srv.Counters()
+	if c.Rejected != rejected {
+		t.Fatalf("Rejected counter %d, want %d", c.Rejected, rejected)
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+// The HTTP/JSON face of the serving subsystem — the four endpoints of
+// docs/HTTP.md. Handlers translate between the wire shapes and the
+// Server core and map error kinds onto status codes: malformed requests
+// are 400, overload sheds are 503 (with Retry-After), per-query deadline
+// expiries are 504, evaluation failures 500.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"dgs/internal/buildinfo"
+)
+
+// maxBodyBytes bounds request bodies; patterns and update batches are
+// small, so anything bigger is a client error.
+const maxBodyBytes = 8 << 20
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Code is a stable machine-readable kind: bad_request, overload,
+	// deadline, canceled, internal.
+	Code string `json:"code"`
+}
+
+// Handler returns the gateway's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/apply", s.handleApply)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error onto its status code and JSON envelope.
+func writeError(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_request"})
+	case errors.Is(err, ErrOverload):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Code: "overload"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Code: "deadline"})
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but keep the envelope
+		// consistent for proxies that still read it.
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "canceled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Code: "internal"})
+	}
+}
+
+// decodeBody reads one JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("body: %v", err)
+	}
+	return nil
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use " + method, Code: "bad_request"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Query(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ApplyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Apply(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsBody is the /stats payload: the serving counters plus the
+// deployment they front.
+type statsBody struct {
+	Counters
+	HitRate     float64 `json:"hit_rate"`
+	Sites       int     `json:"sites"`
+	Remote      bool    `json:"remote"`
+	Strategy    string  `json:"partition_strategy"`
+	Fragments   int     `json:"fragments"`
+	MaxInFlight int     `json:"max_in_flight"`
+	MaxQueue    int     `json:"max_queue"`
+	CacheSize   int     `json:"cache_size"`
+	UptimeMS    int64   `json:"uptime_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	c := s.Counters()
+	part := s.dep.Partition()
+	writeJSON(w, http.StatusOK, statsBody{
+		Counters:    c,
+		HitRate:     c.HitRate(),
+		Sites:       s.dep.NumSites(),
+		Remote:      s.dep.Remote(),
+		Strategy:    part.Strategy(),
+		Fragments:   part.NumFragments(),
+		MaxInFlight: s.opts.MaxInFlight,
+		MaxQueue:    s.opts.MaxQueue,
+		CacheSize:   s.opts.CacheSize,
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+	})
+}
+
+// healthBody is the /healthz payload.
+type healthBody struct {
+	OK           bool   `json:"ok"`
+	Build        string `json:"build"`
+	Sites        int    `json:"sites"`
+	Remote       bool   `json:"remote"`
+	GraphVersion uint64 `json:"graph_version"`
+	UptimeMS     int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{
+		OK:           true,
+		Build:        buildinfo.Version(),
+		Sites:        s.dep.NumSites(),
+		Remote:       s.dep.Remote(),
+		GraphVersion: s.dep.Version(),
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+	})
+}

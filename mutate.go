@@ -86,7 +86,7 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {
-		return ApplyStats{}, errorf("apply: deployment is closed")
+		return ApplyStats{}, errorf("apply: %w", ErrClosed)
 	}
 	d.state.Lock()
 	defer d.state.Unlock()
@@ -104,7 +104,7 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 	// Distribute to the owning sites and commit the overlay.
 	deltaStats, err := dgpm.ApplyUpdates(d.c, d.part.fr, dels, ins)
 	if err != nil {
-		return st, errorf("apply: deployment closed while distributing updates")
+		return st, errorf("apply: %w while distributing updates", ErrClosed)
 	}
 	st.Delta = fromCluster(deltaStats)
 	if d.remote {
@@ -129,6 +129,9 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 			panic("dgs: overlay diverged from validation: " + err.Error())
 		}
 	}
+	// The graph changed: bump the version under the exclusive lock so
+	// caches keyed on Version see a strictly newer graph from here on.
+	d.version.Add(1)
 
 	// Refresh the standing queries. A refresh failure (ctx cancellation)
 	// must not leave any other handle silently desynced: the graph is
@@ -179,7 +182,7 @@ func (d *Deployment) Watch(ctx context.Context, q *Pattern) (*Maintained, error)
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {
-		return nil, errorf("watch: deployment is closed")
+		return nil, errorf("watch: %w", ErrClosed)
 	}
 	// Holding the read lock across evaluation AND registration makes the
 	// handle atomic with respect to Apply: a standing query is either

@@ -101,6 +101,10 @@ func fromCluster(s cluster.Stats) Stats {
 type Result struct {
 	Match *Match
 	Stats Stats
+	// Version is the deployment's graph version the query evaluated
+	// against (see Deployment.Version). Apply serializes with queries, so
+	// the whole evaluation observed exactly this version.
+	Version uint64
 }
 
 // Options is the legacy positional configuration of Run. New code should

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Gateway smoke: the full serving stack as separate processes — two real
+# dgsd site servers, one dgsgw gateway that ships them its fragments and
+# serves HTTP. Asserts the serving semantics end to end:
+#   1. /healthz is live and reports the build;
+#   2. an identical second query is a cache hit;
+#   3. /apply bumps the graph version and invalidates the cache;
+#   4. the post-update query recomputes (and re-caches).
+# This is the CI-enforced form of the README's dgsd × dgsgw quickstart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT1=${DGS_GW_SMOKE_PORT1:-17441}
+PORT2=${DGS_GW_SMOKE_PORT2:-17442}
+GWPORT=${DGS_GW_SMOKE_GWPORT:-17443}
+BIN=bin
+
+mkdir -p "$BIN"
+go build -o "$BIN/dgsd" ./cmd/dgsd
+go build -o "$BIN/dgsgw" ./cmd/dgsgw
+
+"$BIN/dgsd" -listen "127.0.0.1:$PORT1" -quiet &
+D1=$!
+"$BIN/dgsd" -listen "127.0.0.1:$PORT2" -quiet &
+D2=$!
+GW=
+trap 'kill $D1 $D2 ${GW:-} 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT1") 2>/dev/null && (exec 3<>"/dev/tcp/127.0.0.1/$PORT2") 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+
+# A closed chain graph: deterministic edges, so /apply below can delete
+# a known-present edge (0 -> 1).
+"$BIN/dgsgw" -listen "127.0.0.1:$GWPORT" -connect "127.0.0.1:$PORT1,127.0.0.1:$PORT2" \
+  -gen chain -nodes 400 -frags 4 &
+GW=$!
+
+BASE="http://127.0.0.1:$GWPORT"
+up=0
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+if [ "$up" != 1 ]; then
+  echo "gw smoke: gateway never became healthy" >&2
+  exit 1
+fi
+
+echo "== healthz"
+HEALTH=$(curl -fsS "$BASE/healthz")
+echo "$HEALTH"
+echo "$HEALTH" | grep -q '"ok": true'    || { echo "healthz not ok" >&2; exit 1; }
+echo "$HEALTH" | grep -q '"build"'       || { echo "healthz lacks build version" >&2; exit 1; }
+echo "$HEALTH" | grep -q '"remote": true' || { echo "gateway is not fronting remote sites" >&2; exit 1; }
+
+Q='{"pattern":"node a A\nnode b B\nedge a b\nedge b a"}'
+
+echo "== query #1 (miss)"
+R1=$(curl -fsS "$BASE/query" -d "$Q")
+echo "$R1" | grep -q '"cached": false' || { echo "first query should miss" >&2; exit 1; }
+
+echo "== query #2 (must be a cache hit)"
+R2=$(curl -fsS "$BASE/query" -d "$Q")
+echo "$R2" | grep -q '"cached": true' || { echo "second identical query did not hit the cache" >&2; echo "$R2" >&2; exit 1; }
+
+echo "== apply (delete edge 0->1; invalidates the cache)"
+A1=$(curl -fsS "$BASE/apply" -d '{"ops":[{"del":true,"v":0,"w":1}]}')
+echo "$A1"
+echo "$A1" | grep -q '"version": 1' || { echo "apply did not bump the graph version" >&2; exit 1; }
+
+echo "== query #3 (must recompute at the new version)"
+R3=$(curl -fsS "$BASE/query" -d "$Q")
+echo "$R3" | grep -q '"cached": false' || { echo "post-update query served the stale entry" >&2; echo "$R3" >&2; exit 1; }
+echo "$R3" | grep -q '"version": 1'   || { echo "post-update result not tagged with version 1" >&2; exit 1; }
+
+echo "== stats"
+STATS=$(curl -fsS "$BASE/stats")
+echo "$STATS"
+echo "$STATS" | grep -q '"hits": 1'    || { echo "stats should report exactly one hit" >&2; exit 1; }
+echo "$STATS" | grep -q '"applies": 1' || { echo "stats should report one apply" >&2; exit 1; }
+
+echo "gw smoke: cache hit, update-driven invalidation and recompute all verified over 2 dgsd + 1 dgsgw"

@@ -14,7 +14,7 @@ if [ -n "$missing" ]; then
   fail=1
 fi
 
-for doc in README.md docs/WIRE.md DESIGN.md; do
+for doc in README.md docs/WIRE.md docs/HTTP.md DESIGN.md; do
   if [ ! -s "$doc" ]; then
     echo "missing required document: $doc"
     fail=1
@@ -25,6 +25,15 @@ done
 for kind in falsify rankbatch push reroute subgraph vectors eqsystem values matches control delta; do
   if ! grep -qi "$kind" docs/WIRE.md; then
     echo "docs/WIRE.md does not mention payload kind '$kind'"
+    fail=1
+  fi
+done
+
+# The HTTP spec must cover every gateway endpoint and the error and
+# overload semantics clients program against.
+for need in /query /apply /stats /healthz overload bad_request deadline "503" "Retry-After" cached version; do
+  if ! grep -qi -- "$need" docs/HTTP.md; then
+    echo "docs/HTTP.md does not mention '$need'"
     fail=1
   fi
 done

@@ -1,0 +1,80 @@
+package dgs
+
+// The graph-version counter contract the serving cache rests on:
+// Version starts at 0, bumps exactly once per batch that changes the
+// graph, stays put for no-op batches, and every Result is tagged with
+// the version its evaluation observed.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestGraphVersionCounter(t *testing.T) {
+	ctx := context.Background()
+	c := drawCase(t, 42)
+	dep, err := Deploy(c.part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if v := dep.Version(); v != 0 {
+		t.Fatalf("fresh deployment at version %d, want 0", v)
+	}
+	res, err := dep.Query(ctx, c.q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 0 {
+		t.Fatalf("pre-update query tagged %d, want 0", res.Version)
+	}
+
+	// An empty batch and a self-cancelling batch must not bump.
+	if _, err := dep.Apply(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	e := firstEdge(t, c.part.CurrentGraph())
+	cancel := []EdgeOp{DeleteOp(e[0], e[1]), InsertOp(e[0], e[1])}
+	if _, err := dep.Apply(ctx, cancel); err != nil {
+		t.Fatal(err)
+	}
+	if v := dep.Version(); v != 0 {
+		t.Fatalf("no-op batches bumped version to %d", v)
+	}
+
+	// Each effective batch bumps by exactly one, and queries issued after
+	// Apply returns carry the new tag.
+	want := uint64(0)
+	for _, batch := range c.batches {
+		st, err := dep.Apply(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deletions+st.Insertions > 0 {
+			want++
+		}
+		if v := dep.Version(); v != want {
+			t.Fatalf("after batch: version %d, want %d", v, want)
+		}
+		res, err := dep.Query(ctx, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Version != want {
+			t.Fatalf("query tagged %d, want %d", res.Version, want)
+		}
+	}
+}
+
+// firstEdge returns one existing edge of g.
+func firstEdge(t *testing.T, g *Graph) [2]NodeID {
+	t.Helper()
+	for v := 0; v < g.NumNodes(); v++ {
+		if ss := g.Succ(NodeID(v)); len(ss) > 0 {
+			return [2]NodeID{NodeID(v), ss[0]}
+		}
+	}
+	t.Fatal("graph has no edges")
+	return [2]NodeID{}
+}
