@@ -1,15 +1,37 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving clean
+.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving clean help
 
-# tier1 is the gate every change must pass: static checks, full build,
-# and the test suite under the race detector (the Deployment API serves
-# concurrent queries; races are correctness bugs here).
-tier1: vet build race
+# tier1 is the gate every change must pass: static checks (go vet plus
+# the project-specific dgsvet analyzers), full build, and the test suite
+# under the race detector (the Deployment API serves concurrent
+# queries; races are correctness bugs here).
+tier1: vet dgsvet build race
 
 vet:
 	$(GO) vet ./...
+
+# dgsvet machine-checks the repo's own invariants (lock discipline,
+# ctx-guarded blocking, wire-kind completeness, registry consistency,
+# determinism, sentinel errors). See docs/ANALYSIS.md.
+dgsvet:
+	$(GO) run ./cmd/dgsvet
+
+# analyze is the full static-analysis pass: dgsvet, then staticcheck and
+# govulncheck (skipped with a notice when not installed; CI pins and
+# installs them and sets ANALYZE_STRICT=1).
+analyze: dgsvet
+	./scripts/analyze.sh
+
+# analyze-fix: there is no auto-fixer — dgsvet findings are either real
+# bugs (fix the code) or deliberate (annotate the line with
+# `//lint:allow <analyzer> — reason`). This target just reprints the
+# findings to work through.
+analyze-fix:
+	@echo "dgsvet has no auto-fix: correct the code, or annotate deliberate"
+	@echo "findings with '//lint:allow <analyzer> — reason' (docs/ANALYSIS.md)."
+	@$(GO) run ./cmd/dgsvet || true
 
 build:
 	$(GO) build ./...
@@ -76,3 +98,20 @@ examples:
 
 clean:
 	$(GO) clean ./...
+
+# help lists the targets an operator actually reaches for.
+help:
+	@echo "dgs make targets:"
+	@echo "  tier1            vet + dgsvet + build + race tests (the merge gate)"
+	@echo "  analyze          dgsvet + staticcheck + govulncheck (ANALYZE_STRICT=1 in CI)"
+	@echo "  analyze-fix      reprint dgsvet findings with fixing guidance"
+	@echo "  test / race      test suite (plain / under the race detector)"
+	@echo "  fuzz             fuzz targets for FUZZTIME each (default $(FUZZTIME))"
+	@echo "  docs             documentation lint (package comments, specs, ANALYSIS.md)"
+	@echo "  bench            root-package benchmarks, one iteration"
+	@echo "  smoke-tcp        two dgsd processes on loopback, all algorithms"
+	@echo "  partition-smoke  partitioner quality smoke (LDG beats Random)"
+	@echo "  gw-smoke         2 dgsd + 1 dgsgw over HTTP (cache + invalidation)"
+	@echo "  bench-partition  regenerate BENCH_PARTITION.json (long)"
+	@echo "  bench-serving    regenerate BENCH_SERVING.json (long)"
+	@echo "  examples         run every example program"

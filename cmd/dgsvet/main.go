@@ -1,0 +1,96 @@
+// Command dgsvet machine-checks the repository's own invariants: lock
+// discipline, context-guarded blocking, wire-kind completeness,
+// registry consistency, determinism of the partitioning paths, and
+// sentinel-error comparison. It is the project-specific complement to
+// go vet, wired into `make tier1` and the CI analysis job; see
+// docs/ANALYSIS.md for what each analyzer enforces and how to suppress
+// an intentional finding with //lint:allow.
+//
+// Usage:
+//
+//	dgsvet [-dir .] [-notests] [path/...]
+//	dgsvet -list
+//	dgsvet -version
+//
+// Without arguments every package of the module rooted at -dir is
+// checked. Positional arguments restrict the per-package analyzers (and
+// the reported findings) to packages whose import path matches; module
+// analyzers always see the whole module so cross-package registries
+// stay complete. Exit status is 1 when findings remain, 2 on load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgs/internal/analysis"
+	"dgs/internal/analysis/load"
+	"dgs/internal/analysis/suite"
+	"dgs/internal/buildinfo"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "module root to analyze")
+		noTests = flag.Bool("notests", false, "exclude _test.go files and test packages")
+		list    = flag.Bool("list", false, "list analyzers (name\\tdoc) and exit")
+		version = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("dgsvet", buildinfo.Version())
+		return
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%s\t%s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	mod, err := load.Load(load.Config{Dir: *dir, Tests: !*noTests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgsvet: load:", err)
+		os.Exit(2)
+	}
+
+	keep := keepFunc(flag.Args())
+	findings, err := analysis.Run(mod, suite.All(), keep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgsvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dgsvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// keepFunc builds the package filter from positional patterns: exact
+// import path, or a prefix ending in "/..." (as in dgs/internal/...).
+func keepFunc(patterns []string) func(*load.Package) bool {
+	if len(patterns) == 0 {
+		return nil
+	}
+	return func(pkg *load.Package) bool {
+		// External test packages share their base package's fate.
+		path := strings.TrimSuffix(pkg.Path, " [test]")
+		for _, p := range patterns {
+			if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+				if path == prefix || strings.HasPrefix(path, prefix+"/") {
+					return true
+				}
+			} else if path == p {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -115,6 +115,7 @@ func confPartitions(t *testing.T, wl confWorkload) map[string]*Partition {
 	return out
 }
 
+//dgsvet:exhaustive — the conformance matrix must cover every algorithm
 var confAlgos = []Algorithm{
 	AlgoDGPM, AlgoDGPMNoOpt, AlgoDGPMd, AlgoDGPMt, AlgoMatch, AlgoDisHHK, AlgoDMes,
 }

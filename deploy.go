@@ -313,7 +313,7 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 		return nil, errorf("unknown algorithm %d", cfg.algo)
 	}
 	if err != nil {
-		if err == cluster.ErrClosed {
+		if errors.Is(err, cluster.ErrClosed) {
 			return nil, errorf("query %s: %w while evaluating", cfg.algo, ErrClosed)
 		}
 		return nil, errorf("query %s: %w", cfg.algo, err)

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dgs/internal/cluster"
 )
 
 func deployWorld(t testing.TB) (*Graph, *Pattern, *Deployment) {
@@ -446,5 +448,26 @@ func TestDeployQueryDAG(t *testing.T) {
 	}
 	if res2.Match.Ok() {
 		t.Fatal("cyclic pattern on a DAG graph must have an empty relation")
+	}
+}
+
+// Regression: cluster.ErrClosed is documented "returned wrapped; test
+// with errors.Is" — WaitQuiesce surfaces either the bare sentinel or
+// the transport failure that killed the session, which may wrap it. A
+// == comparison in Query's translation missed the wrapped form and
+// leaked the raw cluster error instead of ErrClosed (caught by
+// dgsvet's senterr analyzer).
+func TestQueryAfterClusterFailureIsErrClosed(t *testing.T) {
+	_, q, dep := deployWorld(t)
+	// Poison the cluster underneath a still-open deployment the way a
+	// dying transport does: a deployment-fatal failure wrapping the
+	// sentinel.
+	dep.c.Fail(0, fmt.Errorf("transport torn down: %w", cluster.ErrClosed))
+	_, err := dep.Query(context.Background(), q)
+	if err == nil {
+		t.Fatal("query on a failed cluster succeeded")
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("query error = %v, want errors.Is(err, ErrClosed)", err)
 	}
 }

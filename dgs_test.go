@@ -293,6 +293,7 @@ func TestPartitionWithAPI(t *testing.T) {
 	if len(names) != 7 {
 		t.Fatalf("Partitioners() = %v, want 7 strategies", names)
 	}
+	//lint:allow regconsistent — probes the unknown-strategy error path
 	if _, err := PartitionWith(g, "no-such", 4); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}

@@ -1,0 +1,131 @@
+// Package analysistest runs a dgsvet analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: fixtures live
+// under <dir>/src/<pkg> with directory-relative import paths, and every
+// line expecting a diagnostic carries `// want "regexp"` (several
+// regexps for several diagnostics). A diagnostic without a matching
+// want, or a want without a diagnostic, fails the test — so each
+// analyzer's testdata must hold both a violating and a clean fixture.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dgs/internal/analysis"
+	"dgs/internal/analysis/load"
+)
+
+// wantRe captures each quoted regexp of a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir/src as a fixture tree, applies a to the named packages
+// (import paths relative to dir/src) and compares diagnostics with the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	mod, err := load.Load(load.Config{Dir: filepath.Join(dir, "src"), Tests: true})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	want := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		want[p] = true
+	}
+	keep := func(pkg *load.Package) bool { return want[pkg.Path] }
+	for _, p := range pkgs {
+		if mod.ByPath(p) == nil {
+			t.Fatalf("fixture package %q not found under %s/src", p, dir)
+		}
+	}
+	findings, err := analysis.Run(mod, []*analysis.Analyzer{a}, keep)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	expects := collectWants(t, mod, keep)
+
+	for _, f := range findings {
+		if !matchExpectation(expects, f) {
+			t.Errorf("unexpected diagnostic:\n  %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants scans the kept fixtures' comments for want expectations.
+func collectWants(t *testing.T, mod *load.Module, keep func(*load.Package) bool) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range mod.Pkgs {
+		if !keep(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					for _, arg := range args {
+						re, err := regexp.Compile(unquote(arg[1]))
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matchExpectation(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unquote undoes the minimal escaping the want syntax needs (\" and \\).
+func unquote(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Pos is a tiny convenience for fixtures that need a token.Position in
+// error messages (kept exported for symmetry with x/tools).
+func Pos(fset *token.FileSet, p token.Pos) string {
+	return fmt.Sprintf("%v", fset.Position(p))
+}

@@ -1,0 +1,226 @@
+// Package ctxblock flags unguarded blocking operations on
+// context-carrying paths: inside a function that takes a
+// context.Context, channel sends/receives must sit in a select with a
+// ctx.Done() (or default) case, range-over-channel is forbidden, and
+// sync.WaitGroup.Wait / sync.Cond.Wait must not be called at all —
+// neither can be abandoned when the context is cancelled.
+//
+// This is the cancellation contract of the session runtime: Query,
+// Apply and the algorithm drivers promise prompt abandonment on ctx
+// cancellation (DESIGN.md "Cancellation"), which one raw channel
+// operation on the path silently breaks — the paper's protocols
+// quiesce, but a dead site or a dropped session would park the
+// goroutine forever. Closure bodies are exempt (they run on their own
+// goroutines' terms); a deliberate block can carry
+// //lint:allow ctxblock with a reason.
+package ctxblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dgs/internal/analysis"
+)
+
+// Analyzer implements the ctxblock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxblock",
+	Doc:  "flags blocking channel ops and Wait calls not select-guarded by ctx.Done() in functions that take a context.Context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(info, fd) {
+				continue
+			}
+			check(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether fd takes a context.Context parameter.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if tv, ok := info.Types[f.Type]; ok && tv.Type.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks fd's body (closures excluded), flagging unguarded
+// blocking operations.
+func check(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Comm-clause operations are legal iff their select is guarded.
+	inComm := map[ast.Node]bool{}
+	doneChans := doneAliases(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			guarded := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					guarded = true // default case: non-blocking select
+					continue
+				}
+				markComm(inComm, cc.Comm)
+				if commReceivesDone(info, cc.Comm, doneChans) {
+					guarded = true
+				}
+			}
+			if !guarded {
+				pass.Reportf(n.Pos(), "select without ctx.Done() or default case blocks past cancellation")
+			}
+		case *ast.SendStmt:
+			if !inComm[n] {
+				pass.Reportf(n.Pos(), "unguarded channel send; use select with ctx.Done()")
+			}
+		case *ast.UnaryExpr:
+			if isReceive(info, n) && !inComm[n] {
+				pass.Reportf(n.Pos(), "unguarded channel receive; use select with ctx.Done()")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(n.Pos(), "range over channel cannot observe ctx.Done(); receive in a guarded select loop")
+				}
+			}
+		case *ast.CallExpr:
+			if fn := waitCall(info, n); fn != "" {
+				pass.Reportf(n.Pos(), "%s cannot be abandoned on ctx cancellation; restructure with a guarded channel", fn)
+			}
+		}
+		return true
+	})
+}
+
+// markComm records the comm statement's channel operation nodes.
+func markComm(inComm map[ast.Node]bool, comm ast.Stmt) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		inComm[c] = true
+	case *ast.ExprStmt:
+		inComm[c.X] = true
+	case *ast.AssignStmt:
+		for _, r := range c.Rhs {
+			inComm[r] = true
+		}
+	}
+}
+
+// doneAliases collects local variables assigned from ctx.Done().
+func doneAliases(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !isDoneCall(info, rhs) {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// commReceivesDone reports whether the comm clause receives from
+// ctx.Done() (directly or through a recorded alias).
+func commReceivesDone(info *types.Info, comm ast.Stmt, doneChans map[types.Object]bool) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	u, ok := recv.(*ast.UnaryExpr)
+	if !ok || !isReceive(info, u) {
+		return false
+	}
+	if isDoneCall(info, u.X) {
+		return true
+	}
+	if id, ok := u.X.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && doneChans[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneCall matches x.Done() where x is a context.Context.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && tv.Type.String() == "context.Context"
+}
+
+func isReceive(info *types.Info, u *ast.UnaryExpr) bool {
+	if u.Op.String() != "<-" {
+		return false
+	}
+	tv, ok := info.Types[u.X]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// waitCall resolves a call to sync.WaitGroup.Wait or sync.Cond.Wait.
+func waitCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	return "sync." + recvTypeName(recv.Type()) + ".Wait"
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/ctxblock"
+)
+
+func TestCtxblock(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxblock.Analyzer, "ctxblockbad", "ctxblockok")
+}

@@ -1,0 +1,36 @@
+// Package ctxblockbad violates the ctxblock invariant: blocking
+// operations on context-carrying paths without a ctx.Done() guard.
+package ctxblockbad
+
+import (
+	"context"
+	"sync"
+)
+
+func rawSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "unguarded channel send"
+}
+
+func rawRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "unguarded channel receive"
+}
+
+func unguardedSelect(ctx context.Context, a, b chan int) int {
+	select { // want "select without ctx.Done\\(\\) or default case"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func rangeChan(ctx context.Context, ch chan int) (sum int) {
+	for v := range ch { // want "range over channel cannot observe ctx.Done"
+		sum += v
+	}
+	return sum
+}
+
+func wgWait(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "sync.WaitGroup.Wait cannot be abandoned"
+}

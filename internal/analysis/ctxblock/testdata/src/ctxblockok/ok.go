@@ -1,0 +1,59 @@
+// Package ctxblockok is clean under ctxblock: every blocking operation
+// on a context path is select-guarded by ctx.Done() or a default case,
+// aliased done channels are understood, and functions without a ctx
+// parameter are out of scope.
+package ctxblockok
+
+import (
+	"context"
+	"sync"
+)
+
+func guardedSend(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func guardedRecv(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func aliasedDone(ctx context.Context, ch chan int) (int, error) {
+	done := ctx.Done()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-done:
+		return 0, ctx.Err()
+	}
+}
+
+func nonBlocking(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// noCtx has no context parameter: its blocking ops are out of scope.
+func noCtx(ch chan int, wg *sync.WaitGroup) int {
+	wg.Wait()
+	ch <- 5
+	return <-ch
+}
+
+func spawned(ctx context.Context, ch chan int) {
+	// The closure runs on its own goroutine's terms; out of scope.
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,306 @@
+// Package detrand guards the deterministic paths — packages that opt in
+// with a //dgsvet:deterministic comment near their package clause
+// (internal/partition, internal/simulation, internal/graph): the seeded
+// partitioners promise "runs with equal seeds produce identical
+// assignments" (WithPartitionSeed), and the Simulate oracle must be
+// bit-stable for the property harness to diff algorithm outputs against
+// it.
+//
+// Three things break that promise silently:
+//
+//   - the global math/rand functions (process-wide state; another
+//     goroutine's draw changes this run) — a seeded *rand.Rand must be
+//     threaded instead;
+//   - time.Now used for anything but duration measurement (build-time
+//     stamping is fine, decisions keyed on wall time are not);
+//   - iterating a map while appending to a slice that is never sorted —
+//     Go randomizes map iteration order per run, so the slice's order
+//     (and everything derived from it) differs run to run.
+//
+// A site that is genuinely order-insensitive can carry
+// //lint:allow detrand with a reason.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dgs/internal/analysis"
+)
+
+// Marker is the opt-in comment a deterministic package carries.
+const Marker = "//dgsvet:deterministic"
+
+// Analyzer implements the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "flags global math/rand, non-timing time.Now, and unsorted map-iteration results in //dgsvet:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !optedIn(pass.Pkg.Files) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Test files exercise the deterministic contract but may use
+		// the global rand for workload setup; scope to library files.
+		name := pass.Fset.File(file.Pos()).Name()
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checkGlobalRand(pass, info, file)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkTimeNow(pass, info, fd)
+				checkMapOrder(pass, info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// optedIn reports whether any file carries the deterministic marker.
+func optedIn(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, Marker) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkGlobalRand flags package-level math/rand and math/rand/v2
+// function calls (methods on a seeded *rand.Rand are the sanctioned
+// source of randomness).
+func checkGlobalRand(pass *analysis.Pass, info *types.Info, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		// Methods have receivers (a *rand.Rand the caller seeded);
+		// package-level functions draw from the global source.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		// Constructors build the sanctioned source.
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return true
+		}
+		pass.Reportf(sel.Pos(), "global %s.%s draws from process-wide state; use a seeded *rand.Rand", path, fn.Name())
+		return true
+	})
+}
+
+// span is a source region [pos, end).
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+// timingSpans collects the regions of fd occupied by time.Since(...) or
+// time.Time .Sub(...) calls — the only sanctioned uses of a wall-clock
+// reading on a deterministic path.
+func timingSpans(info *types.Info, fd *ast.FuncDecl) []span {
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if fn.Name() == "Since" || (fn.Name() == "Sub" && fn.Type().(*types.Signature).Recv() != nil) {
+			spans = append(spans, span{call.Pos(), call.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans []span, p token.Pos) bool {
+	for _, s := range spans {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTimeNow flags time.Now readings used beyond duration
+// measurement: a call is clean when it sits inside a timing expression,
+// or when it is assigned to a variable whose every use sits inside one.
+func checkTimeNow(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	spans := timingSpans(info, fd)
+
+	// Variables assigned directly from time.Now().
+	nowVars := map[types.Object]bool{}
+	assignedCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isTimeNowCall(info, call) || i >= len(assign.Lhs) {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				nowVars[obj] = true
+				assignedCalls[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isTimeNowCall(info, n) && !assignedCalls[n] && !inSpans(spans, n.Pos()) {
+				pass.Reportf(n.Pos(), "time.Now on a deterministic path; only duration measurement (time.Since/.Sub) is allowed")
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj != nil && nowVars[obj] && !inSpans(spans, n.Pos()) {
+				pass.Reportf(n.Pos(), "time.Now value %s used beyond duration measurement on a deterministic path", n.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isTimeNowCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}
+
+// checkMapOrder flags map-range loops that append to a slice which the
+// function never sorts afterwards: the append order is the randomized
+// iteration order.
+func checkMapOrder(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Slices appended to inside the loop body.
+		appended := map[types.Object]*ast.CallExpr{}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			assign, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(assign.Lhs) {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+					continue
+				}
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil {
+						appended[obj] = call
+					}
+				}
+			}
+			return true
+		})
+		for obj, call := range appended {
+			if !sortedAfter(info, fd, obj, rng.End()) {
+				pass.Reportf(call.Pos(), "append to %s under map iteration: order is randomized per run; sort %s afterwards or iterate sorted keys",
+					obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sorting call —
+// sort.*, slices.Sort*, or any helper whose name mentions "sort"
+// (e.g. graph.sortEdgeList) — positioned after pos in fd.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		name := ""
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			name = fn.Name
+		case *ast.SelectorExpr:
+			if x, ok := fn.X.(*ast.Ident); ok {
+				name = x.Name + "."
+			}
+			name += fn.Sel.Name
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

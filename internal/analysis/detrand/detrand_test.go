@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrandbad", "detrandok")
+}

@@ -1,0 +1,36 @@
+//dgsvet:deterministic
+
+// Package detrandbad violates the determinism invariant three ways:
+// global math/rand, wall-clock decisions, and map-iteration-order
+// dependence.
+package detrandbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn draws from process-wide state"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func wallClockDecision() int64 {
+	now := time.Now()
+	return now.UnixNano() // want "time.Now value now used beyond duration measurement"
+}
+
+func inlineNow() int64 {
+	return time.Now().Unix() // want "time.Now on a deterministic path"
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys under map iteration"
+	}
+	return keys
+}

@@ -1,0 +1,39 @@
+//dgsvet:deterministic
+
+// Package detrandok is clean under detrand: seeded *rand.Rand, timing
+// only, sorted map-iteration output.
+package detrandok
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func timed() (elapsed time.Duration) {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func timedSub() time.Duration {
+	start := time.Now()
+	end := time.Now()
+	return end.Sub(start)
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func work() {}

@@ -1,0 +1,59 @@
+// Package locksafebad violates the locksafe invariants: re-entrant
+// acquisition, locking calls made under the lock, and reassignment of
+// an atomic field.
+package locksafebad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dep mimics the Deployment locking layout.
+type Dep struct {
+	mu      sync.Mutex
+	state   sync.RWMutex
+	version atomic.Uint64
+	closed  bool
+}
+
+func (d *Dep) directReentry() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mu.Lock() // want "re-entrant acquisition of mu"
+}
+
+func (d *Dep) rlockReentry() {
+	d.state.RLock()
+	d.state.RLock() // want "re-entrant acquisition of state"
+	d.state.RUnlock()
+	d.state.RUnlock()
+}
+
+func (d *Dep) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
+func (d *Dep) callUnderLock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = d.isClosed() // want "call to isClosed acquires mu"
+}
+
+func (d *Dep) indirect() { d.helper() }
+
+func (d *Dep) helper() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func (d *Dep) transitive() {
+	d.mu.Lock()
+	d.indirect() // want "call to indirect acquires mu"
+	d.mu.Unlock()
+}
+
+func (d *Dep) resetVersion() {
+	d.version = atomic.Uint64{} // want "sync/atomic field version reassigned"
+}

@@ -1,0 +1,62 @@
+// Package locksafeok is clean under locksafe: locks are taken in leaf
+// sections, branch-local unlocks are understood, goroutines and
+// closures don't count as running under the caller's lock, and the
+// atomic field is only touched through its methods.
+package locksafeok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dep mimics the Deployment locking layout.
+type Dep struct {
+	mu      sync.Mutex
+	state   sync.RWMutex
+	version atomic.Uint64
+	closed  bool
+	n       int
+}
+
+func (d *Dep) close() bool {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return true
+}
+
+func (d *Dep) sequential() {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+	// Released above: taking it again is not re-entrant.
+	d.mu.Lock()
+	d.n--
+	d.mu.Unlock()
+}
+
+func (d *Dep) bump() uint64 { return d.version.Add(1) }
+
+func (d *Dep) underReadLock() int {
+	d.state.RLock()
+	defer d.state.RUnlock()
+	return d.n
+}
+
+func (d *Dep) spawn() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Runs after the caller releases; not a held-lock call.
+	go d.sequential()
+}
+
+func (d *Dep) distinctLocks() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state.RLock()
+	defer d.state.RUnlock()
+}

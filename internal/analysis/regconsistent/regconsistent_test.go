@@ -1,0 +1,12 @@
+package regconsistent_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/regconsistent"
+)
+
+func TestRegconsistent(t *testing.T) {
+	analysistest.Run(t, "testdata", regconsistent.Analyzer, "regbad", "regok")
+}

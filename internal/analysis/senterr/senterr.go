@@ -1,0 +1,100 @@
+// Package senterr flags == / != comparisons of an error value against a
+// package-level sentinel (a variable named Err… of type error), which
+// break as soon as a call site wraps the sentinel with fmt.Errorf("…%w").
+// dgs.ErrClosed is documented as "returned wrapped; test with
+// errors.Is", so a direct comparison is a latent bug even when it
+// happens to pass today. Use errors.Is(err, pkg.ErrX) instead; a
+// comparison that really must be identity (rare) can carry
+// //lint:allow senterr with a reason.
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dgs/internal/analysis"
+)
+
+// Analyzer implements the senterr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc:  "flags ==/!= comparisons against Err… sentinel variables; wrapped sentinels make them silently false — use errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			var sentinel types.Object
+			var other ast.Expr
+			if obj := sentinelObj(info, bin.X); obj != nil {
+				sentinel, other = obj, bin.Y
+			} else if obj := sentinelObj(info, bin.Y); obj != nil {
+				sentinel, other = obj, bin.X
+			}
+			if sentinel == nil {
+				return true
+			}
+			// Comparing a sentinel against nil (or another sentinel) is
+			// an identity check by construction, not a wrapping hazard.
+			if isNil(info, other) || sentinelObj(info, other) != nil {
+				return true
+			}
+			op := "=="
+			if bin.Op == token.NEQ {
+				op = "!="
+			}
+			pass.Reportf(bin.OpPos, "error %s %s: sentinel may be wrapped, use errors.Is", op, sentinel.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObj resolves e to a package-level error variable named Err…
+// (or errSomething), in any package.
+func sentinelObj(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Parent().Parent() != types.Universe {
+		return nil // not package-level
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorIface()) && v.Type().String() != "error" {
+		return nil
+	}
+	return v
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+var errIface *types.Interface
+
+func errorIface() *types.Interface {
+	if errIface == nil {
+		errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errIface
+}

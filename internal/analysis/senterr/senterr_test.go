@@ -1,0 +1,12 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/senterr"
+)
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, "testdata", senterr.Analyzer, "senterrbad", "senterrok")
+}

@@ -1,0 +1,34 @@
+// Package senterrbad violates the senterr invariant: sentinel errors
+// compared with == / != instead of errors.Is.
+package senterrbad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed is a sentinel; call sites wrap it.
+var ErrClosed = errors.New("closed")
+
+var errInternal = errors.New("internal")
+
+func open() error { return fmt.Errorf("open: %w", ErrClosed) }
+
+func checkEq() bool {
+	err := open()
+	return err == ErrClosed // want "error == ErrClosed: sentinel may be wrapped, use errors.Is"
+}
+
+func checkNeq() bool {
+	err := open()
+	return err != errInternal // want "error != errInternal: sentinel may be wrapped, use errors.Is"
+}
+
+func checkStdlib(err error) bool {
+	return err == io.ErrUnexpectedEOF // want "error == ErrUnexpectedEOF: sentinel may be wrapped, use errors.Is"
+}
+
+func reversed(err error) bool {
+	return ErrClosed == err // want "error == ErrClosed: sentinel may be wrapped, use errors.Is"
+}

@@ -1,0 +1,31 @@
+// Package senterrok is clean under senterr: comparisons go through
+// errors.Is, nil checks stay direct, and the one intentional identity
+// comparison carries an allow annotation.
+package senterrok
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is a sentinel; call sites wrap it.
+var ErrClosed = errors.New("closed")
+
+func open() error { return fmt.Errorf("open: %w", ErrClosed) }
+
+func checkIs() bool {
+	err := open()
+	return errors.Is(err, ErrClosed)
+}
+
+func checkNil() bool {
+	err := open()
+	return err == nil // nil comparison is not a sentinel comparison
+}
+
+func identity(err error) bool {
+	//lint:allow senterr this API documents exact identity
+	return err == ErrClosed
+}
+
+func nonError(a, b int) bool { return a == b }

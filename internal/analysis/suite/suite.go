@@ -1,0 +1,27 @@
+// Package suite aggregates the dgsvet analyzers. It exists as its own
+// package (rather than a registry in internal/analysis) so each
+// analyzer can import the framework without a cycle.
+package suite
+
+import (
+	"dgs/internal/analysis"
+	"dgs/internal/analysis/ctxblock"
+	"dgs/internal/analysis/detrand"
+	"dgs/internal/analysis/locksafe"
+	"dgs/internal/analysis/regconsistent"
+	"dgs/internal/analysis/senterr"
+	"dgs/internal/analysis/wirecomplete"
+)
+
+// All returns every dgsvet analyzer, in the order they run and are
+// listed by dgsvet -list.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxblock.Analyzer,
+		detrand.Analyzer,
+		locksafe.Analyzer,
+		regconsistent.Analyzer,
+		senterr.Analyzer,
+		wirecomplete.Analyzer,
+	}
+}

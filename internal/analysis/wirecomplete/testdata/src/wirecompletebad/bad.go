@@ -1,0 +1,49 @@
+// Package wirecompletebad declares a wire protocol with holes: KindB
+// and KindC are missing one or more of the four registration surfaces.
+package wirecompletebad
+
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB // want "KindB: no case in Kind.String" "KindB: no exemplars\\(\\) entry"
+	KindC // want "KindC: no payload Kind\\(\\) method" "KindC: no case in Decode" "KindC: no case in Kind.String" "KindC: no exemplars\\(\\) entry"
+)
+
+type Payload interface {
+	Kind() Kind
+}
+
+type A struct{}
+
+func (*A) Kind() Kind { return KindA }
+
+type B struct{}
+
+func (*B) Kind() Kind { return KindB }
+
+func Decode(b []byte) (Payload, error) {
+	switch Kind(b[0]) {
+	case KindA:
+		return &A{}, nil
+	case KindB:
+		return &B{}, nil
+	}
+	return nil, nil
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "a"
+	}
+	return "?"
+}
+
+func exemplars() map[Kind]Payload {
+	return map[Kind]Payload{
+		KindA: &A{},
+	}
+}
+
+var _ = exemplars

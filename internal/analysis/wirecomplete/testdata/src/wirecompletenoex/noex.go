@@ -1,0 +1,11 @@
+// Package wirecompletenoex has a Kind/Decode pair but never defines the
+// exemplars() fixture map, so the fuzz corpus cannot cover the protocol.
+package wirecompletenoex
+
+type Kind uint8 // want "no exemplars\\(\\) fixture map"
+
+const KindX Kind = 1 // want "KindX: no payload Kind\\(\\) method" "KindX: no case in Decode" "KindX: no case in Kind.String"
+
+func Decode(b []byte) (any, error) { return nil, nil }
+
+func (k Kind) String() string { return "" }

@@ -1,0 +1,51 @@
+// Package wirecompleteok keeps all four wire surfaces in sync for every
+// Kind constant; wirecomplete must stay silent here.
+package wirecompleteok
+
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+)
+
+type Payload interface {
+	Kind() Kind
+}
+
+type A struct{}
+
+func (*A) Kind() Kind { return KindA }
+
+type B struct{}
+
+func (*B) Kind() Kind { return KindB }
+
+func Decode(b []byte) (Payload, error) {
+	switch Kind(b[0]) {
+	case KindA:
+		return &A{}, nil
+	case KindB:
+		return &B{}, nil
+	}
+	return nil, nil
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return "?"
+}
+
+func exemplars() map[Kind]Payload {
+	return map[Kind]Payload{
+		KindA: &A{},
+		KindB: &B{},
+	}
+}
+
+var _ = exemplars

@@ -1,0 +1,202 @@
+// Package wirecomplete checks the wire protocol's four parallel
+// surfaces stay in sync: in any package that declares a `type Kind` with
+// constants and a package-level Decode function, every Kind constant
+// must (1) be returned by some payload's Kind() method (the encode
+// side), (2) have a case in the Decode switch, (3) have a case in
+// Kind.String, and (4) appear as a key in the exemplars() map that
+// seeds the round-trip fuzz corpus.
+//
+// History motivates the check: adding a message (KindDelta, PR 2) means
+// touching four places in two files, and missing one compiles cleanly —
+// the receiver then drops the frame as unknown (a silent protocol hole)
+// or the fuzzer simply never exercises the codec. This analyzer turns
+// each forgotten surface into a build-gate diagnostic anchored at the
+// Kind constant's declaration.
+package wirecomplete
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dgs/internal/analysis"
+)
+
+// Analyzer implements the wirecomplete check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecomplete",
+	Doc:  "every wire Kind constant must have an encode Kind() method, a Decode case, a String case, and an exemplars() round-trip entry",
+	Run:  run,
+}
+
+// surface is one of the per-Kind registration points.
+type surface struct {
+	name string // diagnostic phrasing
+	got  map[types.Object]bool
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	kindType, consts := kindConstants(pass)
+	if kindType == nil || len(consts) == 0 || !hasDecode(pass.Pkg.Files) {
+		return nil // not a wire-protocol package
+	}
+
+	encode := &surface{name: "no payload Kind() method returns it (encode side unregistered)", got: map[types.Object]bool{}}
+	decode := &surface{name: "no case in Decode (receivers drop the frame as unknown)", got: map[types.Object]bool{}}
+	str := &surface{name: "no case in Kind.String (logs and metrics print a numeric kind)", got: map[types.Object]bool{}}
+	exemplar := &surface{name: "no exemplars() entry (round-trip fuzz corpus never exercises it)", got: map[types.Object]bool{}}
+
+	sawExemplars := false
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case fd.Recv == nil && fd.Name.Name == "Decode":
+				collectCaseIdents(info, fd.Body, decode.got)
+			case fd.Recv != nil && fd.Name.Name == "String" && recvIs(info, fd, kindType):
+				collectCaseIdents(info, fd.Body, str.got)
+			case fd.Recv != nil && fd.Name.Name == "Kind":
+				collectReturnIdents(info, fd.Body, encode.got)
+			case fd.Recv == nil && fd.Name.Name == "exemplars":
+				sawExemplars = true
+				collectMapKeys(info, fd.Body, exemplar.got)
+			}
+		}
+	}
+
+	surfaces := []*surface{encode, decode, str}
+	if sawExemplars {
+		surfaces = append(surfaces, exemplar)
+	} else {
+		pass.Reportf(kindType.Obj().Pos(), "package has Kind/Decode but no exemplars() fixture map; the round-trip fuzz corpus cannot cover the protocol")
+	}
+	for _, c := range consts {
+		for _, s := range surfaces {
+			if !s.got[c.obj] {
+				pass.Reportf(c.pos, "%s: %s", c.obj.Name(), s.name)
+			}
+		}
+	}
+	return nil
+}
+
+type kindConst struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// kindConstants finds the package's `type Kind` and its constants, in
+// declaration order (diagnostics anchor at each constant's ValueSpec).
+func kindConstants(pass *analysis.Pass) (*types.Named, []kindConst) {
+	obj := pass.Pkg.Types.Scope().Lookup("Kind")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	var out []kindConst
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					c, ok := pass.Pkg.Info.Defs[name].(*types.Const)
+					if ok && types.Identical(c.Type(), named) {
+						out = append(out, kindConst{obj: c, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return named, out
+}
+
+func hasDecode(files []*ast.File) bool {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "Decode" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func recvIs(info *types.Info, fd *ast.FuncDecl, named *types.Named) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, named)
+}
+
+// collectCaseIdents records which objects appear in switch case
+// expressions within body.
+func collectCaseIdents(info *types.Info, body *ast.BlockStmt, got map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					got[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectReturnIdents records objects returned from body.
+func collectReturnIdents(info *types.Info, body *ast.BlockStmt, got map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					got[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectMapKeys records objects used as composite-literal keys in body.
+func collectMapKeys(info *types.Info, body *ast.BlockStmt, got map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				got[obj] = true
+			}
+		}
+		return true
+	})
+}

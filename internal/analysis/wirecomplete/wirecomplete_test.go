@@ -1,0 +1,12 @@
+package wirecomplete_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/wirecomplete"
+)
+
+func TestWirecomplete(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecomplete.Analyzer, "wirecompletebad", "wirecompleteok", "wirecompletenoex")
+}

@@ -333,7 +333,7 @@ func TestClosedSessionDropsTraffic(t *testing.T) {
 	// then unblock: the queued message must be discarded.
 	s.Close()
 	close(block)
-	if err := s.WaitQuiesce(bg); err != ErrClosed {
+	if err := s.WaitQuiesce(bg); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WaitQuiesce on closed session = %v, want ErrClosed", err)
 	}
 	// A fresh session on the same cluster still works.
@@ -375,7 +375,7 @@ func TestNewSessionOnShutdownCluster(t *testing.T) {
 	c.Shutdown()
 	s := c.NewSession(nopSites(1), nopHandler{})
 	s.Inject(0, &wire.Control{}) // must not panic
-	if err := s.WaitQuiesce(bg); err != ErrClosed {
+	if err := s.WaitQuiesce(bg); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -484,6 +484,7 @@ func TestFatalFailurePoisonsCluster(t *testing.T) {
 	if err := s.WaitQuiesce(bg); err != boom {
 		t.Fatalf("live session WaitQuiesce = %v, want the failure cause", err)
 	}
+	//lint:allow regconsistent — any name works: the cluster is already dead
 	s2, err := c.OpenSession(SessionQuery, SessionSpec{Algo: "anything"}, nopHandler{})
 	if err != nil {
 		t.Fatalf("OpenSession on a dead cluster must return a failed session, got error %v", err)

@@ -1,3 +1,5 @@
+//dgsvet:deterministic
+
 // Package graph provides node-labeled directed graphs, the data-graph
 // substrate of the paper "Distributed Graph Simulation: Impossibility and
 // Possibility" (VLDB 2014).

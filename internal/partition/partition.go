@@ -1,3 +1,5 @@
+//dgsvet:deterministic
+
 // Package partition implements graph fragmentation (§2.2 of the paper).
 //
 // A fragmentation F of G = (V,E,L) is (F1,...,Fn) where each fragment

@@ -19,6 +19,7 @@ func TestPartitionerRegistry(t *testing.T) {
 			t.Fatalf("ResolvePartitioner(%q) failed", name)
 		}
 	}
+	//lint:allow regconsistent — probes the unknown-partitioner error path
 	if _, err := PartitionBy(randomGraph(rand.New(rand.NewSource(1)), 10, 20), "nope", 2, Options{}); err == nil {
 		t.Fatal("unknown partitioner accepted")
 	}

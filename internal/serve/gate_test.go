@@ -6,6 +6,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -40,7 +41,7 @@ func TestGateUnit(t *testing.T) {
 
 	// Fourth is beyond the queue bound: shed immediately.
 	start := time.Now()
-	if err := g.acquire(ctx); err != ErrOverload {
+	if err := g.acquire(ctx); !errors.Is(err, ErrOverload) {
 		t.Fatalf("over-queue acquire: %v, want ErrOverload", err)
 	}
 	if d := time.Since(start); d > time.Second {
@@ -48,7 +49,7 @@ func TestGateUnit(t *testing.T) {
 	}
 
 	// With the queue still occupied, another arrival sheds too.
-	if err := g.acquire(ctx); err != ErrOverload {
+	if err := g.acquire(ctx); !errors.Is(err, ErrOverload) {
 		t.Fatalf("second over-queue acquire: %v, want ErrOverload", err)
 	}
 
@@ -109,7 +110,7 @@ func TestOverloadSheds(t *testing.T) {
 			switch {
 			case err == nil:
 				atomic.AddInt64(&served, 1)
-			case err == ErrOverload:
+			case errors.Is(err, ErrOverload):
 				atomic.AddInt64(&rejected, 1)
 				if d := int64(time.Since(start)); d > atomic.LoadInt64(&slowestRej) {
 					atomic.StoreInt64(&slowestRej, d)

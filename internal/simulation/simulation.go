@@ -1,3 +1,5 @@
+//dgsvet:deterministic
+
 // Package simulation implements centralized graph simulation [18]
 // (Henzinger, Henzinger, Kopke, FOCS'95) as used by the paper:
 // given pattern Q and data graph G, compute the unique maximum relation

@@ -346,6 +346,7 @@ func TestMatrixSessionKinds(t *testing.T) {
 // asynchronously (via an ERR frame failing WaitQuiesce) over TCP.
 func TestMatrixUnknownAlgorithm(t *testing.T) {
 	forEachBackend(t, 2, func(t *testing.T, c *cluster.Cluster) {
+		//lint:allow regconsistent — probes the unknown-algorithm error path
 		s, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: "no-such-algo"},
 			cluster.HandlerFunc(func(*cluster.Ctx, int, wire.Payload) {}))
 		if err != nil {

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 )
@@ -57,7 +58,7 @@ func TestFrameTruncation(t *testing.T) {
 		if err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
-		if cut >= 4 && err != io.ErrUnexpectedEOF {
+		if cut >= 4 && !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Fatalf("truncation at %d: %v, want ErrUnexpectedEOF", cut, err)
 		}
 	}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# External static analysis, run by `make analyze` after dgsvet:
+#   - staticcheck (honnef.co/go/tools) over ./...
+#   - govulncheck (golang.org/x/vuln) over ./...
+#
+# Neither tool is vendored: when a binary is absent the step is skipped
+# with a notice so offline development keeps working. CI installs the
+# pinned versions below and sets ANALYZE_STRICT=1, which turns a missing
+# tool into a failure — the gate cannot silently weaken there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pinned versions, kept in lockstep with .github/workflows/ci.yml.
+STATICCHECK_VERSION=2025.1
+GOVULNCHECK_VERSION=v1.1.4
+
+strict="${ANALYZE_STRICT:-0}"
+fail=0
+
+run_tool() {
+  local name="$1" version="$2"
+  shift 2
+  if command -v "$name" >/dev/null 2>&1; then
+    echo "analyze: $name ($version pinned) ./..."
+    "$name" "$@" || fail=1
+  elif [ "$strict" = "1" ]; then
+    echo "analyze: $name not installed and ANALYZE_STRICT=1" >&2
+    fail=1
+  else
+    echo "analyze: $name not installed; skipping (CI runs it pinned at $version)"
+  fi
+}
+
+run_tool staticcheck "$STATICCHECK_VERSION" ./...
+run_tool govulncheck "$GOVULNCHECK_VERSION" ./...
+
+if [ "$fail" -ne 0 ]; then
+  echo "analyze: external tools failed" >&2
+  exit 1
+fi

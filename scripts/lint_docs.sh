@@ -14,7 +14,7 @@ if [ -n "$missing" ]; then
   fail=1
 fi
 
-for doc in README.md docs/WIRE.md docs/HTTP.md DESIGN.md; do
+for doc in README.md docs/WIRE.md docs/HTTP.md docs/ANALYSIS.md DESIGN.md; do
   if [ ! -s "$doc" ]; then
     echo "missing required document: $doc"
     fail=1
@@ -37,6 +37,15 @@ for need in /query /apply /stats /healthz overload bad_request deadline "503" "R
     fail=1
   fi
 done
+
+# Every dgsvet analyzer must have its own section in docs/ANALYSIS.md.
+while IFS=$'\t' read -r name _doc; do
+  [ -n "$name" ] || continue
+  if ! grep -q "^## $name\$" docs/ANALYSIS.md; then
+    echo "docs/ANALYSIS.md has no '## $name' section for that dgsvet analyzer"
+    fail=1
+  fi
+done < <(go run ./cmd/dgsvet -list)
 
 if [ "$fail" -ne 0 ]; then
   echo "docs lint failed"
