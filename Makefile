@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving clean help
+.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport clean help
 
 # tier1 is the gate every change must pass: static checks (go vet plus
 # the project-specific dgsvet analyzers), full build, and the test suite
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDecode$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzDeltaRoundTrip$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzFrameRoundTrip$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run=^$$ -fuzz=^FuzzBatchRoundTrip$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/pattern -run=^$$ -fuzz=^FuzzParsePattern$$ -fuzztime=$(FUZZTIME)
 
 # docs fails when any package lacks a package comment or an
@@ -89,6 +90,14 @@ gw-smoke:
 bench-serving:
 	$(GO) run ./cmd/benchfig -group serving -queries 4 -json BENCH_SERVING.json
 
+# bench-transport regenerates BENCH_TRANSPORT.json: in-process vs
+# loopback TCP at wire protocol 1 (per-message frames) vs the current
+# coalescing protocol, with per-query frame and allocation columns and
+# a pure message-storm row at 64 sites. The pre-coalescing recording is
+# preserved in BENCH_TRANSPORT_PRE_COALESCE.json.
+bench-transport:
+	$(GO) run ./cmd/benchfig -group transport -scale 0.3 -json BENCH_TRANSPORT.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/impossibility
@@ -114,4 +123,5 @@ help:
 	@echo "  gw-smoke         2 dgsd + 1 dgsgw over HTTP (cache + invalidation)"
 	@echo "  bench-partition  regenerate BENCH_PARTITION.json (long)"
 	@echo "  bench-serving    regenerate BENCH_SERVING.json (long)"
+	@echo "  bench-transport  regenerate BENCH_TRANSPORT.json (v1 vs coalescing)"
 	@echo "  examples         run every example program"

@@ -190,7 +190,9 @@ func main() {
 	fmt.Printf("DS:        %.2f KB in %d messages (+%d control B, +%d result B)\n",
 		float64(st.DataBytes)/1024, st.DataMsgs, st.ControlBytes, st.ResultBytes)
 	if dep.Remote() {
+		sent, received := dep.WireFrames()
 		fmt.Printf("wire:      %.2f KB measured on the TCP path (frames + acks)\n", float64(st.WireBytes)/1024)
+		fmt.Printf("frames:    %d sent / %d received across the deployment's sockets\n", sent, received)
 	}
 	fmt.Printf("rounds:    %d\n", st.Rounds)
 	if *showAll {

@@ -121,16 +121,19 @@ var confAlgos = []Algorithm{
 }
 
 // confModes are the transport backends the matrix runs over: the
-// in-process channel network and a deployment spanning two dgsd site
-// servers over loopback TCP. extra returns per-deployment DeployOptions
-// (the TCP mode starts its daemons once per test run and reuses them —
-// a daemon serves one deployment at a time and resets in between).
+// in-process channel network, a deployment spanning two dgsd site
+// servers over loopback TCP (negotiating the current protocol, i.e.
+// the coalescing path), and the same deployment pinned to wire
+// protocol 1 so the per-message fallback answers the whole matrix too.
+// extra returns per-deployment DeployOptions (each TCP mode starts its
+// daemons once per test run and reuses them — a daemon serves one
+// deployment at a time and resets in between).
 func confModes(t *testing.T) []struct {
 	name  string
 	extra func(t *testing.T) []DeployOption
 } {
 	t.Helper()
-	var tcpAddrs []string
+	var tcpAddrs, tcpV1Addrs []string
 	return []struct {
 		name  string
 		extra func(t *testing.T) []DeployOption
@@ -144,6 +147,15 @@ func confModes(t *testing.T) []struct {
 				tcpAddrs = startSiteServers(t, 2)
 			}
 			return []DeployOption{WithRemoteSites(tcpAddrs...)}
+		}},
+		{"tcp-v1", func(t *testing.T) []DeployOption {
+			if testing.Short() {
+				t.Skip("loopback-TCP matrix skipped in -short mode")
+			}
+			if tcpV1Addrs == nil {
+				tcpV1Addrs = startSiteServers(t, 2)
+			}
+			return []DeployOption{WithRemoteSites(tcpV1Addrs...), WithWireProtocolMax(1)}
 		}},
 	}
 }

@@ -112,6 +112,7 @@ type deployConfig struct {
 	transport   cluster.Transport
 	remoteAddrs []string
 	dialTimeout time.Duration
+	protoMax    uint16
 	defaults    queryConfig
 }
 
@@ -140,6 +141,16 @@ func WithRemoteSites(addrs ...string) DeployOption {
 // WithRemoteSites deployment (default 30s).
 func WithDialTimeout(d time.Duration) DeployOption {
 	return func(dc *deployConfig) { dc.dialTimeout = d }
+}
+
+// WithWireProtocolMax caps the wire protocol version a WithRemoteSites
+// deployment offers its daemons; 0 (the default) means the newest this
+// build speaks. Pinning 1 forces per-message frames instead of
+// coalesced batches — the transport bench uses it to measure the
+// uncoalesced baseline, and it interoperates with daemons that predate
+// version negotiation.
+func WithWireProtocolMax(v uint16) DeployOption {
+	return func(dc *deployConfig) { dc.protoMax = v }
 }
 
 // WithTransport installs a caller-built Transport (expert use: tests,
@@ -228,7 +239,10 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 		d.c = cluster.NewWithTransport(dc.transport)
 	case len(dc.remoteAddrs) > 0:
 		ctx := context.Background()
-		tr, err := tcpnet.Dial(ctx, dc.remoteAddrs, part.fr, tcpnet.Options{DialTimeout: dc.dialTimeout})
+		tr, err := tcpnet.Dial(ctx, dc.remoteAddrs, part.fr, tcpnet.Options{
+			DialTimeout: dc.dialTimeout,
+			MaxProtocol: dc.protoMax,
+		})
 		if err != nil {
 			return nil, errorf("deploy: %w", err)
 		}
@@ -246,6 +260,18 @@ func (d *Deployment) Remote() bool { return d.remote }
 
 // NumSites reports the number of worker sites (= fragments).
 func (d *Deployment) NumSites() int { return d.c.NumSites() }
+
+// WireFrames reports the post-deployment frames the driver has written
+// to and read from its daemon sockets so far, when the transport
+// measures them (the TCP backend does); in-process deployments report
+// zeros. Coalescing makes this grow far slower than the message count
+// — the transport bench records the deltas per query.
+func (d *Deployment) WireFrames() (sent, received int64) {
+	if fc, ok := d.c.Transport().(interface{ Frames() (int64, int64) }); ok {
+		return fc.Frames()
+	}
+	return 0, 0
+}
 
 // Partition returns the resident fragmentation.
 func (d *Deployment) Partition() *Partition { return d.part }

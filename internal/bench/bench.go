@@ -113,6 +113,11 @@ type Point struct {
 	QPS     float64 `json:"QPS,omitempty"`
 	P99ms   float64 `json:"P99ms,omitempty"`
 	HitRate float64 `json:"HitRate,omitempty"`
+	// Frames and AllocKB are the transport group's columns: wire frames
+	// crossing the driver's sockets and driver-process bytes allocated,
+	// both per query (the -benchmem view of the wire path).
+	Frames  int64   `json:"Frames,omitempty"`
+	AllocKB float64 `json:"AllocKB,omitempty"`
 	// Part attributes the point to the fragmentation it was measured
 	// on; nil only for points with no deployment behind them.
 	Part *PartMeta `json:"Part,omitempty"`

@@ -441,13 +441,13 @@ func (c *Cluster) Deliver(qid uint64, from int, data []byte) {
 	c.coordBox.put(env)
 }
 
-// Retired implements Events: retire one processed message and fold in
-// the handler's busy time and recorded rounds.
-func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64) {
+// Retired implements Events: retire n processed messages and fold in
+// the handlers' summed busy time and recorded rounds.
+func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64, n int) {
 	c.mu.RLock()
 	s := c.sessions[qid]
 	c.mu.RUnlock()
-	if s == nil {
+	if s == nil || n <= 0 {
 		return
 	}
 	if busy > 0 || rounds > 0 {
@@ -458,7 +458,7 @@ func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64
 		s.stats.Rounds += rounds
 		s.statMu.Unlock()
 	}
-	s.done()
+	s.doneN(n)
 }
 
 // Fail implements Events: abort one session (or, with qid 0, all of
@@ -576,8 +576,14 @@ func (s *Session) route(from, to int, data []byte) {
 }
 
 // done retires one in-flight message and signals quiescence at zero.
-func (s *Session) done() {
-	if s.inflight.Add(-1) == 0 {
+func (s *Session) done() { s.doneN(1) }
+
+// doneN retires n in-flight messages at once (a coalesced ACK) and
+// signals quiescence at zero. A single Add(-n) reaches zero exactly
+// when n individual decrements would have, so the termination
+// certificate is unchanged.
+func (s *Session) doneN(n int) {
+	if s.inflight.Add(-int64(n)) == 0 {
 		select {
 		case s.quiesce <- struct{}{}:
 		default:

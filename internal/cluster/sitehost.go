@@ -270,7 +270,7 @@ func (s *inprocSink) ForwardSend(qid uint64, from, to int, data []byte) {
 }
 
 func (s *inprocSink) Retire(qid uint64, site int, busy time.Duration, rounds int64) {
-	s.ev.Retired(qid, site, busy, rounds)
+	s.ev.Retired(qid, site, busy, rounds, 1)
 }
 
 func (s *inprocSink) Fatal(err error) { panic(err) }

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDictConcurrentIntern hammers a shared Dict from many goroutines —
+// the serving gateway interns novel labels while other requests parse
+// concurrently, so Intern/Lookup/Name must be safe together and agree
+// on one id per name.
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const workers = 8
+	const names = 200
+	got := make([][]Label, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		got[w] = make([]Label, names)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				name := fmt.Sprintf("label-%d", i)
+				l := d.Intern(name)
+				got[w][i] = l
+				if back := d.Name(l); back != name {
+					panic(fmt.Sprintf("Name(%d) = %q, want %q", l, back, name))
+				}
+				if ll, ok := d.Lookup(name); !ok || ll != l {
+					panic(fmt.Sprintf("Lookup(%q) = %d,%v after Intern returned %d", name, ll, ok, l))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < names; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("workers disagree on id for label-%d: %d vs %d", i, got[0][i], got[w][i])
+			}
+		}
+	}
+	if d.Len() != names+1 {
+		t.Fatalf("Len() = %d, want %d", d.Len(), names+1)
+	}
+	if ns := d.Names(); len(ns) != names+1 || ns[0] != "" {
+		t.Fatalf("Names() snapshot malformed: len %d first %q", len(ns), ns[0])
+	}
+}
+
+func TestNewDictFromNames(t *testing.T) {
+	d := NewDictFromNames([]string{"", "a", "b"})
+	if l, ok := d.Lookup("b"); !ok || l != 2 {
+		t.Fatalf("Lookup(b) = %d,%v", l, ok)
+	}
+	if d.Name(1) != "a" || d.Len() != 3 {
+		t.Fatalf("table mismatch: %v", d.Names())
+	}
+	// Interning continues past the shipped table.
+	if l := d.Intern("c"); l != 3 {
+		t.Fatalf("Intern(c) = %d, want 3", l)
+	}
+	// An empty table still reserves the empty label.
+	if e := NewDictFromNames(nil); e.Len() != 1 || e.Name(0) != "" {
+		t.Fatalf("empty table not normalized: %v", e.Names())
+	}
+}

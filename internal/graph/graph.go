@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node of a data graph. IDs are dense: a graph with n
@@ -29,49 +30,97 @@ const NoLabel Label = 0
 
 // Dict interns label strings. Index 0 is reserved for the empty label so
 // that the zero Label value is never a user label.
+//
+// A Dict is safe for concurrent use: Lookup, Name, Len and Names are
+// lock-free reads (the serving gateway parses patterns on every request
+// thread), while Intern serializes writers behind a mutex and publishes
+// the grown table atomically. The id assigned to a name is determined
+// solely by intern order, never by map iteration, so deterministic
+// loaders stay deterministic.
 type Dict struct {
-	byName map[string]Label
-	names  []string
+	mu     sync.Mutex // serializes Intern
+	byName sync.Map   // string → Label
+	names  atomic.Pointer[[]string]
 }
 
 // NewDict returns an empty dictionary with the reserved empty label.
 func NewDict() *Dict {
-	d := &Dict{byName: make(map[string]Label)}
-	d.names = append(d.names, "")
-	d.byName[""] = 0
+	d := &Dict{}
+	names := []string{""}
+	d.names.Store(&names)
+	d.byName.Store("", NoLabel)
+	return d
+}
+
+// NewDictFromNames builds a dictionary whose table is exactly names:
+// names[i] interns to Label(i). Used to reconstruct a driver-owned
+// dictionary shipped over the wire; the first entry should be the
+// reserved empty label. A duplicate name resolves to its last index,
+// matching the historical decode behavior.
+func NewDictFromNames(names []string) *Dict {
+	if len(names) > 1<<16 {
+		panic("graph: label dictionary overflow (>65535 labels)")
+	}
+	d := &Dict{}
+	table := append([]string(nil), names...)
+	if len(table) == 0 {
+		table = []string{""}
+	}
+	d.names.Store(&table)
+	for i, name := range table {
+		d.byName.Store(name, Label(i))
+	}
 	return d
 }
 
 // Intern returns the Label for name, creating it if needed.
 func (d *Dict) Intern(name string) Label {
-	if l, ok := d.byName[name]; ok {
-		return l
+	if l, ok := d.byName.Load(name); ok {
+		return l.(Label)
 	}
-	if len(d.names) >= 1<<16 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.byName.Load(name); ok {
+		return l.(Label)
+	}
+	cur := *d.names.Load()
+	if len(cur) >= 1<<16 {
 		panic("graph: label dictionary overflow (>65535 labels)")
 	}
-	l := Label(len(d.names))
-	d.names = append(d.names, name)
-	d.byName[name] = l
+	l := Label(len(cur))
+	// Copy-on-write append: readers holding the old snapshot never see
+	// the new index, so publishing the grown table needs no read lock.
+	grown := append(cur[:len(cur):len(cur)], name)
+	d.names.Store(&grown)
+	d.byName.Store(name, l)
 	return l
 }
 
 // Lookup returns the Label for name and whether it exists.
 func (d *Dict) Lookup(name string) (Label, bool) {
-	l, ok := d.byName[name]
-	return l, ok
+	l, ok := d.byName.Load(name)
+	if !ok {
+		return NoLabel, false
+	}
+	return l.(Label), true
 }
 
 // Name returns the string for label l, or "" if unknown.
 func (d *Dict) Name(l Label) string {
-	if int(l) >= len(d.names) {
+	names := *d.names.Load()
+	if int(l) >= len(names) {
 		return ""
 	}
-	return d.names[l]
+	return names[l]
 }
 
 // Len reports the number of interned labels, including the reserved one.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int { return len(*d.names.Load()) }
+
+// Names returns the interned table indexed by Label: a consistent
+// snapshot that later Interns will not mutate. Callers must not modify
+// it. This is what DEPLOY ships so daemons can render labels.
+func (d *Dict) Names() []string { return *d.names.Load() }
 
 // Graph is an immutable node-labeled directed graph in CSR form.
 // Build one with a Builder.

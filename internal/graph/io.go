@@ -22,7 +22,7 @@ func EncodedSize(g *Graph) int64 {
 	sz += 8 // numNodes
 	sz += 8 // numEdges
 	sz += 4 // numLabels
-	for _, name := range g.dict.names {
+	for _, name := range g.dict.Names() {
 		sz += int64(4 + len(name))
 	}
 	sz += int64(2 * g.NumNodes())       // labels
@@ -54,10 +54,13 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if err := put64(uint64(g.NumEdges())); err != nil {
 		return err
 	}
-	if err := put32(uint32(len(g.dict.names))); err != nil {
+	// One snapshot serves both the count and the loop, so a concurrent
+	// Intern cannot skew the encoding.
+	names := g.dict.Names()
+	if err := put32(uint32(len(names))); err != nil {
 		return err
 	}
-	for _, name := range g.dict.names {
+	for _, name := range names {
 		if err := put32(uint32(len(name))); err != nil {
 			return err
 		}
@@ -122,7 +125,10 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if nl == 0 {
 		return nil, fmt.Errorf("graph: dictionary must contain the reserved label")
 	}
-	dict := &Dict{byName: make(map[string]Label, nl)}
+	if nl > 1<<16 {
+		return nil, fmt.Errorf("graph: dictionary holds %d labels, max %d", nl, 1<<16)
+	}
+	dictNames := make([]string, 0, nl)
 	for i := uint32(0); i < nl; i++ {
 		ln, err := get32()
 		if err != nil {
@@ -132,10 +138,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if _, err := io.ReadFull(br, name); err != nil {
 			return nil, err
 		}
-		dict.names = append(dict.names, string(name))
-		dict.byName[string(name)] = Label(i)
+		dictNames = append(dictNames, string(name))
 	}
-	g := &Graph{dict: dict}
+	g := &Graph{dict: NewDictFromNames(dictNames)}
 	g.labels = make([]Label, nn)
 	for i := range g.labels {
 		if _, err := io.ReadFull(br, buf[:2]); err != nil {

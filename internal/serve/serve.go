@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -119,10 +118,6 @@ type Server struct {
 	gate  *gate
 	fl    *flightGroup
 	start time.Time
-
-	// parseMu serializes pattern parsing: the label dictionary interns
-	// new labels and is not safe for concurrent writes.
-	parseMu sync.Mutex
 
 	nQueries, nHits, nMisses, nCoalesced int64
 	nRejected, nDeadline, nErrors        int64
@@ -237,19 +232,14 @@ func (s *Server) compile(req QueryRequest) (*compiled, error) {
 	if strings.TrimSpace(req.Pattern) == "" {
 		return nil, badRequest("empty pattern")
 	}
-	// Both Parse (label interning: dict writes) and String (label names:
-	// dict reads) must happen inside parseMu — the dictionary is not safe
-	// against concurrent interning.
-	s.parseMu.Lock()
+	// The label dictionary is safe for concurrent interning (lock-free
+	// reads, serialized writers), so request threads parse in parallel —
+	// pattern compilation is no longer a gateway-wide critical section.
 	q, err := dgs.ParsePattern(s.dict, req.Pattern)
-	var canon string
-	if err == nil {
-		canon = q.String()
-	}
-	s.parseMu.Unlock()
 	if err != nil {
 		return nil, badRequest("pattern: %v", err)
 	}
+	canon := q.String()
 	algo := s.opts.Algorithm
 	if req.Algo != "" {
 		a, ok := AlgorithmByName(req.Algo)

@@ -1,0 +1,186 @@
+package tcpnet
+
+// Codec-level tests for the frame bodies and the chunk writer: buffer
+// ownership of decoded values that outlive their frame, the v2 DEPLOY
+// label table, ACKN aggregation, and the exact coalescing behavior of
+// writeChunk at both protocol versions.
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dgs/internal/cluster"
+	"dgs/internal/wire"
+)
+
+// A decoded OPEN outlives its frame (the host retains the spec for the
+// session), so Query and Config must be copies, not aliases of the
+// frame buffer.
+func TestDecodeOpenCopiesSpec(t *testing.T) {
+	body := encodeOpen(openBody{
+		qid:  7,
+		kind: cluster.SessionQuery,
+		spec: cluster.SessionSpec{Algo: "a", Query: []byte{1, 2, 3}, Config: []byte{9, 8}}, //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
+	})
+	o, err := decodeOpen(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range body {
+		body[i] = 0xFF
+	}
+	if !bytes.Equal(o.spec.Query, []byte{1, 2, 3}) || !bytes.Equal(o.spec.Config, []byte{9, 8}) {
+		t.Fatalf("decoded spec aliases the frame buffer: query=%v config=%v", o.spec.Query, o.spec.Config)
+	}
+}
+
+func TestDeployLabelTable(t *testing.T) {
+	d := deployBody{
+		total:  4,
+		hosted: []int{1, 3},
+		assign: []int32{0, 1, 2, 3},
+		labels: []string{"", "person", "movie"},
+		frags:  []byte{0xAA, 0xBB},
+	}
+	got, err := decodeDeploy(encodeDeploy(d, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.labels, d.labels) {
+		t.Fatalf("v2 labels = %q, want %q", got.labels, d.labels)
+	}
+	if !bytes.Equal(got.frags, d.frags) || got.total != d.total {
+		t.Fatalf("v2 round trip mangled the body: %+v", got)
+	}
+
+	// A v1 encoding has no label table and must decode to labels == nil,
+	// which is what disables the daemon-side dictionary validation.
+	d1 := d
+	d1.labels = nil
+	got1, err := decodeDeploy(encodeDeploy(d1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.labels != nil {
+		t.Fatalf("v1 decode produced a label table: %q", got1.labels)
+	}
+	if !bytes.Equal(got1.frags, d.frags) {
+		t.Fatalf("v1 round trip mangled fragments: %x", got1.frags)
+	}
+}
+
+func TestAckNRoundTrip(t *testing.T) {
+	a := ackNBody{qid: 3, site: 2, count: 17, busyNs: 123456, rounds: 9}
+	got, err := decodeAckN(encodeAckN(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip: got %+v, want %+v", got, a)
+	}
+	bad := a
+	bad.count = 0
+	if _, err := decodeAckN(encodeAckN(bad)); err == nil {
+		t.Fatal("zero-count ACKN decoded without error")
+	}
+}
+
+// readChunkFrames writes entries through writeChunk at the given
+// version and parses the produced byte stream back into frames.
+func readChunkFrames(t *testing.T, entries []outEntry, version uint16) (types []byte, bodies [][]byte, metered int) {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	meter := func(qid uint64, n int) { metered += n }
+	if err := writeChunk(bw, entries, version, meter); err != nil {
+		t.Fatal(err)
+	}
+	if metered != buf.Len() {
+		t.Fatalf("meter saw %d bytes, socket saw %d", metered, buf.Len())
+	}
+	br := bufio.NewReader(&buf)
+	for {
+		typ, body, err := wire.ReadFrame(br)
+		if err != nil {
+			return types, bodies, metered
+		}
+		types = append(types, typ)
+		bodies = append(bodies, body)
+	}
+}
+
+// The coalescer merges only consecutive same-key runs and never
+// reorders: message runs split at qid changes and at interleaved acks,
+// ack runs split at (qid, site) changes, and the v1 path emits one
+// frame per entry.
+func TestWriteChunkCoalescing(t *testing.T) {
+	msg := func(qid uint64, to int, b byte) outEntry {
+		return outEntry{kind: entryMsg, qid: qid, from: -1, to: to, data: []byte{byte(wire.KindControl), b}}
+	}
+	ack := func(qid uint64, site int, busy, rounds int64) outEntry {
+		return outEntry{kind: entryAck, qid: qid, site: site, busyNs: busy, rounds: rounds}
+	}
+	entries := []outEntry{
+		msg(1, 0, 10), msg(1, 1, 11), msg(1, 2, 12), // run → MSGB(3)
+		msg(2, 0, 20),                    // qid change → lone MSG
+		ack(1, 0, 5, 1), ack(1, 0, 7, 2), // run → ACKN(2)
+		ack(1, 1, 3, 0), // site change → lone ACK
+		msg(1, 3, 13),   // ack in between → new run, lone MSG
+		{kind: entryFrame, qid: 0, frame: wire.AppendFrame(nil, frameBye, nil)},
+	}
+
+	types, bodies, _ := readChunkFrames(t, entries, 2)
+	want := []byte{frameMsgB, frameMsg, frameAckN, frameAck, frameMsg, frameBye}
+	if !bytes.Equal(types, want) {
+		t.Fatalf("v2 frame sequence = %v, want %v", types, want)
+	}
+	qid, batch, err := decodeMsgB(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qid != 1 || len(batch.Msgs) != 3 {
+		t.Fatalf("MSGB: qid=%d msgs=%d, want qid=1 msgs=3", qid, len(batch.Msgs))
+	}
+	for i, m := range batch.Msgs {
+		if int(m.To) != i || m.Data[1] != byte(10+i) {
+			t.Fatalf("MSGB sub-message %d out of order: to=%d data=%v", i, m.To, m.Data)
+		}
+	}
+	an, err := decodeAckN(bodies[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.count != 2 || an.busyNs != 12 || an.rounds != 3 || an.site != 0 {
+		t.Fatalf("ACKN did not aggregate the run: %+v", an)
+	}
+
+	// Version 1: strictly one frame per entry, in order.
+	types1, _, _ := readChunkFrames(t, entries, 1)
+	want1 := []byte{frameMsg, frameMsg, frameMsg, frameMsg, frameAck, frameAck, frameAck, frameMsg, frameBye}
+	if !bytes.Equal(types1, want1) {
+		t.Fatalf("v1 frame sequence = %v, want %v", types1, want1)
+	}
+}
+
+// A run bigger than batchByteCap splits rather than producing one
+// oversized MSGB.
+func TestWriteChunkRespectsByteCap(t *testing.T) {
+	big := make([]byte, batchByteCap/2)
+	big[0] = byte(wire.KindControl)
+	entries := []outEntry{
+		{kind: entryMsg, qid: 1, to: 0, data: big},
+		{kind: entryMsg, qid: 1, to: 1, data: big},
+		{kind: entryMsg, qid: 1, to: 2, data: big},
+	}
+	types, _, _ := readChunkFrames(t, entries, 2)
+	if len(types) < 2 {
+		t.Fatalf("an over-cap run coalesced into %d frame(s)", len(types))
+	}
+	for _, typ := range types {
+		if typ != frameMsg && typ != frameMsgB {
+			t.Fatalf("unexpected frame %s in split run", frameName(typ))
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dgs/internal/cluster"
@@ -28,6 +29,12 @@ type Options struct {
 	// WriteTimeout bounds each frame write after deployment; a stalled
 	// daemon fails the deployment instead of wedging it. Default 30s.
 	WriteTimeout time.Duration
+	// MaxProtocol caps the protocol version the driver offers in its
+	// HELLO; 0 means the newest this build speaks (ProtocolVersion).
+	// Pinning 1 forces the per-message frame set — benchmarks use it to
+	// measure coalescing against the uncoalesced baseline, and it is
+	// the interop escape hatch for daemons that predate negotiation.
+	MaxProtocol uint16
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +43,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WriteTimeout == 0 {
 		o.WriteTimeout = 30 * time.Second
+	}
+	if o.MaxProtocol == 0 || o.MaxProtocol > ProtocolVersion {
+		o.MaxProtocol = ProtocolVersion
+	}
+	if o.MaxProtocol < MinProtocolVersion {
+		o.MaxProtocol = MinProtocolVersion
 	}
 	return o
 }
@@ -55,17 +68,23 @@ type Net struct {
 	deployBytes int64            // handshake + fragment shipping traffic
 	closing     bool
 
+	// Post-deployment frame counts over all connections, both
+	// directions — the denominator coalescing improves.
+	framesOut atomic.Int64
+	framesIn  atomic.Int64
+
 	wg sync.WaitGroup
 }
 
 var _ cluster.Transport = (*Net)(nil)
 
 type conn struct {
-	t    *Net
-	addr string
-	c    net.Conn
-	br   *bufio.Reader
-	out  *outbox
+	t       *Net
+	addr    string
+	c       net.Conn
+	br      *bufio.Reader
+	out     *outbox
+	version uint16 // negotiated protocol version for this connection
 }
 
 // Dial connects to one dgsd daemon per address, verifies protocol
@@ -119,7 +138,10 @@ func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentati
 	if err := cn.c.SetDeadline(deadline); err != nil {
 		return err
 	}
-	hello := appendU16([]byte(helloMagic), ProtocolVersion)
+	// HELLO advertises the driver's protocol ceiling; the daemon
+	// replies with the version the connection will speak —
+	// min(driver max, daemon max) — or refuses below the floor.
+	hello := appendU16([]byte(helloMagic), t.opts.MaxProtocol)
 	if err := t.writeDirect(cn, frameHello, hello); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
@@ -140,21 +162,31 @@ func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentati
 		return fmt.Errorf("expected HELLO-OK, got %s", frameName(typ))
 	}
 	v, err := wire.NewByteReader(body).U16()
-	if err != nil || v != ProtocolVersion {
-		return fmt.Errorf("protocol version mismatch: daemon speaks %d, driver %d", v, ProtocolVersion)
+	if err != nil || v < MinProtocolVersion || v > t.opts.MaxProtocol {
+		return fmt.Errorf("protocol version mismatch: daemon chose %d, driver speaks %d-%d",
+			v, MinProtocolVersion, t.opts.MaxProtocol)
 	}
+	cn.version = v
 	hosted := make([]int, 0, hi-lo)
 	var frags []byte
 	for id := lo; id < hi; id++ {
 		hosted = append(hosted, id)
 		frags = partition.AppendFragment(frags, fr.Frags[id])
 	}
+	// v2+ ships the driver-owned label dictionary: names indexed by the
+	// dense label ids the fragments carry, so daemons can validate and
+	// render labels without strings ever appearing on the message path.
+	var labels []string
+	if cn.version >= 2 && fr.G != nil {
+		labels = fr.G.Dict().Names()
+	}
 	if err := t.writeDirect(cn, frameDeploy, encodeDeploy(deployBody{
 		total:  t.n,
 		hosted: hosted,
 		assign: fr.Assign,
+		labels: labels,
 		frags:  frags,
-	})); err != nil {
+	}, cn.version)); err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
 	typ, body, err = wire.ReadFrame(cn.br)
@@ -172,13 +204,15 @@ func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentati
 }
 
 // writeDirect writes one frame synchronously (handshake only; after
-// Bind all writes go through the outbox) and meters it as deploy bytes.
+// Bind all writes go through the outbox) and meters exactly the bytes
+// that reached the socket as deploy bytes. The deadline was armed for
+// the whole handshake by the caller, so writeFrame is invoked without
+// its own timeout.
 func (t *Net) writeDirect(cn *conn, typ byte, body []byte) error {
-	frame := wire.AppendFrame(nil, typ, body)
+	n, err := writeFrame(cn.c, 0, typ, body)
 	t.mu.Lock()
-	t.deployBytes += int64(len(frame))
+	t.deployBytes += int64(n)
 	t.mu.Unlock()
-	_, err := cn.c.Write(frame)
 	return err
 }
 
@@ -228,12 +262,11 @@ func (t *Net) addWire(qid uint64, n int) {
 	t.mu.Unlock()
 }
 
-// enqueue frames a body for cn and meters it against qid.
+// enqueue queues a pre-framed control frame for cn. Metering happens in
+// the writer at flush time (writeChunk), so measured bytes are exactly
+// what the socket saw.
 func (t *Net) enqueue(cn *conn, qid uint64, typ byte, body []byte) {
-	frame := wire.AppendFrame(nil, typ, body)
-	if cn.out.put(frame) {
-		t.addWire(qid, len(frame))
-	}
+	cn.out.put(outEntry{kind: entryFrame, qid: qid, frame: wire.AppendFrame(nil, typ, body)})
 }
 
 // Open implements cluster.Transport: OPEN frames go to every daemon
@@ -266,10 +299,20 @@ func (t *Net) Close(qid uint64) {
 	}
 }
 
-// Send implements cluster.Transport.
+// Send implements cluster.Transport. The message is queued as a typed
+// entry: the destination connection's writer merges consecutive
+// same-session messages into one MSGB frame at flush time.
 func (t *Net) Send(qid uint64, from, to int, data []byte) {
 	cn := t.conns[t.owner[to]]
-	t.enqueue(cn, qid, frameMsg, encodeMsg(msgBody{qid: qid, from: from, to: to, data: data}))
+	cn.out.put(outEntry{kind: entryMsg, qid: qid, from: from, to: to, data: data})
+}
+
+// Frames reports post-deployment frames written to and read from the
+// driver's sockets, over all connections. The transport bench uses the
+// deltas to show coalescing shrinking the frame count for identical
+// payload traffic.
+func (t *Net) Frames() (sent, received int64) {
+	return t.framesOut.Load(), t.framesIn.Load()
 }
 
 // WireBytes implements cluster.Transport: measured socket bytes (frame
@@ -291,7 +334,7 @@ func (t *Net) Shutdown() {
 	t.closing = true
 	t.mu.Unlock()
 	for _, cn := range t.conns {
-		cn.out.put(wire.AppendFrame(nil, frameBye, nil))
+		cn.out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameBye, nil)})
 		cn.out.close()
 	}
 	// Writers drain (BYE last), then close the write side; readers
@@ -321,20 +364,38 @@ func (t *Net) fail(err error) {
 }
 
 func (cn *conn) writeLoop() {
-	defer cn.t.wg.Done()
+	t := cn.t
+	defer t.wg.Done()
+	bw := bufio.NewWriterSize(cn.c, 1<<16)
+	meter := func(qid uint64, n int) {
+		t.addWire(qid, n)
+		t.framesOut.Add(1)
+	}
 	for {
-		frame, ok := cn.out.get()
+		entries, ok := cn.out.drain()
 		if !ok {
 			cn.c.Close()
 			return
 		}
-		cn.c.SetWriteDeadline(time.Now().Add(cn.t.opts.WriteTimeout))
-		if _, err := cn.c.Write(frame); err != nil {
-			cn.t.fail(fmt.Errorf("tcpnet: write to %s: %w", cn.addr, err))
+		cn.c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		if err := writeChunk(bw, entries, cn.version, meter); err != nil {
+			t.fail(fmt.Errorf("tcpnet: write to %s: %w", cn.addr, err))
 			cn.c.Close()
 			return
 		}
 	}
+}
+
+// siteRangeOK checks remote-supplied endpoints against the
+// deployment's shape.
+func (t *Net) siteRangeOK(from, to int) bool {
+	if to != cluster.Coordinator && (to < 0 || to >= t.n) {
+		return false
+	}
+	if from != cluster.Coordinator && (from < 0 || from >= t.n) {
+		return false
+	}
+	return true
 }
 
 func (cn *conn) readLoop() {
@@ -348,6 +409,7 @@ func (cn *conn) readLoop() {
 			}
 			return
 		}
+		t.framesIn.Add(1)
 		switch typ {
 		case frameMsg:
 			m, err := decodeMsg(body)
@@ -357,13 +419,34 @@ func (cn *conn) readLoop() {
 			}
 			// Range-check remote input here: a corrupt or skewed daemon
 			// must fail the deployment, not panic the driver's router.
-			if m.to != cluster.Coordinator && (m.to < 0 || m.to >= t.n) ||
-				m.from != cluster.Coordinator && (m.from < 0 || m.from >= t.n) {
+			if !t.siteRangeOK(m.from, m.to) {
 				t.fail(fmt.Errorf("tcpnet: %s sent MSG with out-of-range site (%d→%d of %d)", cn.addr, m.from, m.to, t.n))
 				return
 			}
 			t.addWire(m.qid, wire.FrameOverhead+len(body))
 			t.ev.SiteSent(m.qid, m.from, m.to, m.data)
+		case frameMsgB:
+			if cn.version < 2 {
+				t.fail(fmt.Errorf("tcpnet: %s sent MSGB on a v%d connection", cn.addr, cn.version))
+				return
+			}
+			qid, batch, err := decodeMsgB(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad MSGB: %w", cn.addr, err))
+				return
+			}
+			t.addWire(qid, wire.FrameOverhead+len(body))
+			// Sub-message Data aliases the frame body (zero-copy decode);
+			// the body is a fresh per-ReadFrame allocation that is never
+			// reused, so handing the slices to the router is safe.
+			for _, m := range batch.Msgs {
+				from, to := int(m.From), int(m.To)
+				if !t.siteRangeOK(from, to) {
+					t.fail(fmt.Errorf("tcpnet: %s sent MSGB with out-of-range site (%d→%d of %d)", cn.addr, from, to, t.n))
+					return
+				}
+				t.ev.SiteSent(qid, from, to, m.Data)
+			}
 		case frameAck:
 			a, err := decodeAck(body)
 			if err != nil {
@@ -371,7 +454,19 @@ func (cn *conn) readLoop() {
 				return
 			}
 			t.addWire(a.qid, wire.FrameOverhead+len(body))
-			t.ev.Retired(a.qid, a.site, time.Duration(a.busyNs), a.rounds)
+			t.ev.Retired(a.qid, a.site, time.Duration(a.busyNs), a.rounds, 1)
+		case frameAckN:
+			if cn.version < 2 {
+				t.fail(fmt.Errorf("tcpnet: %s sent ACKN on a v%d connection", cn.addr, cn.version))
+				return
+			}
+			a, err := decodeAckN(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad ACKN: %w", cn.addr, err))
+				return
+			}
+			t.addWire(a.qid, wire.FrameOverhead+len(body))
+			t.ev.Retired(a.qid, a.site, time.Duration(a.busyNs), a.rounds, int(a.count))
 		case frameErr:
 			e, err := decodeErr(body)
 			if err != nil {

@@ -28,6 +28,11 @@ type Server struct {
 	Logf func(format string, args ...any)
 	// WriteTimeout bounds each outbound frame write (default 30s).
 	WriteTimeout time.Duration
+	// MaxVersion caps the protocol version this daemon will negotiate;
+	// 0 means the newest this build speaks (ProtocolVersion). Tests pin
+	// it to 1 to emulate a pre-coalescing daemon and exercise the
+	// driver's per-message fallback.
+	MaxVersion uint16
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -76,17 +81,15 @@ type daemonSink struct {
 }
 
 func (k *daemonSink) ForwardSend(qid uint64, from, to int, data []byte) {
-	k.out.put(wire.AppendFrame(nil, frameMsg, encodeMsg(msgBody{qid: qid, from: from, to: to, data: data})))
+	k.out.put(outEntry{kind: entryMsg, qid: qid, from: from, to: to, data: data})
 }
 
 func (k *daemonSink) Retire(qid uint64, site int, busy time.Duration, rounds int64) {
-	k.out.put(wire.AppendFrame(nil, frameAck, encodeAck(ackBody{
-		qid: qid, site: site, busyNs: int64(busy), rounds: rounds,
-	})))
+	k.out.put(outEntry{kind: entryAck, qid: qid, site: site, busyNs: int64(busy), rounds: rounds})
 }
 
 func (k *daemonSink) Fatal(err error) {
-	k.out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: err.Error()})))
+	k.out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: err.Error()}))})
 	k.out.close()
 }
 
@@ -99,13 +102,18 @@ func (s *Server) handle(c net.Conn) {
 	}
 
 	refuse := func(why string) {
-		frame := wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: why}))
-		c.SetWriteDeadline(time.Now().Add(writeTimeout))
-		c.Write(frame)
+		if _, err := writeFrame(c, writeTimeout, frameErr, encodeErr(errBody{qid: 0, msg: why})); err != nil {
+			// The explanatory ERR never reached the driver; all that is
+			// left is tearing the connection down (the deferred Close)
+			// so the peer sees a reset instead of waiting forever.
+			s.logf("dgsd: refusal of %s did not reach the driver: %v", c.RemoteAddr(), err)
+		}
 		s.logf("dgsd: refused driver %s: %s", c.RemoteAddr(), why)
 	}
 
-	// HELLO: magic + version, before anything else.
+	// HELLO: magic + the driver's protocol ceiling, before anything
+	// else. The connection speaks min(driver max, daemon max); only a
+	// driver below the floor is refused.
 	c.SetReadDeadline(time.Now().Add(writeTimeout))
 	typ, body, err := wire.ReadFrame(br)
 	if err != nil || typ != frameHello {
@@ -116,16 +124,24 @@ func (s *Server) handle(c net.Conn) {
 		refuse("bad HELLO magic — is this a dgs driver?")
 		return
 	}
+	maxVersion := s.MaxVersion
+	if maxVersion == 0 || maxVersion > ProtocolVersion {
+		maxVersion = ProtocolVersion
+	}
 	v, _ := wire.NewByteReader(body[len(helloMagic):]).U16()
-	if v != ProtocolVersion {
-		refuse(fmt.Sprintf("protocol version %d not supported (daemon speaks %d)", v, ProtocolVersion))
+	if v < MinProtocolVersion {
+		refuse(fmt.Sprintf("protocol version %d not supported (daemon speaks %d-%d)", v, MinProtocolVersion, maxVersion))
 		return
 	}
-	// Confirm the version immediately: the driver withholds the (large)
-	// DEPLOY until it has seen HELLO-OK, so a refusal never costs a
-	// fragment shipment.
-	c.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if _, err := c.Write(wire.AppendFrame(nil, frameHelloOK, appendU16(nil, ProtocolVersion))); err != nil {
+	version := v
+	if version > maxVersion {
+		version = maxVersion
+	}
+	// Confirm the chosen version immediately: the driver withholds the
+	// (large) DEPLOY until it has seen HELLO-OK, so a refusal never
+	// costs a fragment shipment.
+	if _, err := writeFrame(c, writeTimeout, frameHelloOK, appendU16(nil, version)); err != nil {
+		s.logf("dgsd: HELLO-OK to %s failed: %v", c.RemoteAddr(), err)
 		return
 	}
 
@@ -135,7 +151,7 @@ func (s *Server) handle(c net.Conn) {
 		refuse("expected DEPLOY after HELLO")
 		return
 	}
-	dep, err := decodeDeploy(body)
+	dep, err := decodeDeploy(body, version)
 	if err != nil {
 		refuse("bad DEPLOY: " + err.Error())
 		return
@@ -159,18 +175,33 @@ func (s *Server) handle(c net.Conn) {
 		refuse(fmt.Sprintf("%d trailing bytes after fragments", len(rest)))
 		return
 	}
+	if dep.labels != nil {
+		// The driver shipped its label dictionary (v2+): every label id
+		// a fragment carries must resolve in it. Catching a skewed
+		// shipment here turns a would-be silent mismatch into an
+		// explicit refusal.
+		for id, f := range frags {
+			for _, l := range f.Labels {
+				if int(l) >= len(dep.labels) {
+					refuse(fmt.Sprintf("fragment %d carries label id %d outside the %d-entry dictionary", id, l, len(dep.labels)))
+					return
+				}
+			}
+		}
+	}
 
 	out := newOutbox()
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		bw := bufio.NewWriterSize(c, 1<<16)
 		for {
-			frame, ok := out.get()
+			entries, ok := out.drain()
 			if !ok {
 				return
 			}
 			c.SetWriteDeadline(time.Now().Add(writeTimeout))
-			if _, err := c.Write(frame); err != nil {
+			if err := writeChunk(bw, entries, version, nil); err != nil {
 				// Sever the connection: a driver waiting on our ACKs would
 				// otherwise never learn its frames stopped flowing (it has
 				// no reason to close first), and its sessions would hang.
@@ -178,7 +209,7 @@ func (s *Server) handle(c net.Conn) {
 				// our read loop unblocks and resets. Then drain silently.
 				c.Close()
 				for {
-					if _, ok := out.get(); !ok {
+					if _, ok := out.drain(); !ok {
 						return
 					}
 				}
@@ -189,8 +220,9 @@ func (s *Server) handle(c net.Conn) {
 	sink := &daemonSink{out: out}
 	host := cluster.NewSiteHost(dep.total, dep.hosted, frags, dep.assign, cluster.Network{}, sink)
 
-	out.put(wire.AppendFrame(nil, frameDeployed, nil))
-	s.logf("dgsd: hosting %d/%d sites, %d-node assign directory", len(dep.hosted), dep.total, len(dep.assign))
+	out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameDeployed, nil)})
+	s.logf("dgsd: v%d, hosting %d/%d sites, %d-node assign directory, %d-label dict",
+		version, len(dep.hosted), dep.total, len(dep.assign), len(dep.labels))
 
 	// Serve frames until BYE or disconnect. No read deadline: a deployed
 	// daemon waits indefinitely for its driver's next query.
@@ -202,27 +234,46 @@ func (s *Server) handle(c net.Conn) {
 			s.logf("dgsd: driver read: %v", err)
 			break
 		}
+		errOut := func(qid uint64, msg string) {
+			out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: qid, msg: msg}))})
+		}
 		switch typ {
 		case frameOpen:
 			o, err := decodeOpen(body)
 			if err != nil {
-				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "bad OPEN: " + err.Error()})))
+				errOut(0, "bad OPEN: "+err.Error())
 				continue
 			}
 			if err := host.Open(o.qid, o.kind, o.spec); err != nil {
-				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: o.qid, msg: err.Error()})))
+				errOut(o.qid, err.Error())
 				continue
 			}
 			sessions++
 		case frameMsg:
 			m, err := decodeMsg(body)
 			if err != nil {
-				out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "bad MSG: " + err.Error()})))
+				errOut(0, "bad MSG: "+err.Error())
 				continue
 			}
 			// The payload aliases the frame buffer, which is not reused,
 			// so handing it straight to the host is safe.
 			host.Enqueue(m.qid, m.from, m.to, m.data)
+		case frameMsgB:
+			if version < 2 {
+				errOut(0, "MSGB on a v1 connection")
+				goto done
+			}
+			qid, batch, err := decodeMsgB(body)
+			if err != nil {
+				errOut(0, "bad MSGB: "+err.Error())
+				continue
+			}
+			// Sub-message Data aliases the frame buffer, which is not
+			// reused, so enqueueing the slices directly is safe — the
+			// zero-copy unpack of a coalesced frame.
+			for _, m := range batch.Msgs {
+				host.Enqueue(qid, int(m.From), int(m.To), m.Data)
+			}
 		case frameClose:
 			qid, err := wire.NewByteReader(body).U64()
 			if err == nil {
@@ -232,7 +283,7 @@ func (s *Server) handle(c net.Conn) {
 			s.logf("dgsd: driver said BYE after %d sessions", sessions)
 			goto done
 		default:
-			out.put(wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: 0, msg: "unexpected " + frameName(typ)})))
+			errOut(0, "unexpected "+frameName(typ))
 			goto done
 		}
 	}

@@ -32,17 +32,28 @@
 package tcpnet
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"net"
 	"sync"
+	"time"
 
 	"dgs/internal/cluster"
 	"dgs/internal/wire"
 )
 
-// ProtocolVersion is negotiated in the HELLO handshake. A daemon that
-// sees a different major version refuses the deployment with an ERR
-// frame instead of guessing at frame semantics.
-const ProtocolVersion uint16 = 1
+// ProtocolVersion is the newest protocol this build speaks; the HELLO
+// handshake negotiates down to min(driver max, daemon max), and either
+// side refuses below MinProtocolVersion. Version 2 adds message
+// coalescing (MSGB/ACKN frames) and the DEPLOY label-name table; a
+// deployment negotiated at 1 falls back to per-message frames, so a
+// new driver pinned to MaxProtocol 1 interoperates with the v1 frame
+// set unchanged.
+const ProtocolVersion uint16 = 2
+
+// MinProtocolVersion is the oldest protocol this build still speaks.
+const MinProtocolVersion uint16 = 1
 
 // helloMagic opens every HELLO body so that a stray connection to the
 // wrong port fails fast and explicitly.
@@ -60,6 +71,8 @@ const (
 	frameAck      = 0x08 // daemon→driver: one message processed
 	frameErr      = 0x09 // daemon→driver: session (qid) or deployment (0) error
 	frameBye      = 0x0A // driver→daemon: graceful goodbye
+	frameMsgB     = 0x0B // both ways, v2+: several payloads of one session in one frame
+	frameAckN     = 0x0C // daemon→driver, v2+: count messages processed, aggregated busy/rounds
 )
 
 func frameName(t byte) string {
@@ -84,6 +97,10 @@ func frameName(t byte) string {
 		return "ERR"
 	case frameBye:
 		return "BYE"
+	case frameMsgB:
+		return "MSGB"
+	case frameAckN:
+		return "ACKN"
 	default:
 		return fmt.Sprintf("frame(%#x)", t)
 	}
@@ -109,12 +126,24 @@ func readI32(r *wire.ByteReader) (int, error) {
 	return int(int32(x)), err
 }
 
+// readBlob returns a blob aliasing the frame buffer — for data consumed
+// while the frame is live.
 func readBlob(r *wire.ByteReader) ([]byte, error) {
 	n, err := r.U32()
 	if err != nil {
 		return nil, err
 	}
 	return r.Take(int(n))
+}
+
+// readBlobCopy returns a fresh copy — for decoded values that outlive
+// the frame.
+func readBlobCopy(r *wire.ByteReader) ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	return r.TakeCopy(int(n))
 }
 
 // openBody is the OPEN frame payload.
@@ -149,10 +178,14 @@ func decodeOpen(b []byte) (openBody, error) {
 		return o, err
 	}
 	o.spec.Algo = string(algo)
-	if o.spec.Query, err = readBlob(r); err != nil {
+	// The spec escapes the frame: the host retains it for the session's
+	// lifetime, long after this frame buffer is gone, so Query and
+	// Config must be copies, not aliases (see the ownership convention
+	// in wire.ByteReader).
+	if o.spec.Query, err = readBlobCopy(r); err != nil {
 		return o, err
 	}
-	if o.spec.Config, err = readBlob(r); err != nil {
+	if o.spec.Config, err = readBlobCopy(r); err != nil {
 		return o, err
 	}
 	return o, r.Done()
@@ -235,6 +268,90 @@ func decodeAck(b []byte) (ackBody, error) {
 	return a, r.Done()
 }
 
+// ackNBody is the ACKN frame payload (v2+): count messages of one
+// session processed at `site`, with busy time and rounds summed over
+// them. Retiring it is equivalent to count single ACKs — the driver
+// drops its in-flight counter by exactly count — so the quiescence
+// certificate is preserved bit-for-bit.
+type ackNBody struct {
+	qid    uint64
+	site   int
+	count  uint32
+	busyNs int64
+	rounds int64
+}
+
+func encodeAckN(a ackNBody) []byte {
+	dst := make([]byte, 0, 32)
+	dst = appendU64(dst, a.qid)
+	dst = appendI32(dst, a.site)
+	dst = appendU32(dst, a.count)
+	dst = appendU64(dst, uint64(a.busyNs))
+	return appendU64(dst, uint64(a.rounds))
+}
+
+func decodeAckN(b []byte) (ackNBody, error) {
+	r := wire.NewByteReader(b)
+	var a ackNBody
+	var err error
+	if a.qid, err = r.U64(); err != nil {
+		return a, err
+	}
+	if a.site, err = readI32(r); err != nil {
+		return a, err
+	}
+	if a.count, err = r.U32(); err != nil {
+		return a, err
+	}
+	if a.count == 0 {
+		return a, fmt.Errorf("tcpnet: ACKN with zero count")
+	}
+	bn, err := r.U64()
+	if err != nil {
+		return a, err
+	}
+	a.busyNs = int64(bn)
+	rn, err := r.U64()
+	if err != nil {
+		return a, err
+	}
+	a.rounds = int64(rn)
+	return a, r.Done()
+}
+
+// MSGB frame body (v2+): u64 qid, then one wire.Batch payload carrying
+// the coalesced sub-messages. appendMsgBatch encodes straight from an
+// outbox run; decodeMsgB goes through wire.Decode so the batch codec
+// (and its fuzz coverage) is the single source of truth.
+func appendMsgBatch(dst []byte, qid uint64, run []outEntry) []byte {
+	dst = appendU64(dst, qid)
+	dst = append(dst, byte(wire.KindBatch))
+	dst = appendU32(dst, uint32(len(run)))
+	for i := range run {
+		dst = appendI32(dst, run[i].from)
+		dst = appendI32(dst, run[i].to)
+		dst = appendBlob(dst, run[i].data)
+	}
+	return dst
+}
+
+func decodeMsgB(b []byte) (uint64, *wire.Batch, error) {
+	r := wire.NewByteReader(b)
+	qid, err := r.U64()
+	if err != nil {
+		return 0, nil, err
+	}
+	p, err := wire.Decode(r.Rest())
+	if err != nil {
+		return 0, nil, err
+	}
+	batch, ok := p.(*wire.Batch)
+	if !ok {
+		return 0, nil, fmt.Errorf("tcpnet: MSGB carries %s, not a batch", p.Kind())
+	}
+	return qid, batch, nil
+}
+
 // errBody is the ERR frame payload; qid 0 addresses the deployment.
 type errBody struct {
 	qid uint64
@@ -262,16 +379,20 @@ func decodeErr(b []byte) (errBody, error) {
 }
 
 // deployBody is the DEPLOY frame payload: the deployment's shape, the
-// global owner directory, and the wire encodings of exactly the
-// fragments this daemon hosts (in hosted-ID order).
+// global owner directory, in protocol v2+ the driver-owned label
+// dictionary (names indexed by the dense u16 label ids the fragments
+// and payloads carry — only here do label strings ever cross the
+// wire), and the wire encodings of exactly the fragments this daemon
+// hosts (in hosted-ID order).
 type deployBody struct {
 	total  int   // sites in the whole deployment
 	hosted []int // site IDs this daemon hosts
 	assign []int32
-	frags  []byte // partition.AppendFragment encodings, concatenated
+	labels []string // dict names by Label id; v2+ only
+	frags  []byte   // partition.AppendFragment encodings, concatenated
 }
 
-func encodeDeploy(d deployBody) []byte {
+func encodeDeploy(d deployBody, version uint16) []byte {
 	dst := make([]byte, 0, 16+4*len(d.hosted)+4*len(d.assign)+len(d.frags))
 	dst = appendU32(dst, uint32(d.total))
 	dst = appendU32(dst, uint32(len(d.hosted)))
@@ -282,10 +403,16 @@ func encodeDeploy(d deployBody) []byte {
 	for _, a := range d.assign {
 		dst = appendU32(dst, uint32(a))
 	}
+	if version >= 2 {
+		dst = appendU32(dst, uint32(len(d.labels)))
+		for _, name := range d.labels {
+			dst = appendBlob(dst, []byte(name))
+		}
+	}
 	return append(dst, d.frags...)
 }
 
-func decodeDeploy(b []byte) (deployBody, error) {
+func decodeDeploy(b []byte, version uint16) (deployBody, error) {
 	r := wire.NewByteReader(b)
 	var d deployBody
 	total, err := r.U32()
@@ -323,21 +450,86 @@ func decodeDeploy(b []byte) (deployBody, error) {
 		}
 		d.assign[i] = int32(x)
 	}
+	if version >= 2 {
+		nl, err := r.U32()
+		if err != nil {
+			return d, err
+		}
+		if uint64(nl) > 1<<16 || uint64(nl)*4 > uint64(r.Remaining()) {
+			return d, fmt.Errorf("tcpnet: label table length %d exceeds frame", nl)
+		}
+		d.labels = make([]string, nl)
+		for i := range d.labels {
+			// string() copies: the names outlive the frame.
+			name, err := readBlob(r)
+			if err != nil {
+				return d, err
+			}
+			d.labels[i] = string(name)
+		}
+	}
 	d.frags = r.Rest()
 	return d, nil
 }
 
+// --- direct writes ---
+
+// writeFrame is the one checked path for synchronous (non-outbox)
+// frame writes: handshake traffic and refusals. It arms the write
+// deadline, writes the whole frame, and surfaces short writes as
+// errors, so callers can meter exactly what reached the socket.
+func writeFrame(c net.Conn, timeout time.Duration, typ byte, body []byte) (int, error) {
+	frame := wire.AppendFrame(nil, typ, body)
+	if timeout > 0 {
+		if err := c.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.Write(frame)
+	if err == nil && n != len(frame) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
 // --- outbox ---
 
-// outbox is an unbounded FIFO of encoded frames with a dedicated writer
-// goroutine per connection. Senders never block on the socket, which
-// rules out the circular write-deadlock of hub routing under all-to-all
-// bursts (driver reader blocked writing to daemon B, daemon B blocked
-// writing to the driver, ...). close drains what was queued first.
+// Outbox entry kinds. Control traffic is pre-framed; messages and acks
+// stay as typed entries so the writer can coalesce consecutive runs at
+// flush time.
+const (
+	entryFrame = iota // pre-encoded frame, written as-is
+	entryMsg          // one session message; same-qid runs merge into MSGB
+	entryAck          // one processed-message ack; same-(qid,site) runs merge into ACKN
+)
+
+type outEntry struct {
+	kind byte
+	qid  uint64
+	// entryFrame:
+	frame []byte
+	// entryMsg:
+	from, to int
+	data     []byte
+	// entryAck:
+	site   int
+	busyNs int64
+	rounds int64
+}
+
+// outbox is an unbounded FIFO of outbound entries with a dedicated
+// writer goroutine per connection. Senders never block on the socket,
+// which rules out the circular write-deadlock of hub routing under
+// all-to-all bursts (driver reader blocked writing to daemon B, daemon
+// B blocked writing to the driver, ...). close drains what was queued
+// first. The writer takes the whole queue per wakeup (drain), which is
+// where coalescing batches form: under load many entries accumulate
+// while the previous chunk is on the socket, while an idle connection
+// flushes single messages with no added latency.
 type outbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []outEntry
 	closed bool
 }
 
@@ -347,30 +539,28 @@ func newOutbox() *outbox {
 	return o
 }
 
-func (o *outbox) put(frame []byte) bool {
+func (o *outbox) put(e outEntry) bool {
 	o.mu.Lock()
 	ok := !o.closed
 	if ok {
-		o.queue = append(o.queue, frame)
+		o.queue = append(o.queue, e)
 	}
 	o.mu.Unlock()
 	o.cond.Signal()
 	return ok
 }
 
-// get blocks for the next frame; ok=false after close and drain.
-func (o *outbox) get() ([]byte, bool) {
+// drain blocks for the next chunk and returns the entire queue;
+// ok=false after close and drain.
+func (o *outbox) drain() ([]outEntry, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for len(o.queue) == 0 && !o.closed {
 		o.cond.Wait()
 	}
-	if len(o.queue) == 0 {
-		return nil, false
-	}
-	f := o.queue[0]
-	o.queue = o.queue[1:]
-	return f, true
+	q := o.queue
+	o.queue = nil
+	return q, len(q) > 0
 }
 
 func (o *outbox) close() {
@@ -378,6 +568,105 @@ func (o *outbox) close() {
 	o.closed = true
 	o.mu.Unlock()
 	o.cond.Broadcast()
+}
+
+// batchByteCap bounds one MSGB frame's coalesced payload bytes: a run
+// larger than this splits into several batches, keeping frames well
+// under wire.MaxFrame and bounding the receiver's per-frame work.
+const batchByteCap = 1 << 24
+
+// writeChunk encodes one drained outbox chunk onto bw and flushes once,
+// so an entire chunk shares syscalls. At version ≥ 2, consecutive
+// entryMsg runs with one qid become a single MSGB frame and consecutive
+// entryAck runs with one (qid, site) become a single ACKN frame; runs
+// never extend across a differing entry, so per-connection FIFO order —
+// a daemon's handler-output MSGs stay ahead of the triggering message's
+// ACK — is exactly preserved. At version 1 every entry is its own
+// frame: the per-message fallback.
+//
+// meter (nil ok) observes each frame's (qid, length) only after the
+// flush succeeds: metered bytes never drift ahead of what actually hit
+// the socket.
+func writeChunk(bw *bufio.Writer, entries []outEntry, version uint16, meter func(qid uint64, n int)) error {
+	type frameMeter struct {
+		qid uint64
+		n   int
+	}
+	var pending []frameMeter
+	emit := func(qid uint64, frame []byte) error {
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		if meter != nil {
+			pending = append(pending, frameMeter{qid, len(frame)})
+		}
+		return nil
+	}
+	for i := 0; i < len(entries); {
+		e := entries[i]
+		j := i + 1
+		switch e.kind {
+		case entryFrame:
+			if err := emit(e.qid, e.frame); err != nil {
+				return err
+			}
+		case entryMsg:
+			if version >= 2 {
+				sz := 12 + len(e.data)
+				for j < len(entries) && entries[j].kind == entryMsg && entries[j].qid == e.qid {
+					nsz := sz + 12 + len(entries[j].data)
+					if nsz > batchByteCap {
+						break
+					}
+					sz = nsz
+					j++
+				}
+			}
+			var frame []byte
+			if j == i+1 {
+				frame = wire.AppendFrame(nil, frameMsg, encodeMsg(msgBody{qid: e.qid, from: e.from, to: e.to, data: e.data}))
+			} else {
+				frame = wire.AppendFrame(nil, frameMsgB, appendMsgBatch(nil, e.qid, entries[i:j]))
+			}
+			if err := emit(e.qid, frame); err != nil {
+				return err
+			}
+		case entryAck:
+			if version >= 2 {
+				for j < len(entries) && entries[j].kind == entryAck && entries[j].qid == e.qid && entries[j].site == e.site {
+					j++
+				}
+			}
+			var frame []byte
+			if j == i+1 {
+				frame = wire.AppendFrame(nil, frameAck, encodeAck(ackBody{
+					qid: e.qid, site: e.site, busyNs: e.busyNs, rounds: e.rounds,
+				}))
+			} else {
+				var busy, rounds int64
+				for _, a := range entries[i:j] {
+					busy += a.busyNs
+					rounds += a.rounds
+				}
+				frame = wire.AppendFrame(nil, frameAckN, encodeAckN(ackNBody{
+					qid: e.qid, site: e.site, count: uint32(j - i), busyNs: busy, rounds: rounds,
+				}))
+			}
+			if err := emit(e.qid, frame); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if meter != nil {
+		for _, m := range pending {
+			meter(m.qid, m.n)
+		}
+	}
+	return nil
 }
 
 // HostedRange computes the contiguous block of site IDs daemon j of k

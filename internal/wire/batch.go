@@ -1,0 +1,84 @@
+package wire
+
+import "fmt"
+
+// BatchMsg is one session message inside a Batch: the routed endpoints
+// (int32 on the wire so the coordinator's -1 survives) and the encoded
+// payload message, byte-identical to what a standalone MSG frame would
+// carry. Data returned by the decoder aliases the decode buffer — see
+// the ownership convention in bytes.go.
+type BatchMsg struct {
+	From, To int32
+	Data     []byte
+}
+
+// Batch packs several consecutive messages of one session into a single
+// frame body. It is a transport-level container: the tcpnet backend
+// coalesces a connection's queued same-session messages into one MSGB
+// frame, and the receiver unpacks them in order, so per-connection FIFO
+// — and with it the termination certificate — is preserved exactly.
+// The sub-messages are what the protocol accounting sees; the container
+// itself never enters the DS metric (Kind.IsData is false).
+type Batch struct {
+	Msgs []BatchMsg
+}
+
+func (*Batch) Kind() Kind { return KindBatch }
+
+func (m *Batch) AppendTo(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Msgs)))
+	for i := range m.Msgs {
+		dst = appendU32(dst, uint32(m.Msgs[i].From))
+		dst = appendU32(dst, uint32(m.Msgs[i].To))
+		dst = appendU32(dst, uint32(len(m.Msgs[i].Data)))
+		dst = append(dst, m.Msgs[i].Data...)
+	}
+	return dst
+}
+
+// decodeBatch is zero-copy: each sub-message's Data is an aliased slice
+// of b (ByteReader.Take), not a fresh allocation. This is safe because
+// frame bodies are single-use buffers (one allocation per ReadFrame);
+// a consumer that retains Data past the frame's processing must copy.
+func decodeBatch(b []byte) (Payload, error) {
+	r := &ByteReader{b: b}
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty batch")
+	}
+	// Each sub-message costs at least 12 header bytes plus a non-empty
+	// payload.
+	if uint64(n)*13 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: batch count %d exceeds buffer", n)
+	}
+	m := &Batch{Msgs: make([]BatchMsg, n)}
+	for i := range m.Msgs {
+		from, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		ln, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		if ln == 0 {
+			return nil, fmt.Errorf("wire: batch sub-message %d has empty payload", i)
+		}
+		data, err := r.Take(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		m.Msgs[i] = BatchMsg{From: int32(from), To: int32(to), Data: data}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

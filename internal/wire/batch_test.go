@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBatchDecodeIsZeroCopy pins the ownership contract: decoded
+// sub-message Data aliases the input buffer rather than copying it.
+// Mutating the input after decode must show through the decoded view —
+// if this test starts failing, the decoder grew a copy and the
+// coalesced hot path silently lost its zero-copy property.
+func TestBatchDecodeIsZeroCopy(t *testing.T) {
+	inner := Encode(&Control{Op: 5, Arg: 6})
+	data := Encode(&Batch{Msgs: []BatchMsg{{From: 0, To: 1, Data: inner}}})
+	p, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.(*Batch)
+	if !bytes.Equal(b.Msgs[0].Data, inner) {
+		t.Fatalf("decoded data %x, want %x", b.Msgs[0].Data, inner)
+	}
+	// Flip a byte of the encoded buffer under the decoded view.
+	data[len(data)-1] ^= 0xFF
+	if bytes.Equal(b.Msgs[0].Data, inner) {
+		t.Fatal("decoded Data does not alias the input buffer (copy detected)")
+	}
+}
+
+func TestBatchDecodeRejectsDegenerate(t *testing.T) {
+	if _, err := Decode(Encode(&Batch{})); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := Decode(Encode(&Batch{Msgs: []BatchMsg{{From: 1, To: 2}}})); err == nil {
+		t.Fatal("batch with empty sub-message payload accepted")
+	}
+}
+
+// FuzzBatchRoundTrip: structured fuzz over the coalescing container —
+// arbitrary sub-message lists survive the codec unchanged and
+// canonically.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(int32(-1), int32(3), []byte{1, 2, 3}, []byte{4})
+	f.Add(int32(0), int32(0), []byte{9}, []byte{})
+	f.Fuzz(func(t *testing.T, from, to int32, d1, d2 []byte) {
+		m := &Batch{}
+		if len(d1) > 0 {
+			m.Msgs = append(m.Msgs, BatchMsg{From: from, To: to, Data: d1})
+		}
+		if len(d2) > 0 {
+			m.Msgs = append(m.Msgs, BatchMsg{From: to, To: from, Data: d2})
+		}
+		if len(m.Msgs) == 0 {
+			return
+		}
+		data := Encode(m)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		b := got.(*Batch)
+		if len(b.Msgs) != len(m.Msgs) {
+			t.Fatalf("count changed: %d -> %d", len(m.Msgs), len(b.Msgs))
+		}
+		for i := range b.Msgs {
+			if b.Msgs[i].From != m.Msgs[i].From || b.Msgs[i].To != m.Msgs[i].To ||
+				!bytes.Equal(b.Msgs[i].Data, m.Msgs[i].Data) {
+				t.Fatalf("sub-message %d changed", i)
+			}
+		}
+		if !bytes.Equal(Encode(b), data) {
+			t.Fatal("re-encoding is not canonical")
+		}
+	})
+}

@@ -23,6 +23,14 @@ func AppendUint64(dst []byte, x uint64) []byte { return binary.LittleEndian.Appe
 // ByteReader is a bounds-checked sequential reader over an encoded
 // buffer. Every accessor returns an error instead of panicking on
 // truncation, so decoders stay total on hostile input.
+//
+// Ownership convention: Take and Rest alias the input buffer — they are
+// the zero-copy path for data that is consumed while the buffer is
+// live (a frame body is one fresh allocation per ReadFrame and is never
+// reused). Any decoded value that outlives the frame's processing —
+// session specs retained by a host, names stored in a table — must NOT
+// hold an aliased slice; use TakeCopy (or copy explicitly) at the
+// decode site and say why in a comment.
 type ByteReader struct {
 	b   []byte
 	off int
@@ -80,6 +88,17 @@ func (r *ByteReader) Take(n int) ([]byte, error) {
 	b := r.b[r.off : r.off+n]
 	r.off += n
 	return b, nil
+}
+
+// TakeCopy reads the next n bytes into a fresh allocation. Use it when
+// the decoded value escapes the lifetime of the input buffer (see the
+// ownership convention above).
+func (r *ByteReader) TakeCopy(n int) ([]byte, error) {
+	b, err := r.Take(n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
 }
 
 // Remaining reports how many unread bytes are left.

@@ -69,6 +69,14 @@ func TestFrameTruncation(t *testing.T) {
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(byte(1), []byte{})
 	f.Add(byte(7), []byte("payload"))
+	// Seed the coalescing path: a MSGB-style frame whose body is a
+	// qid prefix followed by an encoded batch payload.
+	batch := Encode(&Batch{Msgs: []BatchMsg{
+		{From: -1, To: 1, Data: Encode(&Control{Op: 2, Arg: 3})},
+		{From: 1, To: 0, Data: Encode(&Falsify{Pairs: []VarRef{{4, 5}}})},
+	}})
+	f.Add(byte(0x0B), append(AppendUint64(nil, 42), batch...))
+	f.Add(byte(0x0B), batch)
 	f.Fuzz(func(t *testing.T, typ byte, body []byte) {
 		frame := AppendFrame(nil, typ, body)
 		gotTyp, gotBody, err := ReadFrame(bytes.NewReader(frame))

@@ -38,6 +38,10 @@ func exemplars() map[Kind]Payload {
 			Watch:     []uint32{6},
 			Unwatch:   []uint32{2},
 		},
+		KindBatch: &Batch{Msgs: []BatchMsg{
+			{From: -1, To: 3, Data: Encode(&Control{Op: 1, Arg: 2})},
+			{From: 3, To: 0, Data: Encode(&Falsify{Pairs: []VarRef{{1, 2}}})},
+		}},
 	}
 }
 
@@ -46,7 +50,7 @@ func exemplars() map[Kind]Payload {
 // codec knows has an exemplar here.
 func TestRoundTripEveryKind(t *testing.T) {
 	ex := exemplars()
-	for k := KindFalsify; k <= KindDelta; k++ {
+	for k := KindFalsify; k <= KindBatch; k++ {
 		p, ok := ex[k]
 		if !ok {
 			t.Fatalf("kind %s has no round-trip exemplar", k)

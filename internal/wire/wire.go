@@ -54,6 +54,11 @@ const (
 	// maintain the boundary structure. Standing-query maintenance
 	// sessions also receive deltas to refine their engines incrementally.
 	KindDelta
+	// KindBatch is a transport-level container: several consecutive
+	// same-session messages coalesced into one frame (tcpnet MSGB). Its
+	// sub-messages are the accounted traffic; the container itself is
+	// excluded from DS.
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -80,6 +85,8 @@ func (k Kind) String() string {
 		return "control"
 	case KindDelta:
 		return "delta"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -91,7 +98,9 @@ func (k Kind) String() string {
 // collection is the query answer itself).
 func (k Kind) IsData() bool {
 	switch k {
-	case KindMatches, KindControl:
+	case KindMatches, KindControl, KindBatch:
+		// A batch is an envelope; its sub-messages are accounted
+		// individually by the receiver.
 		return false
 	default:
 		return true
@@ -150,6 +159,8 @@ func Decode(data []byte) (Payload, error) {
 		return decodeControl(body)
 	case KindDelta:
 		return decodeDelta(body)
+	case KindBatch:
+		return decodeBatch(body)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

@@ -173,6 +173,77 @@ func TestRemoteApplyWatch(t *testing.T) {
 	}
 }
 
+// TestCoalescingStatsParity: the wire protocol must be invisible to
+// results and accounting. Every algorithm answers identically to the
+// oracle over a v1-pinned (per-message) and a default (coalescing)
+// deployment of the same partition; and wherever an algorithm's stats
+// are deterministic — established by running the coalesced path twice
+// and checking it agrees with itself — the per-message path must
+// report exactly the same DataMsgs/DataBytes/Rounds. (Algorithms whose
+// message counts depend on arrival-order batching are exempt from the
+// exact-stats clause, never from result parity.)
+func TestCoalescingStatsParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback-TCP parity skipped in -short mode")
+	}
+	dict := NewDict()
+	g := GenSynthetic(dict, 300, 900, 41)
+	q, err := GenDAGPattern(dict, 5, 7, 3, 42) // DAG pattern: admits dGPMd on a cyclic graph
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionBlocks(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := Simulate(q, g)
+	addrs := startSiteServers(t, 2)
+	ctx := context.Background()
+
+	algos := []Algorithm{AlgoDGPM, AlgoDGPMNoOpt, AlgoDGPMd, AlgoMatch, AlgoDisHHK, AlgoDMes}
+	type record struct {
+		msgs, bytes, rounds int64
+	}
+	runAll := func(opts ...DeployOption) map[Algorithm]record {
+		dep, err := Deploy(part, append([]DeployOption{WithRemoteSites(addrs...)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dep.Close()
+		out := make(map[Algorithm]record, len(algos))
+		for _, algo := range algos {
+			res, err := dep.Query(ctx, q, WithAlgorithm(algo))
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			if !res.Match.Equal(oracle) {
+				t.Fatalf("%s diverges from Simulate on this wire protocol", algo)
+			}
+			out[algo] = record{res.Stats.DataMsgs, res.Stats.DataBytes, res.Stats.Rounds}
+		}
+		sent, received := dep.WireFrames()
+		if sent == 0 || received == 0 {
+			t.Fatalf("deployment reported no wire frames (sent=%d received=%d)", sent, received)
+		}
+		return out
+	}
+
+	v1 := runAll(WithWireProtocolMax(1))
+	v2a := runAll()
+	v2b := runAll()
+	for _, algo := range algos {
+		if v2a[algo] != v2b[algo] {
+			t.Logf("%s: stats vary across identical coalesced runs (%+v vs %+v); exact-stats clause skipped",
+				algo, v2a[algo], v2b[algo])
+			continue
+		}
+		if v1[algo] != v2a[algo] {
+			t.Errorf("%s: deterministic stats differ across wire protocols: v1=%+v v2=%+v",
+				algo, v1[algo], v2a[algo])
+		}
+	}
+}
+
 // TestRemoteDialFailures: a daemon that is not there, and an address
 // that is not a dgs daemon, both fail Deploy promptly and cleanly.
 func TestRemoteDialFailures(t *testing.T) {

@@ -22,7 +22,7 @@ for doc in README.md docs/WIRE.md docs/HTTP.md docs/ANALYSIS.md DESIGN.md; do
 done
 
 # The wire spec must cover every payload kind the codec knows.
-for kind in falsify rankbatch push reroute subgraph vectors eqsystem values matches control delta; do
+for kind in falsify rankbatch push reroute subgraph vectors eqsystem values matches control delta batch; do
   if ! grep -qi "$kind" docs/WIRE.md; then
     echo "docs/WIRE.md does not mention payload kind '$kind'"
     fail=1
