@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport clean help
+.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport failover-smoke bench-failover clean help
 
 # tier1 is the gate every change must pass: static checks (go vet plus
 # the project-specific dgsvet analyzers), full build, and the test suite
@@ -84,6 +84,17 @@ bench-partition:
 gw-smoke:
 	./scripts/gw_smoke.sh
 
+# failover-smoke kills one of three real dgsd processes mid-update-
+# stream and requires the one driver process to fail over to a spare
+# daemon and keep answering oracle-correct — no restarts.
+failover-smoke:
+	./scripts/failover_smoke.sh
+
+# bench-failover regenerates BENCH_FAILOVER.json: detection latency,
+# re-deploy time and queries lost per kill at 64 sites.
+bench-failover:
+	$(GO) run ./cmd/benchfig -group failover -json BENCH_FAILOVER.json
+
 # bench-serving regenerates BENCH_SERVING.json: the 256-site gateway
 # serving experiment (95/5 read/update mix, skewed vs uniform traffic,
 # QPS + p99 + cache hit rate, cache on vs off).
@@ -121,6 +132,8 @@ help:
 	@echo "  smoke-tcp        two dgsd processes on loopback, all algorithms"
 	@echo "  partition-smoke  partitioner quality smoke (LDG beats Random)"
 	@echo "  gw-smoke         2 dgsd + 1 dgsgw over HTTP (cache + invalidation)"
+	@echo "  failover-smoke   kill 1 of 3 dgsd mid-stream; driver fails over to a spare"
+	@echo "  bench-failover   regenerate BENCH_FAILOVER.json (detection/redeploy/loss)"
 	@echo "  bench-partition  regenerate BENCH_PARTITION.json (long)"
 	@echo "  bench-serving    regenerate BENCH_SERVING.json (long)"
 	@echo "  bench-transport  regenerate BENCH_TRANSPORT.json (v1 vs coalescing)"

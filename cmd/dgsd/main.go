@@ -18,9 +18,13 @@
 //	dgsrun -connect site1:7332,site2:7332 -algo dgpm ...
 //
 // The daemon can serve every algorithm compiled into it (this binary
-// imports all of them; the startup line lists the registry). Protocol
-// details — handshake, fragment shipping, framing, versioning — are in
-// docs/WIRE.md.
+// imports all of them; the startup line lists the registry). It answers
+// the driver's PING heartbeats (wire protocol 3) and accepts REDEPLOY
+// frames, so a deployment that loses a sibling daemon can re-host the
+// lost fragments here without restarting anything — a daemon listed as
+// a spare (dgs.WithSpareSites) idles until that moment. Protocol
+// details — handshake, fragment shipping, framing, versioning,
+// heartbeats and failover — are in docs/WIRE.md.
 package main
 
 import (

@@ -113,6 +113,9 @@ type deployConfig struct {
 	remoteAddrs []string
 	dialTimeout time.Duration
 	protoMax    uint16
+	spares      []string
+	hbInterval  time.Duration
+	hbMisses    int
 	defaults    queryConfig
 }
 
@@ -186,6 +189,18 @@ type Deployment struct {
 	// copies (another process); Apply then replays batches locally to
 	// keep the driver's fragmentation metadata in sync.
 	remote bool
+	// autoRecover runs recovery automatically when the transport reports
+	// a lost site (set by WithSpareSites / WithHeartbeat).
+	autoRecover bool
+	// recoverMu serializes Recover calls (manual and automatic).
+	recoverMu sync.Mutex
+	// failovers counts completed recoveries.
+	failovers atomic.Int64
+	// applyInterrupted records that a distribution batch died mid-flight
+	// (some sites mutated, others not); the next recovery then re-ships
+	// every fragment instead of only the lost ones. Guarded by state
+	// held exclusively.
+	applyInterrupted bool
 
 	// state guards the resident graph: queries (and standing-query
 	// evaluations) share it, Apply takes it exclusively. In-flight
@@ -240,8 +255,11 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 	case len(dc.remoteAddrs) > 0:
 		ctx := context.Background()
 		tr, err := tcpnet.Dial(ctx, dc.remoteAddrs, part.fr, tcpnet.Options{
-			DialTimeout: dc.dialTimeout,
-			MaxProtocol: dc.protoMax,
+			DialTimeout:       dc.dialTimeout,
+			MaxProtocol:       dc.protoMax,
+			Spares:            dc.spares,
+			HeartbeatInterval: dc.hbInterval,
+			HeartbeatMisses:   dc.hbMisses,
 		})
 		if err != nil {
 			return nil, errorf("deploy: %w", err)
@@ -251,6 +269,7 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 	default:
 		d.c = cluster.NewLocal(part.fr, dc.net)
 	}
+	d.bindFailover(len(dc.spares) > 0 || dc.hbInterval > 0)
 	return d, nil
 }
 
@@ -339,6 +358,12 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 		return nil, errorf("unknown algorithm %d", cfg.algo)
 	}
 	if err != nil {
+		if errors.Is(err, cluster.ErrSiteLost) {
+			// Retryable: the deployment recovers (or Recover does) and
+			// the same query then succeeds — dgsgw turns this into 503
+			// + Retry-After rather than a hard failure.
+			return nil, errorf("query %s: %w", cfg.algo, publicErr(err))
+		}
 		if errors.Is(err, cluster.ErrClosed) {
 			return nil, errorf("query %s: %w while evaluating", cfg.algo, ErrClosed)
 		}

@@ -118,6 +118,13 @@ type Point struct {
 	// both per query (the -benchmem view of the wire path).
 	Frames  int64   `json:"Frames,omitempty"`
 	AllocKB float64 `json:"AllocKB,omitempty"`
+	// DetectMs, RestoreMs and QueriesLost are the failover group's axes:
+	// client-observed loss-detection latency, time until service is
+	// restored (manual redeploy or automatic spare takeover), and
+	// retryable query failures per kill.
+	DetectMs    float64 `json:"DetectMs,omitempty"`
+	RestoreMs   float64 `json:"RestoreMs,omitempty"`
+	QueriesLost int64   `json:"QueriesLost,omitempty"`
 	// Part attributes the point to the fragmentation it was measured
 	// on; nil only for points with no deployment behind them.
 	Part *PartMeta `json:"Part,omitempty"`
@@ -162,6 +169,10 @@ func (f *Figure) Table() string {
 				fmt.Fprintf(&sb, "%14.1f", p.QPS)
 			case "p99 (ms)":
 				fmt.Fprintf(&sb, "%14.1f", p.P99ms)
+			case "detect (ms)":
+				fmt.Fprintf(&sb, "%14.2f", p.DetectMs)
+			case "restore (ms)":
+				fmt.Fprintf(&sb, "%14.2f", p.RestoreMs)
 			default:
 				fmt.Fprintf(&sb, "%14.1f", p.PTms)
 			}
@@ -190,13 +201,15 @@ var groups = map[string]struct {
 	"transport": {[]string{"net-pt", "net-ds"}, transportExp},
 	"partition": {[]string{"part-pt", "part-ds"}, partitionExp},
 	"serving":   {[]string{"srv-qps", "srv-p99"}, servingExp},
+	"failover":  {[]string{"fo-detect", "fo-restore"}, failoverExp},
 }
 
 // Figures lists every reproducible figure ID in order: the paper's 16
 // panels plus the updates, transport and partition experiments' PT/DS
-// pairs and the serving experiment's QPS/p99 pair.
+// pairs, the serving experiment's QPS/p99 pair and the failover
+// experiment's detection/restoration pair.
 func Figures() []string {
-	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds", "part-pt", "part-ds", "srv-qps", "srv-p99"}
+	return []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l", "6m", "6n", "6o", "6p", "upd-pt", "upd-ds", "net-pt", "net-ds", "part-pt", "part-ds", "srv-qps", "srv-p99", "fo-detect", "fo-restore"}
 }
 
 // Groups lists the experiment groups.

@@ -1,0 +1,247 @@
+package bench
+
+// The failover experiment (beyond the paper's figures): what a daemon
+// crash costs a live deployment. Sites are spread over four loopback
+// dgsd-equivalent servers; each measured episode severs one daemon's
+// connection mid-service and records, from the client's chair, how long
+// the loss takes to surface (detection), how long restoring service
+// takes, and how many queries failed retryably in between. Two arms:
+//
+//   - survivor: no spare capacity — detection suspends the deployment
+//     and a manual Recover doubles the lost fragments up on a surviving
+//     daemon over the REDEPLOY frame (redeploy time is the timed
+//     Recover call; lost queries are those that errored before recovery
+//     began).
+//   - spare: a spare daemon plus heartbeats — recovery is automatic,
+//     so the recorded time is sever-to-first-successful-query and lost
+//     queries are every retryable failure a persistent client saw.
+//
+// The headline row is |F| = 64 (16 sites per daemon): fragment count
+// sets both the re-deploy payload and the blast radius of one daemon.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dgs"
+	"dgs/internal/transport/tcpnet"
+)
+
+// severableServer is a loopback site server whose accepted connections
+// the experiment can cut, simulating a daemon crash.
+type severableServer struct {
+	lis   net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (s *severableServer) Accept() (net.Conn, error) {
+	c, err := s.lis.Accept()
+	if err == nil {
+		s.mu.Lock()
+		s.conns = append(s.conns, c)
+		s.mu.Unlock()
+	}
+	return c, err
+}
+
+func (s *severableServer) Close() error   { return s.lis.Close() }
+func (s *severableServer) Addr() net.Addr { return s.lis.Addr() }
+
+func (s *severableServer) severAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+}
+
+func startSeverableServers(n int) (addrs []string, servers []*severableServer, stop func(), err error) {
+	stop = func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, nil, err
+		}
+		sv := &severableServer{lis: lis}
+		srv := &tcpnet.Server{}
+		go srv.Serve(sv)
+		servers = append(servers, sv)
+		addrs = append(addrs, lis.Addr().String())
+	}
+	return addrs, servers, stop, nil
+}
+
+// episode is one measured kill: client-observed detection latency, time
+// to restored service, and retryable query failures along the way.
+type episode struct {
+	detect   time.Duration
+	restore  time.Duration
+	lost     int64
+	failover int64
+}
+
+// runEpisode deploys fresh daemons, warms the query path, severs one
+// daemon and drives queries until service is restored. With manual set,
+// restoration is a timed Deployment.Recover onto a survivor; otherwise
+// the spare+heartbeat auto-recovery runs underneath and the episode
+// just keeps querying until an answer lands.
+func runEpisode(part *dgs.Partition, q *dgs.Pattern, manual bool) (*episode, error) {
+	ctx := context.Background()
+	addrs, servers, stop, err := startSeverableServers(4)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	opts := []dgs.DeployOption{dgs.WithRemoteSites(addrs...)}
+	if !manual {
+		spareAddrs, _, stopSpare, err := startSeverableServers(1)
+		if err != nil {
+			return nil, err
+		}
+		defer stopSpare()
+		opts = append(opts,
+			dgs.WithSpareSites(spareAddrs...),
+			dgs.WithHeartbeat(50*time.Millisecond, 2))
+	}
+	dep, err := dgs.Deploy(part, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	if _, err := dep.Query(ctx, q); err != nil {
+		return nil, fmt.Errorf("warm-up query: %w", err)
+	}
+
+	ep := &episode{}
+	servers[1].severAll()
+	t0 := time.Now()
+	deadline := t0.Add(60 * time.Second)
+
+	// Query until the loss surfaces; pre-detection queries may still
+	// succeed if they race the crashing connection.
+	for {
+		_, err := dep.Query(ctx, q)
+		if err == nil {
+			if time.Now().After(deadline) {
+				return nil, errors.New("severed daemon never detected")
+			}
+			continue
+		}
+		if !errors.Is(err, dgs.ErrSiteLost) {
+			return nil, fmt.Errorf("post-sever query: %w", err)
+		}
+		ep.detect = time.Since(t0)
+		ep.lost++
+		break
+	}
+
+	if manual {
+		r0 := time.Now()
+		if err := dep.Recover(ctx); err != nil {
+			return nil, fmt.Errorf("recover onto survivor: %w", err)
+		}
+		ep.restore = time.Since(r0)
+		if _, err := dep.Query(ctx, q); err != nil {
+			return nil, fmt.Errorf("post-recover query: %w", err)
+		}
+	} else {
+		for {
+			_, err := dep.Query(ctx, q)
+			if err == nil {
+				ep.restore = time.Since(t0)
+				break
+			}
+			if !errors.Is(err, dgs.ErrSiteLost) {
+				return nil, fmt.Errorf("during auto-recovery: %w", err)
+			}
+			ep.lost++
+			if time.Now().After(deadline) {
+				return nil, errors.New("auto-recovery never restored service")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	ep.failover = dep.Failovers()
+	return ep, nil
+}
+
+// failoverExp produces the "fo-detect"/"fo-restore" panels: client-
+// observed detection latency and service-restoration time per fragment
+// count, for the survivor-redeploy and spare-auto-failover arms, with
+// lost-query counts and partition metadata on every point.
+func failoverExp(cfg Config) ([]*Figure, error) {
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV/4), cfg.scaled(webNE/4), cfg.Seed)
+	q := dgs.GenCyclicPatternOver(dict, 5, 10, 4, cfg.Seed+17)
+
+	arms := []struct {
+		name   string
+		manual bool
+	}{
+		{"survivor", true},
+		{"spare", false},
+	}
+	fragCounts := []int{8, 64}
+	detect := &Figure{ID: "fo-detect", Title: "daemon kill: client-observed detection latency", XLabel: "|F|", YLabel: "detect (ms)"}
+	restore := &Figure{ID: "fo-restore", Title: "daemon kill: service restoration (redeploy vs spare)", XLabel: "|F|", YLabel: "restore (ms)"}
+	detSeries := map[string]*Series{}
+	resSeries := map[string]*Series{}
+	for _, a := range arms {
+		detSeries[a.name] = &Series{Name: a.name}
+		resSeries[a.name] = &Series{Name: a.name}
+	}
+	kills := cfg.Queries // episodes averaged per point
+	for _, nf := range fragCounts {
+		part, err := dgs.PartitionTargetRatio(g, nf, dgs.ByVf, 0.25, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		meta := partMeta(part)
+		for _, a := range arms {
+			var detMs, resMs float64
+			var lost, failovers int64
+			for k := 0; k < kills; k++ {
+				ep, err := runEpisode(part, q, a.manual)
+				if err != nil {
+					return nil, fmt.Errorf("%s |F|=%d kill %d: %w", a.name, nf, k, err)
+				}
+				detMs += float64(ep.detect.Microseconds()) / 1000
+				resMs += float64(ep.restore.Microseconds()) / 1000
+				lost += ep.lost
+				failovers += ep.failover
+			}
+			if failovers < int64(kills) {
+				return nil, fmt.Errorf("%s |F|=%d: %d kills but %d recorded failovers", a.name, nf, kills, failovers)
+			}
+			nk := float64(kills)
+			x := fmt.Sprint(nf)
+			p := Point{
+				X: x, Part: meta,
+				DetectMs:    detMs / nk,
+				RestoreMs:   resMs / nk,
+				QueriesLost: lost / int64(kills),
+			}
+			dp, rp := p, p
+			dp.PTms = p.DetectMs
+			rp.PTms = p.RestoreMs
+			detSeries[a.name].Points = append(detSeries[a.name].Points, dp)
+			resSeries[a.name].Points = append(resSeries[a.name].Points, rp)
+		}
+	}
+	for _, a := range arms {
+		detect.Series = append(detect.Series, *detSeries[a.name])
+		restore.Series = append(restore.Series, *resSeries[a.name])
+	}
+	return []*Figure{detect, restore}, nil
+}

@@ -51,6 +51,14 @@ const Coordinator = -1
 // whole cluster) was closed while waiting.
 var ErrClosed = errors.New("cluster: session closed")
 
+// ErrSiteLost is the typed cause of a site-loss failure: the transport
+// lost contact with one or more worker sites but the deployment itself
+// may be recoverable. Sessions in flight at the time fail with an error
+// wrapping it, and the cluster suspends — new sessions are born failed
+// with the same cause — until Resume is called after the lost fragments
+// have been re-hosted. Check with errors.Is.
+var ErrSiteLost = errors.New("cluster: site lost")
+
 // Network models link cost for the in-process backend. Propagation
 // latency pipelines — a message becomes deliverable Latency after it was
 // sent, regardless of how many others are in flight — while receive
@@ -216,6 +224,13 @@ type Cluster struct {
 	// deadErr — instead of hanging on a transport that drops every send.
 	dead    bool
 	deadErr error
+	// suspended is the recoverable sibling of dead: a Fail(0) whose cause
+	// wraps ErrSiteLost fails the in-flight sessions but leaves the
+	// cluster resumable — new sessions are born failed with suspendErr
+	// until Resume, which the deployment calls after re-hosting the lost
+	// fragments.
+	suspended  bool
+	suspendErr error
 }
 
 // NewWithTransport wires a Cluster onto an unbound Transport and starts
@@ -293,13 +308,14 @@ func (k SessionKind) String() string {
 // dropped and WaitQuiesce reports ErrClosed.
 func (c *Cluster) newSession(kind SessionKind, coord Handler) (*Session, bool) {
 	s := &Session{
-		c:       c,
-		kind:    kind,
-		coord:   coord,
-		quiesce: make(chan struct{}, 1),
-		abort:   make(chan struct{}),
-		perKind: make(map[wire.Kind]int64),
-		busy:    make([]time.Duration, c.n+1),
+		c:           c,
+		kind:        kind,
+		coord:       coord,
+		quiesce:     make(chan struct{}, 1),
+		abort:       make(chan struct{}),
+		perKind:     make(map[wire.Kind]int64),
+		busy:        make([]time.Duration, c.n+1),
+		outstanding: make([]int64, c.n),
 	}
 	s.coordCtx = &Ctx{
 		self:      Coordinator,
@@ -308,8 +324,11 @@ func (c *Cluster) newSession(kind SessionKind, coord Handler) (*Session, bool) {
 		addRounds: s.AddRounds,
 	}
 	c.mu.Lock()
-	if c.closed || c.dead {
+	if c.closed || c.dead || c.suspended {
 		err := c.deadErr
+		if err == nil {
+			err = c.suspendErr
+		}
 		c.mu.Unlock()
 		if err != nil {
 			s.fail(err)
@@ -442,7 +461,11 @@ func (c *Cluster) Deliver(qid uint64, from int, data []byte) {
 }
 
 // Retired implements Events: retire n processed messages and fold in
-// the handlers' summed busy time and recorded rounds.
+// the handlers' summed busy time and recorded rounds. The retirement is
+// clamped to the site's outstanding count — messages routed to it and
+// not yet retired — so a duplicated or forged ACK can never drive the
+// in-flight counter below the true count and falsely certify
+// termination.
 func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64, n int) {
 	c.mu.RLock()
 	s := c.sessions[qid]
@@ -450,26 +473,41 @@ func (c *Cluster) Retired(qid uint64, site int, busy time.Duration, rounds int64
 	if s == nil || n <= 0 {
 		return
 	}
-	if busy > 0 || rounds > 0 {
-		s.statMu.Lock()
-		if site >= 0 && site < len(s.busy) {
-			s.busy[site] += busy
-		}
-		s.stats.Rounds += rounds
-		s.statMu.Unlock()
+	s.statMu.Lock()
+	if site >= 0 && site < len(s.busy) {
+		s.busy[site] += busy
 	}
-	s.doneN(n)
+	s.stats.Rounds += rounds
+	if site >= 0 && site < len(s.outstanding) {
+		if out := s.outstanding[site]; int64(n) > out {
+			n = int(out)
+		}
+		s.outstanding[site] -= int64(n)
+	} else {
+		n = 0 // not a worker site: nothing was routed there
+	}
+	s.statMu.Unlock()
+	if n > 0 {
+		s.doneN(n)
+	}
 }
 
 // Fail implements Events: abort one session (or, with qid 0, all of
 // them) with err; WaitQuiesce observes err. A deployment-fatal failure
 // also poisons the cluster — the transport is gone, so sessions opened
-// afterwards fail immediately instead of waiting on dropped sends.
+// afterwards fail immediately instead of waiting on dropped sends — with
+// one exception: a cause wrapping ErrSiteLost only suspends the cluster,
+// leaving it resumable once the lost sites have been re-hosted.
 func (c *Cluster) Fail(qid uint64, err error) {
 	var failed []*Session
 	if qid == 0 {
 		c.mu.Lock()
-		if !c.dead {
+		if errors.Is(err, ErrSiteLost) {
+			if !c.dead && !c.suspended {
+				c.suspended = true
+				c.suspendErr = err
+			}
+		} else if !c.dead {
 			c.dead = true
 			c.deadErr = err
 		}
@@ -487,6 +525,27 @@ func (c *Cluster) Fail(qid uint64, err error) {
 	for _, s := range failed {
 		s.fail(err)
 	}
+}
+
+// Resume clears a site-loss suspension: new sessions may be opened
+// again. The deployment calls it after the transport re-hosted the lost
+// fragments (Recoverer.Recover). Sessions failed by the loss stay failed
+// — their owners retry. A permanent (non-site-lost) failure is not
+// resumable; Resume on a dead or closed cluster is a no-op in effect
+// because newSession checks those flags first.
+func (c *Cluster) Resume() {
+	c.mu.Lock()
+	c.suspended = false
+	c.suspendErr = nil
+	c.mu.Unlock()
+}
+
+// Suspended reports whether the cluster is in the site-loss suspended
+// state (failed over but not yet resumed), along with the cause.
+func (c *Cluster) Suspended() (bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.suspended, c.suspendErr
 }
 
 // Shutdown closes every active session, tears the transport down and
@@ -536,6 +595,10 @@ type Session struct {
 	stats   Stats
 	busy    []time.Duration
 	perKind map[wire.Kind]int64
+	// outstanding[i] counts messages routed to worker site i and not yet
+	// retired — the per-site ledger Retired clamps against so duplicated
+	// ACK delivery cannot falsely certify termination.
+	outstanding []int64
 }
 
 // send encodes, accounts, and routes a driver-originated message.
@@ -565,6 +628,9 @@ func (s *Session) route(from, to int, data []byte) {
 	default:
 		s.stats.ControlBytes += int64(len(data))
 		s.stats.ControlMsgs++
+	}
+	if to != Coordinator {
+		s.outstanding[to]++
 	}
 	s.statMu.Unlock()
 	s.inflight.Add(1)
@@ -638,6 +704,10 @@ func (s *Session) WaitQuiesce(ctx context.Context) error {
 
 // Kind reports the session's kind.
 func (s *Session) Kind() SessionKind { return s.kind }
+
+// ID reports the session's cluster-wide id (the qid of its wire
+// frames) — what transport-level tests and logs correlate on.
+func (s *Session) ID() uint64 { return s.qid }
 
 // AddRounds lets algorithms record communication rounds.
 func (s *Session) AddRounds(n int64) {

@@ -55,7 +55,7 @@ type SiteHost struct {
 	net    Network // link emulation; zero for real networks
 	sink   SiteSink
 
-	mu       sync.RWMutex
+	mu       sync.RWMutex // guards sessions, sites, frags, closed
 	sessions map[uint64]*hostSession
 	closed   bool
 
@@ -88,8 +88,61 @@ func NewSiteHost(total int, ids []int, frags map[int]*partition.Fragment, assign
 
 // Hosts reports whether site id lives on this host.
 func (h *SiteHost) Hosts(id int) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	_, ok := h.sites[id]
 	return ok
+}
+
+// HostedIDs reports the hosted global site IDs, in no particular order.
+func (h *SiteHost) HostedIDs() []int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ids := make([]int, 0, len(h.sites))
+	for id := range h.sites {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// AddSites starts site goroutines for newly assigned global IDs with
+// their resident fragments — how a surviving daemon absorbs a lost
+// peer's sites on re-deployment. An ID already hosted only has its
+// fragment replaced. No new goroutines start on a shut-down host.
+func (h *SiteHost) AddSites(ids []int, frags map[int]*partition.Fragment) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.frags == nil {
+		h.frags = make(map[int]*partition.Fragment, len(ids))
+	}
+	for _, id := range ids {
+		if f, ok := frags[id]; ok {
+			h.frags[id] = f
+		}
+		if _, ok := h.sites[id]; ok || h.closed {
+			continue
+		}
+		st := &siteState{id: id, box: newMailbox()}
+		h.sites[id] = st
+		h.wg.Add(1)
+		go h.siteLoop(st)
+	}
+}
+
+// ReplaceFragments swaps the resident fragments of already-hosted sites
+// — the full re-deployment mode, where the driver's committed state
+// replaces whatever a survivor holds after an interrupted update batch.
+// Sessions opened after the call see the replacements; live sessions
+// keep the fragments they were built on.
+func (h *SiteHost) ReplaceFragments(frags map[int]*partition.Fragment) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.frags == nil {
+		h.frags = make(map[int]*partition.Fragment, len(frags))
+	}
+	for id, f := range frags {
+		h.frags[id] = f
+	}
 }
 
 // Open instantiates session qid on every hosted site from spec, via the
@@ -99,13 +152,24 @@ func (h *SiteHost) Open(qid uint64, kind SessionKind, spec SessionSpec) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown algorithm %q", spec.Algo)
 	}
-	handlers := make(map[int]Handler, len(h.sites))
+	type siteFrag struct {
+		id   int
+		frag *partition.Fragment
+	}
+	h.mu.RLock()
+	list := make([]siteFrag, 0, len(h.sites))
 	for id := range h.sites {
-		hd, err := factory(spec, h.frags[id], h.assign)
+		list = append(list, siteFrag{id, h.frags[id]})
+	}
+	assign := h.assign
+	h.mu.RUnlock()
+	handlers := make(map[int]Handler, len(list))
+	for _, sf := range list {
+		hd, err := factory(spec, sf.frag, assign)
 		if err != nil {
-			return fmt.Errorf("cluster: algorithm %q site %d: %w", spec.Algo, id, err)
+			return fmt.Errorf("cluster: algorithm %q site %d: %w", spec.Algo, sf.id, err)
 		}
-		handlers[id] = hd
+		handlers[sf.id] = hd
 	}
 	return h.install(qid, handlers)
 }
@@ -118,6 +182,8 @@ func (h *SiteHost) OpenHandlers(qid uint64, handlers map[int]Handler) error {
 
 func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
 	hs := &hostSession{handlers: handlers, ctxs: make(map[int]*Ctx, len(handlers))}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for id := range handlers {
 		st, ok := h.sites[id]
 		if !ok {
@@ -125,8 +191,6 @@ func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
 		}
 		hs.ctxs[id] = h.siteCtx(qid, st)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
 		// Shut-down host: accept the registration as a no-op; queued
 		// traffic is already being discarded.
@@ -161,7 +225,9 @@ func (h *SiteHost) CloseSession(qid uint64) {
 // Enqueue delivers one encoded payload to hosted site `to`. The message
 // is timestamped for link emulation when the host's Network is non-zero.
 func (h *SiteHost) Enqueue(qid uint64, from, to int, data []byte) {
+	h.mu.RLock()
 	st, ok := h.sites[to]
+	h.mu.RUnlock()
 	if !ok {
 		h.sink.Fatal(fmt.Errorf("cluster: message for site %d which is not hosted here", to))
 		return
@@ -213,8 +279,12 @@ func (h *SiteHost) siteLoop(st *siteState) {
 func (h *SiteHost) Shutdown() {
 	h.mu.Lock()
 	h.closed = true
-	h.mu.Unlock()
+	sites := make([]*siteState, 0, len(h.sites))
 	for _, st := range h.sites {
+		sites = append(sites, st)
+	}
+	h.mu.Unlock()
+	for _, st := range sites {
 		st.box.close()
 	}
 	h.wg.Wait()
@@ -300,6 +370,14 @@ func (t *InProc) OpenHandlers(qid uint64, sites []Handler) error {
 		handlers[i] = h
 	}
 	return t.host.OpenHandlers(qid, handlers)
+}
+
+// Rehost replaces the resident fragments of the given sites with the
+// provided copies — the in-process recovery path used by fault-injecting
+// wrappers (internal/transport/faultnet). Sessions opened after the call
+// are built on the replacement fragments.
+func (t *InProc) Rehost(frags map[int]*partition.Fragment) {
+	t.host.ReplaceFragments(frags)
 }
 
 // Close implements Transport.

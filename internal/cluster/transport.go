@@ -20,6 +20,7 @@ package cluster
 // on in-process transports for tests and custom protocols.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,6 +83,33 @@ type HandlerOpener interface {
 // is assumed to hold copies.
 type FragmentSharer interface {
 	SharesDriverFragments() bool
+}
+
+// Recoverer is the optional Transport extension for site-loss recovery.
+// A transport implementing it scopes failures to individual sites
+// (reporting them via Events.Fail with an error wrapping ErrSiteLost)
+// instead of declaring the whole deployment dead, and can re-host the
+// lost sites afterwards.
+type Recoverer interface {
+	// Lost reports the IDs of the worker sites currently without a live
+	// host, ascending. Empty means every site is reachable.
+	Lost() []int
+	// Recover re-hosts every lost site from the driver's fragmentation —
+	// the driver retains each fragment's shippable bytes — onto a spare
+	// or surviving host. With full set, every site's fragment is
+	// re-shipped (replace semantics), the recovery mode for a loss that
+	// interrupted an update batch and may have left survivors ahead of
+	// the driver's committed state. An error means the lost sites remain
+	// down (e.g. no spare host available).
+	Recover(ctx context.Context, fr *partition.Fragmentation, full bool) error
+}
+
+// LossNotifier is the optional Transport extension that announces
+// detected site losses to the deployment layer, which reacts by running
+// recovery. fn may be invoked from any transport goroutine and must not
+// call back into the transport synchronously.
+type LossNotifier interface {
+	OnSiteLoss(fn func(err error))
 }
 
 // Events is the upcall sink a Transport drives; the Cluster implements

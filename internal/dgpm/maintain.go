@@ -128,12 +128,15 @@ func (nopHandler) Recv(*cluster.Ctx, int, wire.Payload) {}
 
 // ApplyUpdates distributes one validated update batch to the owning
 // sites over a maintenance session and waits for the fragment mutations
-// (and their watch/unwatch follow-ups) to quiesce. Distribution always
-// runs to completion once started — messages are reliable in-process,
-// and over TCP a transport failure kills the whole deployment — so
-// fragments are never left half-updated unless the deployment itself is
-// lost, in which case the returned error says so. The caller recounts
-// driver-side boundary statistics (the sites own the fragments).
+// (and their watch/unwatch follow-ups) to quiesce. Messages are
+// reliable in-process, so an error means the session was torn down
+// mid-batch — the deployment closed, or a site was lost (the error
+// wraps cluster.ErrSiteLost) — and fragments may be left half-updated:
+// some sites absorbed their delta, others did not. The caller must then
+// treat the site state as inconsistent until a full re-deployment from
+// its own retained fragments (dgs marks the deployment for exactly
+// that). The caller recounts driver-side boundary statistics (the sites
+// own the fragments).
 func ApplyUpdates(c *cluster.Cluster, fr *partition.Fragmentation, dels, ins [][2]graph.NodeID) (cluster.Stats, error) {
 	sess, err := c.OpenSession(cluster.SessionMaintenance, cluster.SessionSpec{Algo: AlgoUpdate}, nopHandler{})
 	if err != nil {

@@ -165,6 +165,20 @@ func DecodeFragment(b []byte) (*Fragment, []byte, error) {
 	return f, r.Rest(), nil
 }
 
+// CloneFragment deep-copies f through a codec round-trip. The copy
+// shares nothing with the original — in particular not the CSR
+// adjacency slices Build lets pristine fragments alias — so it can be
+// mutated independently: the re-hosting primitive for in-process
+// failover, where a recovered site must start from the driver's
+// committed state rather than the survivor's object.
+func CloneFragment(f *Fragment) *Fragment {
+	c, rest, err := DecodeFragment(AppendFragment(nil, f))
+	if err != nil || len(rest) != 0 {
+		panic("partition: fragment failed to round-trip its own codec")
+	}
+	return c
+}
+
 // FragmentationFromParts assembles a Fragmentation around fragments that
 // were decoded from the wire (no driver graph available — G is nil).
 // assign is the global owner directory; boundary statistics are

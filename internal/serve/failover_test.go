@@ -1,0 +1,118 @@
+package serve
+
+// Gateway behavior across site loss: a query that dies because a
+// daemon was lost is a retryable 503 ("site_lost", Retry-After set) —
+// never a 500 and never a 400 — and /stats exposes the deployment's
+// failover count.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dgs"
+	"dgs/internal/transport/tcpnet"
+)
+
+// severableListener records accepted connections so the test can cut
+// them, simulating a daemon crash under the gateway.
+type severableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *severableListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *severableListener) severAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
+
+func postRec(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b)))
+	return rec
+}
+
+func TestGatewaySiteLostIs503(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sev := &severableListener{Listener: lis}
+	srv := &tcpnet.Server{}
+	go srv.Serve(sev)
+	t.Cleanup(func() { lis.Close() })
+
+	w := newWorld(t, Options{}, dgs.WithRemoteSites(lis.Addr().String()))
+	h := w.srv.Handler()
+
+	// Healthy baseline.
+	if rec := postRec(t, h, "/query", QueryRequest{Pattern: w.pattern()}); rec.Code != http.StatusOK {
+		t.Fatalf("healthy query: %d %s", rec.Code, rec.Body)
+	}
+
+	sev.severAll() // the daemon crashes
+
+	// A fresh pattern (no cache hit) must surface the loss as a
+	// retryable 503 with the stable site_lost code — not 500, not 400.
+	rec := postRec(t, h, "/query", QueryRequest{Pattern: "node a l0\nnode b l1\nnode c l0\nedge a b\nedge b c\nedge c a\n"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query after daemon loss: status %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	var eb struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != "site_lost" {
+		t.Fatalf("error code = %q, want site_lost; body %s", eb.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("site_lost response must carry Retry-After")
+	}
+
+	// Apply is classified server-side too (the old bug wrapped it as a
+	// closed deployment; a misclassification here would be a 400).
+	arec := postRec(t, h, "/apply", ApplyRequest{Ops: []ApplyOp{{Del: true, V: 0, W: w.g.Succ(0)[0]}}})
+	if arec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("apply after daemon loss: status %d, want 503; body %s", arec.Code, arec.Body)
+	}
+
+	// /stats reports the failover counter (zero here: no spare, no
+	// recovery — the field itself is part of the contract).
+	srec := httptest.NewRecorder()
+	h.ServeHTTP(srec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if srec.Code != http.StatusOK {
+		t.Fatalf("/stats: %d", srec.Code)
+	}
+	var sb map[string]any
+	if err := json.Unmarshal(srec.Body.Bytes(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sb["failovers"]; !ok {
+		t.Fatalf("/stats missing failovers field: %s", srec.Body)
+	}
+}

@@ -3,8 +3,9 @@ package serve
 // The HTTP/JSON face of the serving subsystem — the four endpoints of
 // docs/HTTP.md. Handlers translate between the wire shapes and the
 // Server core and map error kinds onto status codes: malformed requests
-// are 400, overload sheds are 503 (with Retry-After), per-query deadline
-// expiries are 504, evaluation failures 500.
+// are 400, overload sheds and site-lost failovers are 503 (with
+// Retry-After — both clear on their own), per-query deadline expiries
+// are 504, evaluation failures 500.
 
 import (
 	"context"
@@ -13,6 +14,7 @@ import (
 	"net/http"
 	"time"
 
+	"dgs"
 	"dgs/internal/buildinfo"
 )
 
@@ -24,7 +26,7 @@ const maxBodyBytes = 8 << 20
 type errorBody struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable kind: bad_request, overload,
-	// deadline, canceled, internal.
+	// site_lost, deadline, canceled, internal.
 	Code string `json:"code"`
 }
 
@@ -55,6 +57,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrOverload):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Code: "overload"})
+	case errors.Is(err, dgs.ErrSiteLost):
+		// A site died mid-query; the deployment recovers (failover) and
+		// the same request then succeeds — retryable, not a 500.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Code: "site_lost"})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Code: "deadline"})
 	case errors.Is(err, context.Canceled):
@@ -131,6 +138,7 @@ type statsBody struct {
 	MaxInFlight int     `json:"max_in_flight"`
 	MaxQueue    int     `json:"max_queue"`
 	CacheSize   int     `json:"cache_size"`
+	Failovers   int64   `json:"failovers"`
 	UptimeMS    int64   `json:"uptime_ms"`
 }
 
@@ -150,6 +158,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight: s.opts.MaxInFlight,
 		MaxQueue:    s.opts.MaxQueue,
 		CacheSize:   s.opts.CacheSize,
+		Failovers:   s.dep.Failovers(),
 		UptimeMS:    time.Since(s.start).Milliseconds(),
 	})
 }

@@ -433,8 +433,10 @@ func (s *Server) Apply(ctx context.Context, req ApplyRequest) (*ApplyResponse, e
 	if err != nil {
 		// Validation failures (absent edge, unknown node) fail before
 		// anything is distributed and are the caller's fault; a closing
-		// deployment or a mid-distribution failure is server-side.
-		if st.Deletions == 0 && st.Insertions == 0 && !isCtxErr(err) && !errors.Is(err, dgs.ErrClosed) {
+		// deployment, a lost site, or a mid-distribution failure is
+		// server-side.
+		if st.Deletions == 0 && st.Insertions == 0 && !isCtxErr(err) &&
+			!errors.Is(err, dgs.ErrClosed) && !errors.Is(err, dgs.ErrSiteLost) {
 			atomic.AddInt64(&s.nErrors, 1)
 			return nil, badRequest("%v", err)
 		}

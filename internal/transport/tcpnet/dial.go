@@ -4,6 +4,15 @@ package tcpnet
 // version handshake, ships each daemon its block of fragments, and
 // returns a cluster.Transport over which the ordinary Cluster/Session
 // machinery runs unchanged.
+//
+// Failure scoping: a connection-level error (socket error, write
+// timeout, heartbeat silence) kills only that daemon's connection — its
+// sites are reported lost with an error wrapping cluster.ErrSiteLost,
+// which suspends the cluster instead of poisoning it, and Recover can
+// re-host the lost sites on a spare or surviving daemon. Protocol
+// corruption (an undecodable or out-of-spec frame) remains deployment-
+// fatal: a daemon that violates the frame grammar cannot be trusted
+// with a retry.
 
 import (
 	"bufio"
@@ -11,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +45,19 @@ type Options struct {
 	// measure coalescing against the uncoalesced baseline, and it is
 	// the interop escape hatch for daemons that predate negotiation.
 	MaxProtocol uint16
+	// Spares lists standby daemon addresses that are not part of the
+	// initial deployment. Recover dials them, in order, to re-host the
+	// sites of a lost daemon; each spare is used at most once.
+	Spares []string
+	// HeartbeatInterval enables the driver→daemon liveness probe on
+	// v3+ connections: a PING every interval, with any inbound frame
+	// counting as proof of life. 0 disables heartbeats — loss is then
+	// detected only through socket errors.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the missed-beat threshold: a connection silent
+	// for HeartbeatMisses consecutive intervals is declared lost (after
+	// a dial-back probe for the diagnostic). Default 3.
+	HeartbeatMisses int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,16 +73,27 @@ func (o Options) withDefaults() Options {
 	if o.MaxProtocol < MinProtocolVersion {
 		o.MaxProtocol = MinProtocolVersion
 	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
 	return o
 }
 
-// Net is the TCP cluster.Transport: one connection per daemon, sites
-// mapped onto daemons in contiguous blocks (HostedRange).
-type Net struct {
-	n     int
-	opts  Options
+// routing is the immutable connection/ownership snapshot Send reads
+// lock-free. Recover swaps in a new snapshot after re-hosting lost
+// sites; dead connections simply stop being referenced by owner.
+type routing struct {
 	conns []*conn
 	owner []int // site ID -> index into conns
+}
+
+// Net is the TCP cluster.Transport: one connection per daemon, sites
+// mapped onto daemons in contiguous blocks (HostedRange), failover
+// re-mapping them onto spares or survivors.
+type Net struct {
+	n    int
+	opts Options
+	rt   atomic.Pointer[routing]
 
 	ev cluster.Events
 
@@ -67,6 +101,10 @@ type Net struct {
 	perQID      map[uint64]int64 // measured frame bytes per session
 	deployBytes int64            // handshake + fragment shipping traffic
 	closing     bool
+	spares      []string // spare daemon addresses not yet consumed
+	onLoss      func(err error)
+
+	recoverMu sync.Mutex // serializes Recover runs
 
 	// Post-deployment frame counts over all connections, both
 	// directions — the denominator coalescing improves.
@@ -77,6 +115,8 @@ type Net struct {
 }
 
 var _ cluster.Transport = (*Net)(nil)
+var _ cluster.Recoverer = (*Net)(nil)
+var _ cluster.LossNotifier = (*Net)(nil)
 
 type conn struct {
 	t       *Net
@@ -85,6 +125,41 @@ type conn struct {
 	br      *bufio.Reader
 	out     *outbox
 	version uint16 // negotiated protocol version for this connection
+
+	dead     atomic.Bool  // set once by loseConn
+	lastIn   atomic.Int64 // unix nanos of the last inbound frame
+	pingSeq  atomic.Uint64
+	stopHB   chan struct{}
+	stopOnce sync.Once
+
+	depMu      sync.Mutex
+	deployedCh chan error // armed while a REDEPLOY awaits its DEPLOYED
+}
+
+func (cn *conn) stop() { cn.stopOnce.Do(func() { close(cn.stopHB) }) }
+
+// armDeployed registers a one-shot channel for the connection's next
+// DEPLOYED (or deployment-level ERR) frame.
+func (cn *conn) armDeployed() chan error {
+	ch := make(chan error, 1)
+	cn.depMu.Lock()
+	cn.deployedCh = ch
+	cn.depMu.Unlock()
+	return ch
+}
+
+// deliverDeployed resolves an armed REDEPLOY wait; reports whether a
+// waiter existed.
+func (cn *conn) deliverDeployed(err error) bool {
+	cn.depMu.Lock()
+	ch := cn.deployedCh
+	cn.deployedCh = nil
+	cn.depMu.Unlock()
+	if ch == nil {
+		return false
+	}
+	ch <- err
+	return true
 }
 
 // Dial connects to one dgsd daemon per address, verifies protocol
@@ -104,33 +179,50 @@ func Dial(ctx context.Context, addrs []string, fr *partition.Fragmentation, opts
 	t := &Net{
 		n:      n,
 		opts:   opts,
-		owner:  make([]int, n),
 		perQID: make(map[uint64]int64),
+		spares: append([]string(nil), opts.Spares...),
 	}
+	owner := make([]int, n)
+	var conns []*conn
 	dialer := &net.Dialer{Timeout: opts.DialTimeout}
 	for j, addr := range addrs {
 		lo, hi := HostedRange(n, len(addrs), j)
+		hosted := make([]int, 0, hi-lo)
 		for id := lo; id < hi; id++ {
-			t.owner[id] = j
+			owner[id] = j
+			hosted = append(hosted, id)
 		}
 		nc, err := dialer.DialContext(ctx, "tcp", addr)
 		if err != nil {
-			t.closeConns()
+			closeConns(conns)
 			return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
 		}
-		cn := &conn{t: t, addr: addr, c: nc, br: bufio.NewReaderSize(nc, 1<<16), out: newOutbox()}
-		t.conns = append(t.conns, cn)
-		if err := t.handshake(ctx, cn, fr, lo, hi); err != nil {
-			t.closeConns()
+		cn := t.newConn(addr, nc)
+		conns = append(conns, cn)
+		if err := t.handshake(ctx, cn, fr, hosted); err != nil {
+			closeConns(conns)
 			return nil, fmt.Errorf("tcpnet: %s: %w", addr, err)
 		}
 	}
+	t.rt.Store(&routing{conns: conns, owner: owner})
 	return t, nil
 }
 
+func (t *Net) newConn(addr string, nc net.Conn) *conn {
+	return &conn{
+		t:      t,
+		addr:   addr,
+		c:      nc,
+		br:     bufio.NewReaderSize(nc, 1<<16),
+		out:    newOutbox(),
+		stopHB: make(chan struct{}),
+	}
+}
+
 // handshake runs HELLO → HELLO-OK → DEPLOY → DEPLOYED on a fresh
-// connection, synchronously and under the context's deadline.
-func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentation, lo, hi int) error {
+// connection, synchronously and under the context's deadline, shipping
+// the fragments of exactly the given site IDs.
+func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentation, hosted []int) error {
 	deadline := time.Now().Add(t.opts.DialTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -167,26 +259,7 @@ func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentati
 			v, MinProtocolVersion, t.opts.MaxProtocol)
 	}
 	cn.version = v
-	hosted := make([]int, 0, hi-lo)
-	var frags []byte
-	for id := lo; id < hi; id++ {
-		hosted = append(hosted, id)
-		frags = partition.AppendFragment(frags, fr.Frags[id])
-	}
-	// v2+ ships the driver-owned label dictionary: names indexed by the
-	// dense label ids the fragments carry, so daemons can validate and
-	// render labels without strings ever appearing on the message path.
-	var labels []string
-	if cn.version >= 2 && fr.G != nil {
-		labels = fr.G.Dict().Names()
-	}
-	if err := t.writeDirect(cn, frameDeploy, encodeDeploy(deployBody{
-		total:  t.n,
-		hosted: hosted,
-		assign: fr.Assign,
-		labels: labels,
-		frags:  frags,
-	}, cn.version)); err != nil {
+	if err := t.writeDirect(cn, frameDeploy, deployBodyFor(fr, t.n, hosted, cn.version)); err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
 	typ, body, err = wire.ReadFrame(cn.br)
@@ -203,6 +276,31 @@ func (t *Net) handshake(ctx context.Context, cn *conn, fr *partition.Fragmentati
 	return cn.c.SetDeadline(time.Time{})
 }
 
+// deployBodyFor encodes a DEPLOY/REDEPLOY body shipping the fragments
+// of the given site IDs (sorted) out of the driver's fragmentation.
+func deployBodyFor(fr *partition.Fragmentation, total int, hosted []int, version uint16) []byte {
+	ids := append([]int(nil), hosted...)
+	sort.Ints(ids)
+	var frags []byte
+	for _, id := range ids {
+		frags = partition.AppendFragment(frags, fr.Frags[id])
+	}
+	// v2+ ships the driver-owned label dictionary: names indexed by the
+	// dense label ids the fragments carry, so daemons can validate and
+	// render labels without strings ever appearing on the message path.
+	var labels []string
+	if version >= 2 && fr.G != nil {
+		labels = fr.G.Dict().Names()
+	}
+	return encodeDeploy(deployBody{
+		total:  total,
+		hosted: ids,
+		assign: fr.Assign,
+		labels: labels,
+		frags:  frags,
+	}, version)
+}
+
 // writeDirect writes one frame synchronously (handshake only; after
 // Bind all writes go through the outbox) and meters exactly the bytes
 // that reached the socket as deploy bytes. The deadline was armed for
@@ -216,8 +314,8 @@ func (t *Net) writeDirect(cn *conn, typ byte, body []byte) error {
 	return err
 }
 
-func (t *Net) closeConns() {
-	for _, cn := range t.conns {
+func closeConns(conns []*conn) {
+	for _, cn := range conns {
 		cn.c.Close()
 	}
 }
@@ -225,11 +323,12 @@ func (t *Net) closeConns() {
 // NumSites implements cluster.Transport.
 func (t *Net) NumSites() int { return t.n }
 
-// NumDaemons reports how many dgsd processes back the deployment.
-func (t *Net) NumDaemons() int { return len(t.conns) }
+// NumDaemons reports how many dgsd processes back the deployment
+// (dead connections included until a Recover swaps them out).
+func (t *Net) NumDaemons() int { return len(t.rt.Load().conns) }
 
 // DeployBytes reports the measured one-time deployment traffic:
-// handshakes plus shipped fragments.
+// handshakes plus shipped fragments (re-deployments included).
 func (t *Net) DeployBytes() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -237,14 +336,37 @@ func (t *Net) DeployBytes() int64 {
 }
 
 // Bind implements cluster.Transport: it installs the event sink and
-// starts the per-connection reader and writer goroutines.
+// starts the per-connection reader, writer and (v3+, when enabled)
+// heartbeat goroutines.
 func (t *Net) Bind(ev cluster.Events) {
 	t.ev = ev
-	for _, cn := range t.conns {
-		t.wg.Add(2)
-		go cn.writeLoop()
-		go cn.readLoop()
+	for _, cn := range t.rt.Load().conns {
+		t.startConn(cn)
 	}
+}
+
+// startConn launches a connection's goroutines. The closing check and
+// the wg.Add happen under one lock so a concurrent Shutdown can never
+// observe Add racing its Wait. Reports whether the conn was started.
+func (t *Net) startConn(cn *conn) bool {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		return false
+	}
+	hb := t.opts.HeartbeatInterval > 0 && cn.version >= 3
+	t.wg.Add(2)
+	if hb {
+		t.wg.Add(1)
+	}
+	t.mu.Unlock()
+	cn.lastIn.Store(time.Now().UnixNano())
+	go cn.writeLoop()
+	go cn.readLoop()
+	if hb {
+		go cn.heartbeatLoop()
+	}
+	return true
 }
 
 // addWire meters frame bytes onto a session. Only sessions with a live
@@ -278,7 +400,7 @@ func (t *Net) Open(qid uint64, kind cluster.SessionKind, spec cluster.SessionSpe
 	t.perQID[qid] = 0 // arm the session's wire meter
 	t.mu.Unlock()
 	body := encodeOpen(openBody{qid: qid, kind: kind, spec: spec})
-	for _, cn := range t.conns {
+	for _, cn := range t.rt.Load().conns {
 		t.enqueue(cn, qid, frameOpen, body)
 	}
 	return nil
@@ -294,16 +416,19 @@ func (t *Net) Close(qid uint64) {
 	delete(t.perQID, qid)
 	t.mu.Unlock()
 	body := appendU64(nil, qid)
-	for _, cn := range t.conns {
+	for _, cn := range t.rt.Load().conns {
 		t.enqueue(cn, qid, frameClose, body)
 	}
 }
 
 // Send implements cluster.Transport. The message is queued as a typed
 // entry: the destination connection's writer merges consecutive
-// same-session messages into one MSGB frame at flush time.
+// same-session messages into one MSGB frame at flush time. A dead
+// connection's outbox swallows the entry — the session it belonged to
+// already failed with the site loss.
 func (t *Net) Send(qid uint64, from, to int, data []byte) {
-	cn := t.conns[t.owner[to]]
+	rt := t.rt.Load()
+	cn := rt.conns[rt.owner[to]]
 	cn.out.put(outEntry{kind: entryMsg, qid: qid, from: from, to: to, data: data})
 }
 
@@ -333,7 +458,8 @@ func (t *Net) Shutdown() {
 	}
 	t.closing = true
 	t.mu.Unlock()
-	for _, cn := range t.conns {
+	for _, cn := range t.rt.Load().conns {
+		cn.stop()
 		cn.out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameBye, nil)})
 		cn.out.close()
 	}
@@ -348,19 +474,235 @@ func (t *Net) isClosing() bool {
 	return t.closing
 }
 
-// fail reports a transport loss to the driver once and poisons the
-// outboxes so sends become no-ops.
+// fail reports a deployment-fatal transport failure (protocol
+// corruption) to the driver once and poisons the outboxes so sends
+// become no-ops. Connection-scoped errors go through loseConn instead.
 func (t *Net) fail(err error) {
 	t.mu.Lock()
 	closing := t.closing
 	t.closing = true
 	t.mu.Unlock()
-	for _, cn := range t.conns {
+	for _, cn := range t.rt.Load().conns {
+		cn.stop()
 		cn.out.close()
 	}
 	if !closing && t.ev != nil {
 		t.ev.Fail(0, err)
 	}
+}
+
+// sitesOf lists the site IDs currently routed to cn.
+func (t *Net) sitesOf(cn *conn) []int {
+	rt := t.rt.Load()
+	var ids []int
+	for id, ci := range rt.owner {
+		if rt.conns[ci] == cn {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// loseConn scopes a failure to the daemon it came from: the connection
+// is severed and its sites are reported lost with an error wrapping
+// cluster.ErrSiteLost — suspending the cluster rather than poisoning it
+// — and the registered loss callback is invoked so the deployment layer
+// can run recovery. Idempotent per connection.
+func (t *Net) loseConn(cn *conn, cause error) {
+	if cn.dead.Swap(true) {
+		return
+	}
+	cn.stop()
+	cn.out.close()
+	cn.c.Close()
+	lostErr := fmt.Errorf("tcpnet: daemon %s (sites %v): %v: %w", cn.addr, t.sitesOf(cn), cause, cluster.ErrSiteLost)
+	cn.deliverDeployed(lostErr)
+	if t.isClosing() {
+		return
+	}
+	if t.ev != nil {
+		t.ev.Fail(0, lostErr)
+	}
+	t.mu.Lock()
+	fn := t.onLoss
+	t.mu.Unlock()
+	if fn != nil {
+		// Decoupled from the transport goroutine: the callback runs
+		// recovery, which talks back to the transport.
+		go fn(lostErr)
+	}
+}
+
+// OnSiteLoss implements cluster.LossNotifier.
+func (t *Net) OnSiteLoss(fn func(err error)) {
+	t.mu.Lock()
+	t.onLoss = fn
+	t.mu.Unlock()
+}
+
+// Lost implements cluster.Recoverer: the site IDs currently routed to a
+// dead connection, ascending.
+func (t *Net) Lost() []int {
+	rt := t.rt.Load()
+	var lost []int
+	for id, ci := range rt.owner {
+		if rt.conns[ci].dead.Load() {
+			lost = append(lost, id)
+		}
+	}
+	return lost
+}
+
+// takeSpare pops the next unused spare address; ok=false when none are
+// left.
+func (t *Net) takeSpare() (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spares) == 0 {
+		return "", false
+	}
+	addr := t.spares[0]
+	t.spares = t.spares[1:]
+	return addr, true
+}
+
+// Recover implements cluster.Recoverer: re-host every lost site from
+// the driver's fragmentation. Preference order: dial a spare daemon (a
+// full HELLO/DEPLOY handshake shipping only the lost sites' fragments),
+// else REDEPLOY onto the live v3+ connection hosting the fewest sites.
+// With full set, every surviving connection additionally gets its own
+// sites' fragments re-shipped with replace semantics — the mode for a
+// loss that interrupted an update batch, where survivors may hold a
+// partially-applied state ahead of the driver's committed one. On
+// success the routing snapshot is swapped and the transport carries
+// traffic for all n sites again; the caller then resumes the cluster.
+func (t *Net) Recover(ctx context.Context, fr *partition.Fragmentation, full bool) error {
+	t.recoverMu.Lock()
+	defer t.recoverMu.Unlock()
+	if t.isClosing() {
+		return errors.New("tcpnet: transport is shut down")
+	}
+	rt := t.rt.Load()
+	var lost []int
+	var live []*conn
+	liveSites := make(map[*conn][]int)
+	for id, ci := range rt.owner {
+		cn := rt.conns[ci]
+		if cn.dead.Load() {
+			lost = append(lost, id)
+		} else {
+			if len(liveSites[cn]) == 0 {
+				live = append(live, cn)
+			}
+			liveSites[cn] = append(liveSites[cn], id)
+		}
+	}
+	if len(lost) == 0 && !full {
+		return nil
+	}
+
+	// Place the lost sites: a fresh spare connection if one dials, else
+	// the least-loaded redeploy-capable survivor.
+	var spareConn *conn
+	var target *conn
+	if len(lost) > 0 {
+		for spareConn == nil {
+			addr, ok := t.takeSpare()
+			if !ok {
+				break
+			}
+			dialer := &net.Dialer{Timeout: t.opts.DialTimeout}
+			nc, err := dialer.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				continue // consumed; try the next spare
+			}
+			cn := t.newConn(addr, nc)
+			if err := t.handshake(ctx, cn, fr, lost); err != nil {
+				nc.Close()
+				continue
+			}
+			spareConn = cn
+		}
+		if spareConn == nil {
+			for _, cn := range live {
+				if cn.version < 3 {
+					continue
+				}
+				if target == nil || len(liveSites[cn]) < len(liveSites[target]) {
+					target = cn
+				}
+			}
+			if target == nil {
+				return fmt.Errorf("tcpnet: sites %v lost with no spare daemon and no redeploy-capable survivor: %w", lost, cluster.ErrSiteLost)
+			}
+		}
+	}
+
+	// Ship the REDEPLOY frames: the redeploy target gets the lost sites
+	// (plus, under full, its own), every other survivor its own under
+	// full. Per-connection FIFO order means frames enqueued after the
+	// REDEPLOY are processed only once the fragments are resident.
+	type redeployWait struct {
+		cn *conn
+		ch chan error
+	}
+	var waits []redeployWait
+	for _, cn := range live {
+		ship := append([]int(nil), lost...)
+		if cn != target {
+			ship = nil
+		}
+		if full {
+			ship = append(ship, liveSites[cn]...)
+		}
+		if len(ship) == 0 {
+			continue
+		}
+		if cn.version < 3 {
+			return fmt.Errorf("tcpnet: full re-deployment needs protocol 3, daemon %s speaks %d", cn.addr, cn.version)
+		}
+		ch := cn.armDeployed()
+		t.enqueue(cn, 0, frameRedeploy, deployBodyFor(fr, t.n, ship, cn.version))
+		if cn.dead.Load() {
+			cn.deliverDeployed(fmt.Errorf("tcpnet: daemon %s died during recovery: %w", cn.addr, cluster.ErrSiteLost))
+		}
+		waits = append(waits, redeployWait{cn, ch})
+	}
+	for _, w := range waits {
+		select {
+		case err := <-w.ch:
+			if err != nil {
+				return fmt.Errorf("tcpnet: redeploy on %s: %w", w.cn.addr, err)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// Swap the routing snapshot. Dead connections stay in conns (their
+	// outboxes swallow stragglers) but nothing routes to them anymore.
+	conns := rt.conns
+	targetIdx := -1
+	if spareConn != nil {
+		conns = append(append([]*conn(nil), rt.conns...), spareConn)
+		targetIdx = len(conns) - 1
+	} else if target != nil {
+		for i, cn := range rt.conns {
+			if cn == target {
+				targetIdx = i
+				break
+			}
+		}
+	}
+	owner := append([]int(nil), rt.owner...)
+	for _, id := range lost {
+		owner[id] = targetIdx
+	}
+	t.rt.Store(&routing{conns: conns, owner: owner})
+	if spareConn != nil && !t.startConn(spareConn) {
+		return errors.New("tcpnet: transport shut down during recovery")
+	}
+	return nil
 }
 
 func (cn *conn) writeLoop() {
@@ -379,10 +721,56 @@ func (cn *conn) writeLoop() {
 		}
 		cn.c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 		if err := writeChunk(bw, entries, cn.version, meter); err != nil {
-			t.fail(fmt.Errorf("tcpnet: write to %s: %w", cn.addr, err))
-			cn.c.Close()
+			t.loseConn(cn, fmt.Errorf("write: %w", err))
 			return
 		}
+	}
+}
+
+// heartbeatLoop is the per-connection failure detector (v3+): a PING
+// every HeartbeatInterval, with the age of the last inbound frame as
+// the liveness signal (any frame proves life; PONGs merely guarantee
+// one exists on an otherwise idle connection). When the silence exceeds
+// HeartbeatMisses intervals it performs a dial-back probe for the
+// diagnostic and declares the daemon lost. Silence wins regardless of
+// the probe's outcome: a dgsd serves one driver connection at a time,
+// so a wedged daemon's listener still accepts (the probe parks in the
+// backlog) — a successful dial proves the process exists, not that it
+// serves.
+func (cn *conn) heartbeatLoop() {
+	t := cn.t
+	defer t.wg.Done()
+	interval := t.opts.HeartbeatInterval
+	window := time.Duration(t.opts.HeartbeatMisses) * interval
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cn.stopHB:
+			return
+		case <-ticker.C:
+		}
+		if cn.dead.Load() {
+			return
+		}
+		silence := time.Since(time.Unix(0, cn.lastIn.Load()))
+		if silence < window {
+			t.enqueue(cn, 0, framePing, encodePingPong(cn.pingSeq.Add(1)))
+			continue
+		}
+		// Missed-beat threshold crossed: dial-back probe, then one
+		// re-check — a PONG may have raced past the threshold read.
+		probe := "probe dial failed"
+		if pc, err := net.DialTimeout("tcp", cn.addr, interval); err == nil {
+			pc.Close()
+			probe = "probe dial connected but the serving connection stayed silent"
+		}
+		if time.Since(time.Unix(0, cn.lastIn.Load())) < window {
+			continue
+		}
+		t.loseConn(cn, fmt.Errorf("heartbeat: no inbound frame for %v (threshold %d×%v); %s",
+			silence.Round(time.Millisecond), t.opts.HeartbeatMisses, interval, probe))
+		return
 	}
 }
 
@@ -404,11 +792,12 @@ func (cn *conn) readLoop() {
 	for {
 		typ, body, err := wire.ReadFrame(cn.br)
 		if err != nil {
-			if !t.isClosing() {
-				t.fail(fmt.Errorf("tcpnet: read from %s: %w", cn.addr, err))
+			if !t.isClosing() && !cn.dead.Load() {
+				t.loseConn(cn, fmt.Errorf("read: %w", err))
 			}
 			return
 		}
+		cn.lastIn.Store(time.Now().UnixNano())
 		t.framesIn.Add(1)
 		switch typ {
 		case frameMsg:
@@ -467,6 +856,23 @@ func (cn *conn) readLoop() {
 			}
 			t.addWire(a.qid, wire.FrameOverhead+len(body))
 			t.ev.Retired(a.qid, a.site, time.Duration(a.busyNs), a.rounds, int(a.count))
+		case framePong:
+			if cn.version < 3 {
+				t.fail(fmt.Errorf("tcpnet: %s sent PONG on a v%d connection", cn.addr, cn.version))
+				return
+			}
+			if _, err := decodePingPong(body); err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad PONG: %w", cn.addr, err))
+				return
+			}
+			// lastIn was already refreshed above; the PONG's work is done.
+		case frameDeployed:
+			// A REDEPLOY completed. Outside a recovery this frame is
+			// out-of-spec.
+			if !cn.deliverDeployed(nil) {
+				t.fail(fmt.Errorf("tcpnet: unexpected DEPLOYED from %s", cn.addr))
+				return
+			}
 		case frameErr:
 			e, err := decodeErr(body)
 			if err != nil {
@@ -474,7 +880,9 @@ func (cn *conn) readLoop() {
 				return
 			}
 			if e.qid == 0 {
-				t.fail(fmt.Errorf("tcpnet: daemon %s: %s", cn.addr, e.msg))
+				derr := fmt.Errorf("tcpnet: daemon %s: %s", cn.addr, e.msg)
+				cn.deliverDeployed(derr)
+				t.fail(derr)
 				return
 			}
 			t.ev.Fail(e.qid, fmt.Errorf("tcpnet: daemon %s: %s", cn.addr, e.msg))

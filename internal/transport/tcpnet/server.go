@@ -93,6 +93,41 @@ func (k *daemonSink) Fatal(err error) {
 	k.out.close()
 }
 
+// decodeFragSet decodes and validates a DEPLOY/REDEPLOY body's hosted
+// fragments; a non-empty second return is the refusal reason. The label
+// check catches a skewed shipment (v2+): every label id a fragment
+// carries must resolve in the driver's shipped dictionary, turning a
+// would-be silent mismatch into an explicit refusal.
+func decodeFragSet(dep deployBody) (map[int]*partition.Fragment, string) {
+	frags := make(map[int]*partition.Fragment, len(dep.hosted))
+	rest := dep.frags
+	var err error
+	for _, id := range dep.hosted {
+		var f *partition.Fragment
+		f, rest, err = partition.DecodeFragment(rest)
+		if err != nil {
+			return nil, fmt.Sprintf("bad fragment for site %d: %v", id, err)
+		}
+		if f.ID != id {
+			return nil, fmt.Sprintf("fragment %d shipped in site %d's slot", f.ID, id)
+		}
+		frags[id] = f
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Sprintf("%d trailing bytes after fragments", len(rest))
+	}
+	if dep.labels != nil {
+		for id, f := range frags {
+			for _, l := range f.Labels {
+				if int(l) >= len(dep.labels) {
+					return nil, fmt.Sprintf("fragment %d carries label id %d outside the %d-entry dictionary", id, l, len(dep.labels))
+				}
+			}
+		}
+	}
+	return frags, ""
+}
+
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 1<<16)
@@ -156,38 +191,10 @@ func (s *Server) handle(c net.Conn) {
 		refuse("bad DEPLOY: " + err.Error())
 		return
 	}
-	frags := make(map[int]*partition.Fragment, len(dep.hosted))
-	rest := dep.frags
-	for _, id := range dep.hosted {
-		var f *partition.Fragment
-		f, rest, err = partition.DecodeFragment(rest)
-		if err != nil {
-			refuse(fmt.Sprintf("bad fragment for site %d: %v", id, err))
-			return
-		}
-		if f.ID != id {
-			refuse(fmt.Sprintf("fragment %d shipped in site %d's slot", f.ID, id))
-			return
-		}
-		frags[id] = f
-	}
-	if len(rest) != 0 {
-		refuse(fmt.Sprintf("%d trailing bytes after fragments", len(rest)))
+	frags, why := decodeFragSet(dep)
+	if why != "" {
+		refuse(why)
 		return
-	}
-	if dep.labels != nil {
-		// The driver shipped its label dictionary (v2+): every label id
-		// a fragment carries must resolve in it. Catching a skewed
-		// shipment here turns a would-be silent mismatch into an
-		// explicit refusal.
-		for id, f := range frags {
-			for _, l := range f.Labels {
-				if int(l) >= len(dep.labels) {
-					refuse(fmt.Sprintf("fragment %d carries label id %d outside the %d-entry dictionary", id, l, len(dep.labels)))
-					return
-				}
-			}
-		}
 	}
 
 	out := newOutbox()
@@ -279,6 +286,39 @@ func (s *Server) handle(c net.Conn) {
 			if err == nil {
 				host.CloseSession(qid)
 			}
+		case framePing:
+			if version < 3 {
+				errOut(0, "PING on a v"+fmt.Sprint(version)+" connection")
+				goto done
+			}
+			seq, err := decodePingPong(body)
+			if err != nil {
+				errOut(0, "bad PING: "+err.Error())
+				goto done
+			}
+			out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, framePong, encodePingPong(seq))})
+		case frameRedeploy:
+			if version < 3 {
+				errOut(0, "REDEPLOY on a v"+fmt.Sprint(version)+" connection")
+				goto done
+			}
+			red, err := decodeDeploy(body, version)
+			if err != nil {
+				errOut(0, "bad REDEPLOY: "+err.Error())
+				goto done
+			}
+			more, why := decodeFragSet(red)
+			if why != "" {
+				errOut(0, "bad REDEPLOY: "+why)
+				goto done
+			}
+			// Absorb a lost peer's sites (or replace our own fragments on
+			// a full re-deployment); the DEPLOYED reply tells the driver
+			// they are resident. FIFO on this connection orders any later
+			// session traffic for these sites after the installation.
+			host.AddSites(red.hosted, more)
+			out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameDeployed, nil)})
+			s.logf("dgsd: redeploy absorbed %d sites (now hosting %d/%d)", len(red.hosted), len(host.HostedIDs()), dep.total)
 		case frameBye:
 			s.logf("dgsd: driver said BYE after %d sessions", sessions)
 			goto done

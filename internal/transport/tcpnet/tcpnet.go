@@ -46,11 +46,13 @@ import (
 // ProtocolVersion is the newest protocol this build speaks; the HELLO
 // handshake negotiates down to min(driver max, daemon max), and either
 // side refuses below MinProtocolVersion. Version 2 adds message
-// coalescing (MSGB/ACKN frames) and the DEPLOY label-name table; a
-// deployment negotiated at 1 falls back to per-message frames, so a
-// new driver pinned to MaxProtocol 1 interoperates with the v1 frame
-// set unchanged.
-const ProtocolVersion uint16 = 2
+// coalescing (MSGB/ACKN frames) and the DEPLOY label-name table;
+// version 3 adds liveness and failover (PING/PONG heartbeats and the
+// REDEPLOY frame that re-hosts a lost peer's sites on a survivor). A
+// deployment negotiated below 3 simply runs without heartbeats — loss
+// is then only detected through socket errors — so a new driver
+// interoperates with older daemons unchanged.
+const ProtocolVersion uint16 = 3
 
 // MinProtocolVersion is the oldest protocol this build still speaks.
 const MinProtocolVersion uint16 = 1
@@ -73,6 +75,9 @@ const (
 	frameBye      = 0x0A // driver→daemon: graceful goodbye
 	frameMsgB     = 0x0B // both ways, v2+: several payloads of one session in one frame
 	frameAckN     = 0x0C // daemon→driver, v2+: count messages processed, aggregated busy/rounds
+	framePing     = 0x0D // driver→daemon, v3+: liveness probe (u64 seq)
+	framePong     = 0x0E // daemon→driver, v3+: echo of a PING's seq
+	frameRedeploy = 0x0F // driver→daemon, v3+: host additional sites (deployBody); daemon replies DEPLOYED
 )
 
 func frameName(t byte) string {
@@ -101,6 +106,12 @@ func frameName(t byte) string {
 		return "MSGB"
 	case frameAckN:
 		return "ACKN"
+	case framePing:
+		return "PING"
+	case framePong:
+		return "PONG"
+	case frameRedeploy:
+		return "REDEPLOY"
 	default:
 		return fmt.Sprintf("frame(%#x)", t)
 	}
@@ -350,6 +361,21 @@ func decodeMsgB(b []byte) (uint64, *wire.Batch, error) {
 		return 0, nil, fmt.Errorf("tcpnet: MSGB carries %s, not a batch", p.Kind())
 	}
 	return qid, batch, nil
+}
+
+// PING and PONG bodies (v3+) are a bare u64 sequence number; the daemon
+// echoes a PING's seq back in its PONG. Any inbound frame proves
+// liveness to the driver's failure detector, so the seq is diagnostic
+// rather than load-bearing.
+func encodePingPong(seq uint64) []byte { return appendU64(nil, seq) }
+
+func decodePingPong(b []byte) (uint64, error) {
+	r := wire.NewByteReader(b)
+	seq, err := r.U64()
+	if err != nil {
+		return 0, err
+	}
+	return seq, r.Done()
 }
 
 // errBody is the ERR frame payload; qid 0 addresses the deployment.

@@ -104,7 +104,15 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 	// Distribute to the owning sites and commit the overlay.
 	deltaStats, err := dgpm.ApplyUpdates(d.c, d.part.fr, dels, ins)
 	if err != nil {
-		return st, errorf("apply: %w while distributing updates", ErrClosed)
+		// The batch died mid-distribution: some sites may have mutated
+		// their fragments, others not, and the driver's state is still
+		// pre-batch. Mark the deployment so the next recovery re-ships
+		// EVERY fragment (not just the lost ones), restoring all sites
+		// to the driver's consistent pre-batch graph. The cause decides
+		// retryability: a lost site wraps ErrSiteLost, a shutdown wraps
+		// ErrClosed.
+		d.applyInterrupted = true
+		return st, errorf("apply: %w while distributing updates", publicErr(err))
 	}
 	st.Delta = fromCluster(deltaStats)
 	if d.remote {
@@ -161,7 +169,7 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 		addStats(&st.Maintenance, wst)
 	}
 	if firstErr != nil {
-		return st, errorf("apply: standing query refresh: %w", firstErr)
+		return st, errorf("apply: standing query refresh: %w", publicErr(firstErr))
 	}
 	return st, nil
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Failover smoke: a deployment spanning three real dgsd processes (plus
+# one spare) keeps serving oracle-correct answers after one daemon is
+# SIGKILLed mid-update-stream — recovery happens inside the one driver
+# process, no restarts. The driver half lives in
+# TestFailoverSmokeExternal (failover_smoke_test.go), gated by the
+# environment variables this script sets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT1=${DGS_FAILOVER_PORT1:-17441}
+PORT2=${DGS_FAILOVER_PORT2:-17442}
+PORT3=${DGS_FAILOVER_PORT3:-17443}
+PORT4=${DGS_FAILOVER_PORT4:-17444} # spare
+BIN=bin
+
+mkdir -p "$BIN"
+go build -o "$BIN/dgsd" ./cmd/dgsd
+
+PIDS=()
+for p in "$PORT1" "$PORT2" "$PORT3" "$PORT4"; do
+  "$BIN/dgsd" -listen "127.0.0.1:$p" &
+  PIDS+=($!)
+done
+trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+
+# Wait for all four listeners.
+for p in "$PORT1" "$PORT2" "$PORT3" "$PORT4"; do
+  for i in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+      break
+    fi
+    sleep 0.1
+  done
+done
+
+# Launch the driver: it deploys over the three serving daemons with the
+# fourth as spare, and streams verified update rounds until a failover
+# has been recorded and survived.
+DGS_FAILOVER_SMOKE_ADDRS="127.0.0.1:$PORT1,127.0.0.1:$PORT2,127.0.0.1:$PORT3" \
+DGS_FAILOVER_SMOKE_SPARE="127.0.0.1:$PORT4" \
+  go test . -run '^TestFailoverSmokeExternal$' -count=1 -v -timeout 180s &
+TEST=$!
+
+# Let the stream get going, then kill one serving daemon outright —
+# SIGKILL, not a graceful close: the driver must detect the loss and
+# fail over to the spare while updates are in flight.
+sleep 3
+echo "== killing dgsd on port $PORT2 (pid ${PIDS[1]})"
+kill -9 "${PIDS[1]}"
+
+wait "$TEST"
+echo "failover smoke: one of three daemons killed mid-stream; deployment recovered onto the spare"

@@ -29,11 +29,28 @@ for kind in falsify rankbatch push reroute subgraph vectors eqsystem values matc
   fi
 done
 
-# The HTTP spec must cover every gateway endpoint and the error and
-# overload semantics clients program against.
-for need in /query /apply /stats /healthz overload bad_request deadline "503" "Retry-After" cached version; do
+# The wire spec must cover every transport frame, including the v3
+# liveness/failover frames, and the heartbeat failure semantics.
+for need in HELLO DEPLOY OPEN CLOSE MSGB ACKN PING PONG REDEPLOY heartbeat "site-scoped" Recovery; do
+  if ! grep -qi -- "$need" docs/WIRE.md; then
+    echo "docs/WIRE.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The HTTP spec must cover every gateway endpoint and the error,
+# overload and failover semantics clients program against.
+for need in /query /apply /stats /healthz overload bad_request deadline "503" "Retry-After" cached version site_lost failovers; do
   if ! grep -qi -- "$need" docs/HTTP.md; then
     echo "docs/HTTP.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The design document must describe the fault-tolerance layer.
+for need in "Fault tolerance" ErrSiteLost faultnet "failover_smoke"; do
+  if ! grep -q -- "$need" DESIGN.md; then
+    echo "DESIGN.md does not mention '$need'"
     fail=1
   fi
 done
