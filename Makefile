@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport failover-smoke bench-failover clean help
+.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport failover-smoke bench-failover bench-planner clean help
 
 # tier1 is the gate every change must pass: static checks (go vet plus
 # the project-specific dgsvet analyzers), full build, and the test suite
@@ -109,6 +109,14 @@ bench-serving:
 bench-transport:
 	$(GO) run ./cmd/benchfig -group transport -scale 0.3 -json BENCH_TRANSPORT.json
 
+# bench-planner regenerates BENCH_PLANNER.json: planned vs
+# declaration-order evaluation over an |Eq| sweep at 64 sites (both
+# arms interleaved on resident deployments, DS asserted identical by
+# confluence), plus shared vs independent standing-query maintenance
+# at k overlapping Watches.
+bench-planner:
+	$(GO) run ./cmd/benchfig -group planner -json BENCH_PLANNER.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/impossibility
@@ -136,5 +144,6 @@ help:
 	@echo "  bench-failover   regenerate BENCH_FAILOVER.json (detection/redeploy/loss)"
 	@echo "  bench-partition  regenerate BENCH_PARTITION.json (long)"
 	@echo "  bench-serving    regenerate BENCH_SERVING.json (long)"
+	@echo "  bench-planner    regenerate BENCH_PLANNER.json (plan on/off + watch sharing)"
 	@echo "  bench-transport  regenerate BENCH_TRANSPORT.json (v1 vs coalescing)"
 	@echo "  examples         run every example program"

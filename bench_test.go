@@ -433,3 +433,35 @@ func BenchmarkDeployAmortization(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlannerArms — the planner's one-shot arms head to head: the
+// same cyclic queries on a planner-on and a planner-off deployment of
+// one 64-site web fragmentation, free network (by confluence the plan
+// cannot change what ships, so the delta is pure site compute — the
+// label-bucketed construction and selectivity-ordered seeding the
+// planner enables). Companion of benchfig -group planner.
+func BenchmarkPlannerArms(b *testing.B) {
+	dict := NewDict()
+	g := GenWeb(dict, benchWebNV, benchWebNE, 1)
+	part, err := PartitionTargetRatio(g, 64, ByVf, 0.25, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := GenCyclicPatternOver(dict, 6, 8, 4, 100)
+	for _, arm := range []struct {
+		name string
+		opts []DeployOption
+	}{
+		{"planned", nil},
+		{"unplanned", []DeployOption{WithPlannerDisabled()}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			dep, err := Deploy(part, arm.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			benchQuery(b, dep, q)
+		})
+	}
+}

@@ -49,6 +49,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		boolean   = flag.Bool("bool", false, "Boolean query (report true/false only)")
 		showAll   = flag.Bool("matches", false, "print the full match relation")
+		explain   = flag.Bool("explain", false, "print the evaluation plan (orders, estimates, canonical key) and exit without evaluating")
 		ec2       = flag.Bool("ec2", false, "charge the EC2-like link cost model (paper §6)")
 		repeat    = flag.Int("repeat", 1, "serve the query N times on the one deployment")
 		connect   = flag.String("connect", "", "comma-separated dgsd addresses: deploy the fragments over TCP instead of in-process")
@@ -164,6 +165,15 @@ func main() {
 		fail(err)
 	}
 	defer dep.Close()
+
+	if *explain {
+		pi, err := dep.Explain(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(pi)
+		return
+	}
 
 	ctx := context.Background()
 	if *repeat < 1 {

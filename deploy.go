@@ -19,6 +19,8 @@ import (
 	"dgs/internal/cluster"
 	"dgs/internal/dagsim"
 	"dgs/internal/dgpm"
+	"dgs/internal/pattern"
+	"dgs/internal/plan"
 	"dgs/internal/simulation"
 	"dgs/internal/transport/tcpnet"
 	"dgs/internal/treesim"
@@ -116,6 +118,7 @@ type deployConfig struct {
 	spares      []string
 	hbInterval  time.Duration
 	hbMisses    int
+	plannerOff  bool
 	defaults    queryConfig
 }
 
@@ -166,6 +169,16 @@ func WithTransport(tr Transport) DeployOption {
 	return func(dc *deployConfig) { dc.transport = tr }
 }
 
+// WithPlannerDisabled turns query planning off for the deployment:
+// queries evaluate in declaration order, absent-label patterns run the
+// full protocol instead of short-circuiting, and standing queries each
+// hold their own maintenance session instead of sharing one. Results
+// are identical either way — the dGPM fixpoint is confluent — so this
+// is the ablation/baseline arm, not a semantic switch.
+func WithPlannerDisabled() DeployOption {
+	return func(dc *deployConfig) { dc.plannerOff = true }
+}
+
 // WithQueryDefaults sets deployment-level defaults applied to every
 // Query before its own options.
 func WithQueryDefaults(opts ...QueryOption) DeployOption {
@@ -185,6 +198,14 @@ type Deployment struct {
 	part     *Partition
 	c        *cluster.Cluster
 	defaults queryConfig
+	// planner names the registered planner queries are planned with
+	// ("" with WithPlannerDisabled). Fixed at Deploy time.
+	planner string
+	// planStats are the label statistics plans are built from, collected
+	// once at Deploy: Apply mutates edges only, so label populations —
+	// and with them the Empty short-circuit — stay exact forever, and
+	// the degree sums remain an adequate work proxy.
+	planStats *plan.Stats
 	// remote marks a deployment whose sites hold their own fragment
 	// copies (another process); Apply then replays batches locally to
 	// keep the driver's fragmentation metadata in sync.
@@ -217,6 +238,12 @@ type Deployment struct {
 
 	watchMu  sync.Mutex
 	watchers map[*Maintained]struct{}
+	// shard is the deployment's shared standing-query shard (planner-on
+	// deployments only): every non-empty Watch pattern lives as one block
+	// of its single maintenance session. Guarded by shardMu; created
+	// lazily by the first Watch.
+	shardMu sync.Mutex
+	shard   *watchShard
 
 	mu     sync.Mutex
 	closed bool
@@ -239,9 +266,13 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 		return nil, errorf("deploy: WithTransport and WithRemoteSites are mutually exclusive")
 	}
 	d := &Deployment{
-		part:     part,
-		defaults: dc.defaults,
-		watchers: make(map[*Maintained]struct{}),
+		part:      part,
+		defaults:  dc.defaults,
+		watchers:  make(map[*Maintained]struct{}),
+		planStats: plan.Collect(part.fr.G),
+	}
+	if !dc.plannerOff {
+		d.planner = plan.Greedy
 	}
 	switch {
 	case dc.transport != nil:
@@ -295,6 +326,24 @@ func (d *Deployment) WireFrames() (sent, received int64) {
 // Partition returns the resident fragmentation.
 func (d *Deployment) Partition() *Partition { return d.part }
 
+// Planner reports the registered name of the deployment's query
+// planner, or "" when planning is disabled (WithPlannerDisabled).
+func (d *Deployment) Planner() string { return d.planner }
+
+// planFor builds the deployment's evaluation plan for p, or nil when
+// planning is disabled (or the configured planner is unregistered —
+// impossible for the built-in default, and advisory anyway).
+func (d *Deployment) planFor(p *pattern.Pattern) *plan.Plan {
+	if d.planner == "" {
+		return nil
+	}
+	f, ok := plan.PlannerByName(d.planner)
+	if !ok {
+		return nil
+	}
+	return f(p, d.planStats)
+}
+
 // Version reports the graph version: a monotone counter starting at 0
 // that Apply bumps once per batch that changes the graph (a batch whose
 // ops all cancel out does not bump it). Every Result is tagged with the
@@ -336,14 +385,25 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 	d.state.RLock()
 	defer d.state.RUnlock()
 
+	// Plan the query. A plan whose Empty verdict fired means some query
+	// node's label has zero occurrences in the deployed graph, so
+	// Q(G) = ∅ for every algorithm (initial candidates are exactly the
+	// label-consistent nodes): answer here, with no session opened and
+	// no wire traffic at all.
+	pl := d.planFor(q.p)
+	if pl != nil && pl.Empty {
+		m := simulation.NewMatch(q.p.NumNodes()).Canonical()
+		return &Result{Match: &Match{m: m}, Version: d.version.Load()}, nil
+	}
+
 	var m *simulation.Match
 	var st cluster.Stats
 	var err error
 	switch cfg.algo {
 	case AlgoDGPM:
-		m, st, err = dgpm.Eval(ctx, d.c, q.p, d.part.fr, cfg.dgpmConfig())
+		m, st, err = dgpm.EvalPlanned(ctx, d.c, q.p, d.part.fr, cfg.dgpmConfig(), pl)
 	case AlgoDGPMNoOpt:
-		m, st, err = dgpm.Eval(ctx, d.c, q.p, d.part.fr, dgpm.NOptConfig())
+		m, st, err = dgpm.EvalPlanned(ctx, d.c, q.p, d.part.fr, dgpm.NOptConfig(), pl)
 	case AlgoDGPMd:
 		m, st, err = dagsim.Eval(ctx, d.c, q.p, d.part.fr, cfg.graphIsDAG)
 	case AlgoDGPMt:

@@ -49,11 +49,13 @@ package dgs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"dgs/internal/graph"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
+	"dgs/internal/plan"
 	"dgs/internal/simulation"
 )
 
@@ -177,6 +179,34 @@ func (p *Pattern) NodeName(u QNode) string { return p.p.NodeName(u) }
 
 // String renders the pattern in the ParsePattern format.
 func (p *Pattern) String() string { return p.p.String() }
+
+// CanonicalKey returns the pattern's canonical rendering: a key
+// invariant under node renaming and declaration reordering, so
+// equivalent patterns share one cache entry, one coalesced flight, and
+// one standing-query block. Patterns past the canonicalization caps
+// (see internal/plan) fall back to a "raw\n"-prefixed declaration-order
+// key, which is merely less shareable, never wrong.
+func (p *Pattern) CanonicalKey() string { return plan.Canonicalize(p.p).Key }
+
+// Canonical returns the pattern's canonical form: an equivalent pattern
+// whose nodes are named c0..cN in canonical order, the CanonicalKey,
+// and the node mapping — perm[u] is the canonical pattern's node
+// matching this pattern's node u. Fallback patterns return themselves
+// with the identity mapping.
+func (p *Pattern) Canonical() (canon *Pattern, key string, perm []int) {
+	c := plan.Canonicalize(p.p)
+	if !strings.HasPrefix(c.Key, "raw\n") {
+		if cp, err := pattern.Parse(p.p.Dict(), c.Key); err == nil {
+			return &Pattern{p: cp}, c.Key, c.Perm
+		}
+		// Unreachable for keys Canonicalize produced; degrade to raw.
+	}
+	ident := make([]int, p.p.NumNodes())
+	for i := range ident {
+		ident[i] = i
+	}
+	return p, c.Key, ident
+}
 
 // Metric selects the boundary ratio PartitionTargetRatio controls.
 type Metric = partition.Metric

@@ -1,0 +1,155 @@
+package dgs
+
+// Explain: the planner's inspection surface. It reports how a
+// deployment would evaluate a pattern — seed and edge orders with their
+// selectivity estimates, the Empty short-circuit verdict, and the
+// renaming-invariant canonical cache key — without opening a session or
+// shipping a byte. dgsrun -explain and the gateway's "explain" request
+// field render this.
+
+import (
+	"fmt"
+	"strings"
+
+	"dgs/internal/pattern"
+	"dgs/internal/plan"
+)
+
+// PlanInfo describes the evaluation plan of one pattern against a
+// deployment, as produced by Deployment.Explain.
+type PlanInfo struct {
+	// Planner is the registered planner name, or "" when the deployment
+	// plans nothing (WithPlannerDisabled); the orders below are then the
+	// pattern's declaration orders.
+	Planner string
+	// CanonicalKey is the renaming-invariant canonical rendering of the
+	// pattern: equivalent-modulo-renaming patterns share it, so caches
+	// and standing-query sharing key on it.
+	CanonicalKey string
+	// Empty reports that some query node's label has zero occurrences in
+	// the deployed graph: Query answers ∅ without any distributed work.
+	Empty bool
+	// Nodes is the seed evaluation order, rarest label first.
+	Nodes []PlanNode
+	// Edges is the query-edge evaluation order, ascending estimated
+	// selectivity.
+	Edges []PlanEdge
+}
+
+// PlanNode is one query node in plan order.
+type PlanNode struct {
+	// Name is the node's printable identifier, Label its label name.
+	Name, Label string
+	// Est is the candidate estimate: the number of graph nodes carrying
+	// the label (exact for the deployed graph — labels never change).
+	Est uint32
+}
+
+// PlanEdge is one query edge in plan order.
+type PlanEdge struct {
+	// From and To are the endpoint node names.
+	From, To string
+	// Est is the selectivity estimate: the smaller endpoint candidate
+	// count (the counter population that can exhaust first).
+	Est uint32
+}
+
+// Explain reports how the deployment would evaluate q, without
+// executing anything. With planning disabled it still reports the
+// canonical key and per-node estimates, over declaration order.
+func (d *Deployment) Explain(q *Pattern) (*PlanInfo, error) {
+	if q == nil {
+		return nil, errorf("explain: nil pattern")
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, errorf("explain: %w", ErrClosed)
+	}
+
+	p := q.p
+	nq := p.NumNodes()
+	info := &PlanInfo{
+		Planner:      d.planner,
+		CanonicalKey: plan.Canonicalize(p).Key,
+	}
+
+	// Node and edge orders: the plan's when planning is on, declaration
+	// order otherwise. Estimates come from the deployment stats either
+	// way — they cost nothing and Explain exists to surface them.
+	est := make([]uint32, nq)
+	for u := 0; u < nq; u++ {
+		est[u] = d.planStats.Candidates(p.Label(pattern.QNode(u)))
+		if est[u] == 0 {
+			info.Empty = true
+		}
+	}
+	nodeOrder := make([]uint16, nq)
+	for u := range nodeOrder {
+		nodeOrder[u] = uint16(u)
+	}
+	// Edge enumeration in the engines' convention: u ascending,
+	// succ-slice order.
+	type edge struct{ from, to pattern.QNode }
+	var edges []edge
+	for u := 0; u < nq; u++ {
+		for _, w := range p.Succ(pattern.QNode(u)) {
+			edges = append(edges, edge{pattern.QNode(u), w})
+		}
+	}
+	edgeOrder := make([]uint16, len(edges))
+	for i := range edgeOrder {
+		edgeOrder[i] = uint16(i)
+	}
+	if pl := d.planFor(p); pl != nil {
+		nodeOrder, edgeOrder = pl.Nodes, pl.Edges
+	}
+
+	for _, u := range nodeOrder {
+		info.Nodes = append(info.Nodes, PlanNode{
+			Name:  p.NodeName(pattern.QNode(u)),
+			Label: p.LabelName(pattern.QNode(u)),
+			Est:   est[u],
+		})
+	}
+	for _, ei := range edgeOrder {
+		e := edges[ei]
+		sel := est[e.from]
+		if est[e.to] < sel {
+			sel = est[e.to]
+		}
+		info.Edges = append(info.Edges, PlanEdge{
+			From: p.NodeName(e.from),
+			To:   p.NodeName(e.to),
+			Est:  sel,
+		})
+	}
+	return info, nil
+}
+
+// String renders the plan for terminals (dgsrun -explain).
+func (pi *PlanInfo) String() string {
+	var b strings.Builder
+	planner := pi.Planner
+	if planner == "" {
+		planner = "(disabled; declaration order)"
+	}
+	fmt.Fprintf(&b, "planner: %s\n", planner)
+	if pi.Empty {
+		b.WriteString("verdict: empty — a query label has no occurrence in the graph; Query short-circuits\n")
+	}
+	b.WriteString("seed order (rarest label first):\n")
+	for _, n := range pi.Nodes {
+		fmt.Fprintf(&b, "  %s (%s) est %d\n", n.Name, n.Label, n.Est)
+	}
+	b.WriteString("edge order (ascending selectivity):\n")
+	for _, e := range pi.Edges {
+		fmt.Fprintf(&b, "  %s -> %s est %d\n", e.From, e.To, e.Est)
+	}
+	b.WriteString("canonical key:\n")
+	for _, line := range strings.Split(strings.TrimRight(pi.CanonicalKey, "\n"), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}

@@ -30,17 +30,25 @@ var byName = map[string]Algorithm{ // want "map over Algorithm misses AlgoB, Alg
 //dgsvet:exhaustive
 var matrix = []Algorithm{AlgoA, AlgoB} // want "exhaustive literal over Algorithm misses AlgoC"
 
-type SessionSpec struct{ Algo string }
+type SessionSpec struct{ Algo, Planner string }
 
 func RegisterAlgorithm(name string, f func()) {}
+
+func RegisterPlanner(name string, f func()) {}
 
 func init() {
 	RegisterAlgorithm("alpha", nil)
 	RegisterAlgorithm("alpha", nil) // want "algorithm \"alpha\" registered more than once"
+	RegisterPlanner("eagerish", nil)
+	RegisterPlanner("eagerish", nil) // want "planner \"eagerish\" registered more than once"
 }
 
 func open() SessionSpec {
 	return SessionSpec{Algo: "beta"} // want "SessionSpec.Algo \"beta\" matches no RegisterAlgorithm call"
+}
+
+func openPlanned() SessionSpec {
+	return SessionSpec{Algo: "alpha", Planner: "eager"} // want "SessionSpec.Planner \"eager\" matches no RegisterPlanner call"
 }
 
 type part struct {

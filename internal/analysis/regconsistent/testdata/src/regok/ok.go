@@ -30,9 +30,11 @@ var matrix = []Algorithm{AlgoX, AlgoY}
 // partial is fine: only marked literals must be exhaustive.
 var partial = []Algorithm{AlgoX}
 
-type SessionSpec struct{ Algo string }
+type SessionSpec struct{ Algo, Planner string }
 
 func RegisterAlgorithm(name string, f func()) {}
+
+func RegisterPlanner(name string, f func()) {}
 
 type part struct {
 	name string
@@ -45,11 +47,15 @@ func PartitionWith(g any, name string, n int) {}
 
 func init() {
 	RegisterAlgorithm("gamma", nil)
+	RegisterPlanner("greedy", nil)
 	RegisterPartitioner(part{"ldg", func() {}})
 }
 
 func use() {
 	_ = SessionSpec{Algo: "gamma"}
+	_ = SessionSpec{Algo: "gamma", Planner: "greedy"}
+	// An empty planner is the legitimate no-plan spec.
+	_ = SessionSpec{Algo: "gamma", Planner: ""}
 	PartitionWith(nil, "ldg", 4)
 	//lint:allow regconsistent — probing the unknown-name error path
 	_ = SessionSpec{Algo: "deliberately-unknown"}

@@ -1,0 +1,183 @@
+package bench
+
+// The planner experiment (beyond the paper's figures): does the
+// selectivity-greedy evaluation order pay? The plan-pt/plan-ds pair
+// sweeps the pattern's edge count on the Zipf-labeled web workload at
+// 64 sites: each point evaluates the same random queries on a
+// planner-on and a WithPlannerDisabled deployment of the same
+// fragmentation. The counter fixpoint is confluent — both arms compute
+// the identical relation (asserted here) — so the panels isolate the
+// pure cost effect of ordering falsification work by selectivity.
+//
+// Panel pair 1 runs with the zero link model, deliberately: by
+// confluence the plan cannot change what ships (plan-ds exhibits the
+// identical DS), so under the EC2 model both arms would sleep through
+// the same message schedule and PT would measure only the link model.
+// What the plan does change is site compute — label-grouped counter
+// initialization touches matching edges instead of all |Eq| per
+// adjacency entry, and the seed scan exhausts the emptiest counters
+// first — and that effect grows with |Eq|, which is exactly the sweep.
+//
+// The plan-wpt/plan-wds pair measures standing-query sharing: k
+// equivalent Watches absorb one insertion batch (the full
+// re-evaluation path) either on the planner's single shared session or
+// as k independent planner-off sessions. The shared arm's maintenance
+// bill is one window regardless of k; the independent arm pays k times.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"dgs"
+)
+
+// plannerEdgeCounts are the plan-pt sweep positions: |Eq| per pattern,
+// with |Vq| chosen so every pattern stays connected and cyclic.
+var plannerEdgeCounts = [][2]int{{2, 2}, {4, 4}, {5, 6}, {6, 8}} // {nv, ne}
+
+// plannerReps re-times each query this many times per arm: the arms
+// differ only in site compute, so the panel needs tighter averaging
+// than the network-bound groups.
+const plannerReps = 3
+
+func plannerExp(cfg Config) ([]*Figure, error) {
+	ctx := context.Background()
+
+	// Panel pair 1: planned vs unplanned one-shot evaluation, varying
+	// |Eq| at 64 sites.
+	dict := dgs.NewDict()
+	g := dgs.GenWeb(dict, cfg.scaled(webNV/2), cfg.scaled(webNE/2), cfg.Seed)
+	part, err := dgs.PartitionTargetRatio(g, 64, dgs.ByVf, 0.25, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	planned := Series{Name: "planned"}
+	unplanned := Series{Name: "unplanned"}
+	for pi, shape := range plannerEdgeCounts {
+		nv, ne := shape[0], shape[1]
+		// Matching patterns only: a pattern with an absent label (or an
+		// empty relation) would hand the planned arm its short-circuit
+		// verdict for free and measure nothing about ordering.
+		queries := make([]*dgs.Pattern, cfg.Queries)
+		for i := range queries {
+			for attempt := int64(0); ; attempt++ {
+				q := dgs.GenCyclicPattern(dict, nv, ne, cfg.Seed+int64(100*pi+i)+1000*attempt)
+				if dgs.Simulate(q, g).Ok() {
+					queries[i] = q
+					break
+				}
+				if attempt == 50 {
+					return nil, fmt.Errorf("planner |Eq|=%d: no matching pattern found in 50 draws", ne)
+				}
+			}
+		}
+		x := fmt.Sprint(ne)
+		// Both arms stay resident and the queries interleave between
+		// them, so heap state, GC debt and scheduler warmth are shared
+		// instead of charged to whichever arm runs first.
+		depOn, err := dgs.Deploy(part, dgs.WithNetwork(dgs.Network{}))
+		if err != nil {
+			return nil, err
+		}
+		depOff, err := dgs.Deploy(part, dgs.WithNetwork(dgs.Network{}), dgs.WithPlannerDisabled())
+		if err != nil {
+			depOn.Close()
+			return nil, err
+		}
+		mOn := measurement{part: partMeta(part)}
+		mOff := measurement{part: partMeta(part)}
+		runArms := func(q *dgs.Pattern, measure bool) error {
+			on, err := depOn.Query(ctx, q)
+			if err != nil {
+				return err
+			}
+			off, err := depOff.Query(ctx, q)
+			if err != nil {
+				return err
+			}
+			if !on.Match.Equal(off.Match) {
+				return fmt.Errorf("arms diverge (confluence violated)")
+			}
+			if measure {
+				mOn.add(on.Stats)
+				mOff.add(off.Stats)
+			}
+			return nil
+		}
+		runtime.GC()
+		if err := runArms(queries[0], false); err != nil { // unmeasured warm-up
+			depOn.Close()
+			depOff.Close()
+			return nil, fmt.Errorf("planner |Eq|=%d: %w", ne, err)
+		}
+		for rep := 0; rep < plannerReps; rep++ {
+			for qi, q := range queries {
+				if err := runArms(q, true); err != nil {
+					depOn.Close()
+					depOff.Close()
+					return nil, fmt.Errorf("planner |Eq|=%d query %d: %w", ne, qi, err)
+				}
+			}
+		}
+		depOn.Close()
+		depOff.Close()
+		planned.Points = append(planned.Points, mOn.point(x))
+		unplanned.Points = append(unplanned.Points, mOff.point(x))
+	}
+	pt := &Figure{ID: "plan-pt", Title: "selectivity-greedy plan vs declaration order, web graph, 64 sites", XLabel: "|Eq|", YLabel: "PT (ms)", Series: []Series{planned, unplanned}}
+	ds := &Figure{ID: "plan-ds", Title: "selectivity-greedy plan vs declaration order, web graph, 64 sites", XLabel: "|Eq|", YLabel: "DS (KB)", Series: []Series{planned, unplanned}}
+
+	// Panel pair 2: shared vs independent maintenance for k overlapping
+	// standing queries absorbing one insertion batch.
+	dict2 := dgs.NewDict()
+	g2 := dgs.GenSynthetic(dict2, cfg.scaled(synNV/8), cfg.scaled(synNE/8), cfg.Seed+1)
+	wq := dgs.GenCyclicPatternOver(dict2, 4, 6, 4, cfg.Seed+2)
+	shared := Series{Name: "shared"}
+	indep := Series{Name: "independent"}
+	for _, k := range []int{1, 2, 4, 8} {
+		x := fmt.Sprint(k)
+		for _, off := range []bool{false, true} {
+			// A fresh fragmentation per arm: Apply mutates it, and both
+			// arms must absorb the identical batch from the identical
+			// graph (same seed, same state → same stream).
+			wpart, err := dgs.PartitionTargetRatio(g2, 8, dgs.ByVf, 0.25, cfg.Seed+3)
+			if err != nil {
+				return nil, err
+			}
+			dopts := []dgs.DeployOption{dgs.WithNetwork(cfg.network())}
+			if off {
+				dopts = append(dopts, dgs.WithPlannerDisabled())
+			}
+			dep, err := dgs.Deploy(wpart, dopts...)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < k; i++ {
+				w, err := dep.Watch(ctx, wq)
+				if err != nil {
+					dep.Close()
+					return nil, err
+				}
+				defer w.Close()
+			}
+			ops := dgs.GenUpdateStream(wpart.CurrentGraph(), 5, 25, cfg.Seed+4)
+			st, err := dep.Apply(ctx, ops)
+			if err != nil {
+				dep.Close()
+				return nil, err
+			}
+			m := measurement{part: partMeta(wpart)}
+			m.add(st.Maintenance)
+			dep.Close()
+			if off {
+				indep.Points = append(indep.Points, m.point(x))
+			} else {
+				shared.Points = append(shared.Points, m.point(x))
+			}
+		}
+	}
+	wpt := &Figure{ID: "plan-wpt", Title: "k equivalent standing queries, one insertion batch: shared session vs independent", XLabel: "watches", YLabel: "PT (ms)", Series: []Series{shared, indep}}
+	wds := &Figure{ID: "plan-wds", Title: "k equivalent standing queries, one insertion batch: shared session vs independent", XLabel: "watches", YLabel: "DS (KB)", Series: []Series{shared, indep}}
+	return []*Figure{pt, ds, wpt, wds}, nil
+}

@@ -171,10 +171,14 @@ func transportExp(cfg Config) ([]*Figure, error) {
 		name string
 		opts []dgs.DeployOption
 	}
+	// Planner off on every arm: protocol v4 ships the evaluation plan in
+	// OPEN while a v1 connection cannot, so with the planner on the arms
+	// would no longer carry identical control traffic and the wire
+	// comparison would measure plan blobs, not framing.
 	arms := []arm{
-		{"inproc", nil},
-		{"tcp-v1", []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithWireProtocolMax(1)}},
-		{"tcp", []dgs.DeployOption{dgs.WithRemoteSites(addrs...)}},
+		{"inproc", []dgs.DeployOption{dgs.WithPlannerDisabled()}},
+		{"tcp-v1", []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithWireProtocolMax(1), dgs.WithPlannerDisabled()}},
+		{"tcp", []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithPlannerDisabled()}},
 	}
 
 	fragCounts := []int{2, 4, 8, 64}

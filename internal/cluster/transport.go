@@ -38,6 +38,13 @@ type SessionSpec struct {
 	Algo   string
 	Query  []byte
 	Config []byte
+	// Planner and Plan carry an optional evaluation plan (internal/plan
+	// wire encoding) built by the named registered planner. Plans are
+	// advisory — they reorder work without changing results — so
+	// transports that negotiated a pre-plan protocol version may drop
+	// them silently; the site then evaluates in declaration order.
+	Planner string
+	Plan    []byte
 }
 
 // Transport hosts the worker sites of one deployment and moves encoded

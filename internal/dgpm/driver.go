@@ -18,6 +18,7 @@ import (
 	"dgs/internal/graph"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
+	"dgs/internal/plan"
 	"dgs/internal/simulation"
 	"dgs/internal/wire"
 )
@@ -57,8 +58,19 @@ func (c *collector) assemble() *simulation.Match {
 // fr must be the fragmentation resident on c (it sizes and documents the
 // deployment; the sites evaluate against their own resident copies).
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config) (*simulation.Match, cluster.Stats, error) {
+	return EvalPlanned(ctx, c, q, fr, cfg, nil)
+}
+
+// EvalPlanned is Eval with an advisory evaluation plan for q (nil runs
+// unplanned). The plan ships in the session spec; sites that never see
+// it — pre-plan daemons — fall back to declaration order, with results
+// identical by the fixpoint's confluence.
+func EvalPlanned(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config, pl *plan.Plan) (*simulation.Match, cluster.Stats, error) {
 	coord := &collector{nq: q.NumNodes()}
 	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), Config: EncodeConfig(cfg)}
+	if pl != nil {
+		spec.Planner, spec.Plan = pl.Planner, pl.Encode()
+	}
 	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
 		return nil, cluster.Stats{}, err

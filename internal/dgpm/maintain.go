@@ -34,6 +34,7 @@ import (
 	"dgs/internal/graph"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
+	"dgs/internal/plan"
 	"dgs/internal/simulation"
 	"dgs/internal/wire"
 )
@@ -183,50 +184,82 @@ func ApplyUpdates(c *cluster.Cluster, fr *partition.Fragmentation, dels, ins [][
 	return st, nil
 }
 
-// Maintainer is a standing query: a long-lived maintenance session whose
-// per-site engines survive between batches, refined incrementally under
-// deletions and rebuilt under insertions.
-type Maintainer struct {
+// Standing is a set of standing queries fed by ONE long-lived
+// maintenance session: the member patterns are stacked into a disjoint
+// union (pattern.Union), the union evaluates as a single dGPM fixpoint,
+// and each member's relation is read back from its block slice. Because
+// no query edge crosses blocks, the union relation restricted to a
+// block is exactly that pattern's own relation — but the session-level
+// costs (session setup, report round-trips, per-site engine scans, the
+// deletion deltas themselves) are paid once for all members instead of
+// once per member. That is the planner's multi-query sharing: K
+// overlapping Watches cost one session, not K.
+//
+// Per-site engines survive between batches, refined incrementally under
+// deletions and rebuilt under insertions, exactly as a single-query
+// Maintainer.
+type Standing struct {
 	c  *cluster.Cluster
-	q  *pattern.Pattern
 	fr *partition.Fragmentation
+	qs []*pattern.Pattern
+
+	union *pattern.Pattern
+	offs  []int
+	pl    *plan.Plan // advisory plan for the union; may be nil
 
 	sess  *cluster.Session
 	coord *collector
-	base  cluster.Stats // session stats at the current window's start
 
-	cur  *simulation.Match
-	last cluster.Stats // the last window's isolated stats
+	cur  []*simulation.Match // per block
+	last cluster.Stats       // the last window's isolated stats
 }
 
-// NewMaintainer evaluates q as a standing query on the cluster and
-// returns the maintenance handle. The session stays registered until
-// Close (or cluster shutdown).
-func NewMaintainer(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*Maintainer, error) {
-	m := &Maintainer{c: c, q: q, fr: fr}
-	if err := m.Reevaluate(ctx); err != nil {
+// NewStanding evaluates the patterns as standing queries over one
+// session. planFor, when non-nil, is consulted once with the union
+// pattern and may return an advisory evaluation plan (or nil). The
+// session stays registered until Close (or cluster shutdown).
+func NewStanding(ctx context.Context, c *cluster.Cluster, fr *partition.Fragmentation, qs []*pattern.Pattern, planFor func(*pattern.Pattern) *plan.Plan) (*Standing, error) {
+	union, offs, err := pattern.Union(qs)
+	if err != nil {
 		return nil, err
 	}
-	return m, nil
+	s := &Standing{c: c, fr: fr, qs: qs, union: union, offs: offs}
+	if planFor != nil {
+		s.pl = planFor(union)
+	}
+	if err := s.Reevaluate(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
-// Current returns the maintained match relation as of the last
+// NumBlocks reports the number of member patterns.
+func (s *Standing) NumBlocks() int { return len(s.qs) }
+
+// Pattern returns member k's pattern.
+func (s *Standing) Pattern(k int) *pattern.Pattern { return s.qs[k] }
+
+// Current returns member k's maintained match relation as of the last
 // successfully applied window.
-func (m *Maintainer) Current() *simulation.Match { return m.cur }
+func (s *Standing) Current(k int) *simulation.Match { return s.cur[k] }
 
 // LastStats reports the isolated traffic/time of the last window
-// (initial evaluation, deletion refinement, or re-evaluation).
-func (m *Maintainer) LastStats() cluster.Stats { return m.last }
+// (initial evaluation, deletion refinement, or re-evaluation) — shared
+// by all members, since the session is.
+func (s *Standing) LastStats() cluster.Stats { return s.last }
 
 // Reevaluate rebuilds the session from the (mutated) fragments and runs
-// the standing query's fixpoint from scratch — the initial evaluation
+// the standing union's fixpoint from scratch — the initial evaluation
 // and the insertion fallback share this path. A fresh session is used
 // because restart-in-place would race the old session's in-flight
 // falsifications against the new engines.
-func (m *Maintainer) Reevaluate(ctx context.Context) error {
-	coord := &collector{nq: m.q.NumNodes()}
-	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(m.q), Config: EncodeConfig(MaintConfig())}
-	sess, err := m.c.OpenSession(cluster.SessionMaintenance, spec, coord)
+func (s *Standing) Reevaluate(ctx context.Context) error {
+	coord := &collector{nq: s.union.NumNodes()}
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(s.union), Config: EncodeConfig(MaintConfig())}
+	if s.pl != nil {
+		spec.Planner, spec.Plan = s.pl.Planner, s.pl.Encode()
+	}
+	sess, err := s.c.OpenSession(cluster.SessionMaintenance, spec, coord)
 	if err != nil {
 		return err
 	}
@@ -236,70 +269,124 @@ func (m *Maintainer) Reevaluate(ctx context.Context) error {
 		sess.Close()
 		return err
 	}
-	cur, err := collect(ctx, sess, coord)
+	cur, err := s.collect(ctx, sess, coord)
 	if err != nil {
 		sess.Close()
 		return err
 	}
-	if m.sess != nil {
-		m.sess.Close()
+	if s.sess != nil {
+		s.sess.Close()
 	}
-	m.sess, m.coord = sess, coord
-	m.cur = cur
-	m.last = sess.Stats()
-	m.last.Wall = time.Since(start)
-	m.base = sess.Stats()
+	s.sess, s.coord = sess, coord
+	s.cur = cur
+	s.last = sess.Stats()
+	s.last.Wall = time.Since(start)
 	return nil
 }
 
-// ApplyDeletions refines the standing relation under the batch's edge
-// deletions: deltas are injected at the owning sites, falsifications
-// propagate to the fixpoint, and the refreshed relation is assembled.
-func (m *Maintainer) ApplyDeletions(ctx context.Context, dels [][2]graph.NodeID) error {
+// ApplyDeletions refines the standing relations under the batch's edge
+// deletions: deltas are injected at the owning sites once — all members
+// share the propagation — and the per-block relations are reassembled.
+func (s *Standing) ApplyDeletions(ctx context.Context, dels [][2]graph.NodeID) error {
 	perSite := make(map[int][][2]uint32)
 	for _, e := range dels {
-		i := int(m.fr.Assign[e[0]])
+		i := int(s.fr.Assign[e[0]])
 		perSite[i] = append(perSite[i], [2]uint32{uint32(e[0]), uint32(e[1])})
 	}
 	start := time.Now()
-	before := m.sess.Stats()
+	before := s.sess.Stats()
 	sites := make([]int, 0, len(perSite))
 	for i := range perSite {
 		sites = append(sites, i)
 	}
 	sort.Ints(sites)
 	for _, i := range sites {
-		m.sess.Inject(i, &wire.Delta{Dels: perSite[i]})
+		s.sess.Inject(i, &wire.Delta{Dels: perSite[i]})
 	}
-	if err := m.sess.WaitQuiesce(ctx); err != nil {
+	if err := s.sess.WaitQuiesce(ctx); err != nil {
 		return err
 	}
-	cur, err := collect(ctx, m.sess, m.coord)
+	cur, err := s.collect(ctx, s.sess, s.coord)
 	if err != nil {
 		return err
 	}
-	m.cur = cur
-	m.last = m.sess.Stats().Minus(before)
-	m.last.Wall = time.Since(start)
+	s.cur = cur
+	s.last = s.sess.Stats().Minus(before)
+	s.last.Wall = time.Since(start)
 	return nil
 }
 
-// collect re-assembles the standing relation: the coordinator's pair
-// buffer is reset (safe: the session is quiescent, so no handler runs)
-// and every site re-ships its local matches.
-func collect(ctx context.Context, sess *cluster.Session, coord *collector) (*simulation.Match, error) {
+// collect re-assembles the standing relations: the coordinator's pair
+// buffer is reset (safe: the session is quiescent, so no handler runs),
+// every site re-ships its local matches, and the union pairs are split
+// into per-block relations. Canonicalization (the ∅-if-any-node-empty
+// rule of §4.1 phase 3) is applied PER BLOCK: one unmatched member must
+// empty its own relation only, not its session-mates'.
+func (s *Standing) collect(ctx context.Context, sess *cluster.Session, coord *collector) ([]*simulation.Match, error) {
 	coord.pairs = coord.pairs[:0]
 	sess.Broadcast(&wire.Control{Op: OpReport})
 	if err := sess.WaitQuiesce(ctx); err != nil {
 		return nil, err
 	}
-	return coord.assemble(), nil
+	per := make([]*simulation.Match, len(s.qs))
+	for k, q := range s.qs {
+		per[k] = simulation.NewMatch(q.NumNodes())
+	}
+	for _, r := range coord.pairs {
+		u := int(r.U)
+		// Block k owns [offs[k], offs[k+1]).
+		k := sort.SearchInts(s.offs, u+1) - 1
+		per[k].Sets[u-s.offs[k]] = append(per[k].Sets[u-s.offs[k]], graph.NodeID(r.V))
+	}
+	for k := range per {
+		per[k].Sort()
+		per[k] = per[k].Canonical()
+	}
+	return per, nil
+}
+
+// Close unregisters the standing session. The last relations remain
+// readable via Current.
+func (s *Standing) Close() {
+	if s.sess != nil {
+		s.sess.Close()
+	}
+}
+
+// Maintainer is a single standing query: a one-block Standing, kept as
+// the simple facade for callers without sharing.
+type Maintainer struct {
+	s *Standing
+}
+
+// NewMaintainer evaluates q as a standing query on the cluster and
+// returns the maintenance handle. The session stays registered until
+// Close (or cluster shutdown).
+func NewMaintainer(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*Maintainer, error) {
+	s, err := NewStanding(ctx, c, fr, []*pattern.Pattern{q}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{s: s}, nil
+}
+
+// Current returns the maintained match relation as of the last
+// successfully applied window.
+func (m *Maintainer) Current() *simulation.Match { return m.s.Current(0) }
+
+// LastStats reports the isolated traffic/time of the last window.
+func (m *Maintainer) LastStats() cluster.Stats { return m.s.LastStats() }
+
+// Reevaluate rebuilds the session from the (mutated) fragments; see
+// Standing.Reevaluate.
+func (m *Maintainer) Reevaluate(ctx context.Context) error { return m.s.Reevaluate(ctx) }
+
+// ApplyDeletions refines the standing relation under the batch's edge
+// deletions; see Standing.ApplyDeletions.
+func (m *Maintainer) ApplyDeletions(ctx context.Context, dels [][2]graph.NodeID) error {
+	return m.s.ApplyDeletions(ctx, dels)
 }
 
 // Close unregisters the standing session. The last relation remains
 // readable via Current.
-func (m *Maintainer) Close() {
-	if m.sess != nil {
-		m.sess.Close()
-	}
-}
+func (m *Maintainer) Close() { m.s.Close() }

@@ -13,6 +13,7 @@ import (
 	"dgs/internal/graph"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
+	"dgs/internal/plan"
 	"dgs/internal/wire"
 )
 
@@ -45,6 +46,10 @@ type site struct {
 	frag   *partition.Fragment
 	assign []int32 // owner directory (IRI/hashing stand-in, §2.2)
 	cfg    Config
+	// pl is the session's advisory evaluation plan (nil: declaration
+	// order). Rebuild paths reuse it — the plan depends only on the
+	// query and the deployment's immutable label statistics.
+	pl *plan.Plan
 
 	eng *Engine
 
@@ -68,12 +73,13 @@ type site struct {
 	pending []wire.Payload
 }
 
-func newSite(q *pattern.Pattern, frag *partition.Fragment, assign []int32, cfg Config) *site {
+func newSite(q *pattern.Pattern, frag *partition.Fragment, assign []int32, cfg Config, pl *plan.Plan) *site {
 	return &site{
 		q:          q,
 		frag:       frag,
 		assign:     assign,
 		cfg:        cfg,
+		pl:         pl,
 		extraWatch: make(map[graph.NodeID][]int),
 		pushedTo:   make(map[int]bool),
 		reported:   make(map[wire.VarRef]bool),
@@ -92,7 +98,7 @@ func (s *site) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 	case *wire.Control:
 		switch m.Op {
 		case OpStart:
-			s.eng = NewEngine(s.q, s.frag)
+			s.eng = NewEnginePlanned(s.q, s.frag, s.pl)
 			if !s.cfg.Incremental {
 				// Seed the reported set from the initial evaluation so a
 				// later rebuild does not resend these.
@@ -119,7 +125,7 @@ func (s *site) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 		} else {
 			// dGPMNOpt: full re-evaluation from scratch on every message.
 			s.extFalse = append(s.extFalse, m.Pairs...)
-			s.eng = NewEngine(s.q, s.frag)
+			s.eng = NewEnginePlanned(s.q, s.frag, s.pl)
 			s.eng.ApplyFalsifications(s.extFalse)
 			s.flushTracked(ctx, s.eng.Drain())
 		}

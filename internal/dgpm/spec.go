@@ -14,6 +14,7 @@ import (
 	"dgs/internal/cluster"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
+	"dgs/internal/plan"
 )
 
 const (
@@ -69,9 +70,36 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return newSite(q, frag, assign, cfg), nil
+		pl, err := decodeSpecPlan(spec, q)
+		if err != nil {
+			return nil, err
+		}
+		return newSite(q, frag, assign, cfg, pl), nil
 	})
 	cluster.RegisterAlgorithm(AlgoUpdate, func(spec cluster.SessionSpec, frag *partition.Fragment, assign []int32) (cluster.Handler, error) {
 		return &updSite{frag: frag, assign: assign}, nil
 	})
+}
+
+// decodeSpecPlan extracts and validates the optional evaluation plan of
+// a session spec: the planner name must be registered (a daemon should
+// reject a plan it cannot attribute, same as an unknown algorithm) and
+// the orders must fit the decoded pattern. Specs without a plan — from
+// planner-off drivers or pre-plan transports — yield nil.
+func decodeSpecPlan(spec cluster.SessionSpec, q *pattern.Pattern) (*plan.Plan, error) {
+	if spec.Planner == "" && len(spec.Plan) == 0 {
+		return nil, nil
+	}
+	if _, ok := plan.PlannerByName(spec.Planner); !ok {
+		return nil, fmt.Errorf("dgpm: unknown planner %q", spec.Planner)
+	}
+	pl, err := plan.Decode(spec.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.Fits(q); err != nil {
+		return nil, err
+	}
+	pl.Planner = spec.Planner
+	return pl, nil
 }

@@ -1,0 +1,110 @@
+package partition
+
+// The fragment topology index: the dense, query-independent view of a
+// fragment that every evaluation engine otherwise rebuilds from the
+// Succ/Labels maps on each query. A resident deployment answers many
+// queries against the same fragment, so the index is built once, cached
+// on the Fragment, and shared read-only; any fragment mutation drops
+// the cache. Callers that mutate adjacency during evaluation (standing
+// maintenance sessions) must copy the Succ/Pred rows they touch — the
+// index itself is immutable.
+
+import (
+	"dgs/internal/graph"
+)
+
+// Index is an immutable dense snapshot of a fragment's topology.
+// Visible nodes are indexed 0..len(Vis)-1 with the NL local nodes
+// first, then the virtual nodes, in Fragment order (Local then
+// Virtual).
+type Index struct {
+	// Vis lists local then virtual node IDs; VisIdx inverts it.
+	Vis    []graph.NodeID
+	VisIdx map[graph.NodeID]int32
+	// NL is the number of local nodes (the local prefix of Vis).
+	NL int32
+	// IsIn marks the local indices that are in-nodes.
+	IsIn []bool
+	// Succ[li] and Pred[vi] are the dense adjacency rows (indices into
+	// Vis); Succ covers local sources only.
+	Succ [][]int32
+	Pred [][]int32
+	// Labels[i] is the label of Vis[i].
+	Labels []graph.Label
+	// ByLabel buckets visible indices per label, ascending — so each
+	// bucket's local candidates form its prefix, ending at the first
+	// index ≥ NL.
+	ByLabel map[graph.Label][]int32
+	// InOf and VirtOf count, per label, the in-node and virtual-node
+	// candidates (the benefit function's per-label tallies).
+	InOf   map[graph.Label]int
+	VirtOf map[graph.Label]int
+}
+
+// Index returns the fragment's cached topology index, building it on
+// first use. The returned value is shared and must be treated as
+// read-only; it is dropped whenever the fragment mutates.
+func (f *Fragment) Index() *Index {
+	f.idxMu.Lock()
+	defer f.idxMu.Unlock()
+	if f.idx == nil {
+		f.idx = f.buildIndex()
+	}
+	return f.idx
+}
+
+// invalidateIndex drops the cached topology index; every mutating
+// Fragment method calls it.
+func (f *Fragment) invalidateIndex() {
+	f.idxMu.Lock()
+	f.idx = nil
+	f.idxMu.Unlock()
+}
+
+func (f *Fragment) buildIndex() *Index {
+	nl := len(f.Local)
+	nvis := nl + len(f.Virtual)
+	ix := &Index{
+		Vis:     make([]graph.NodeID, 0, nvis),
+		VisIdx:  make(map[graph.NodeID]int32, nvis),
+		NL:      int32(nl),
+		IsIn:    make([]bool, nl),
+		Succ:    make([][]int32, nl),
+		Pred:    make([][]int32, nvis),
+		Labels:  make([]graph.Label, nvis),
+		ByLabel: make(map[graph.Label][]int32),
+		InOf:    make(map[graph.Label]int),
+		VirtOf:  make(map[graph.Label]int),
+	}
+	ix.Vis = append(ix.Vis, f.Local...)
+	ix.Vis = append(ix.Vis, f.Virtual...)
+	for i, v := range ix.Vis {
+		ix.VisIdx[v] = int32(i)
+		ix.Labels[i] = f.Labels[v]
+	}
+	for _, v := range f.InNodes {
+		ix.IsIn[ix.VisIdx[v]] = true
+	}
+	for li := 0; li < nl; li++ {
+		ws := f.Succ[f.Local[li]]
+		if len(ws) == 0 {
+			continue
+		}
+		row := make([]int32, len(ws))
+		for i, w := range ws {
+			wi := ix.VisIdx[w]
+			row[i] = wi
+			ix.Pred[wi] = append(ix.Pred[wi], int32(li))
+		}
+		ix.Succ[li] = row
+	}
+	for i, l := range ix.Labels {
+		ix.ByLabel[l] = append(ix.ByLabel[l], int32(i))
+		if i >= nl {
+			ix.VirtOf[l]++
+		} else if ix.IsIn[i] {
+			ix.InOf[l]++
+		}
+	}
+	return ix
+}

@@ -33,6 +33,7 @@ func (f *Fragment) DeleteEdge(v, w graph.NodeID) (droppedVirtual bool, err error
 	if i >= len(row) || row[i] != w {
 		return false, fmt.Errorf("partition: fragment %d has no edge (%d,%d)", f.ID, v, w)
 	}
+	f.invalidateIndex()
 	// Copy-on-write: rows may still alias the Build-time CSR arrays.
 	nrow := make([]graph.NodeID, 0, len(row)-1)
 	nrow = append(nrow, row[:i]...)
@@ -72,6 +73,7 @@ func (f *Fragment) InsertEdge(v, w graph.NodeID, wLabel graph.Label, wOwner int)
 	if i < len(row) && row[i] == w {
 		return false, fmt.Errorf("partition: fragment %d already has edge (%d,%d)", f.ID, v, w)
 	}
+	f.invalidateIndex()
 	nrow := make([]graph.NodeID, 0, len(row)+1)
 	nrow = append(nrow, row[:i]...)
 	nrow = append(nrow, w)
@@ -102,6 +104,7 @@ func (f *Fragment) AddWatcher(v graph.NodeID, id int) (becameIn bool) {
 	if i < len(ws) && ws[i] == id {
 		return false
 	}
+	f.invalidateIndex()
 	ws = append(ws, 0)
 	copy(ws[i+1:], ws[i:])
 	ws[i] = id
@@ -118,6 +121,7 @@ func (f *Fragment) AddWatcher(v graph.NodeID, id int) (becameIn bool) {
 func (f *Fragment) RemoveWatcher(v graph.NodeID, id int) (droppedIn bool) {
 	ws := f.InWatchers[v]
 	if i := sort.SearchInts(ws, id); i < len(ws) && ws[i] == id {
+		f.invalidateIndex()
 		ws = append(ws[:i], ws[i+1:]...)
 	}
 	if len(ws) > 0 {

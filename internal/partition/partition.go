@@ -65,6 +65,11 @@ type Fragment struct {
 
 	numEdges    int
 	numCrossing int
+
+	// idx caches the dense topology index (see Index); dropped by every
+	// mutating method.
+	idxMu sync.Mutex
+	idx   *Index
 }
 
 // NumNodes reports |Vi| (local nodes only).

@@ -1,0 +1,50 @@
+package pattern
+
+// Disjoint pattern union: the planner's vehicle for multi-query
+// sharing. K standing queries stacked into one pattern evaluate in one
+// maintenance session — graph simulation decomposes over the blocks,
+// because no query edge crosses block boundaries, so each block's slice
+// of the union relation is exactly that pattern's own relation.
+
+import "fmt"
+
+// Union returns the disjoint union of the given patterns plus the block
+// offset table: block k's query node u appears in the union as
+// offs[k]+u, and offs[len(ps)] is the union's node count. All patterns
+// must share one label dictionary (they do within a deployment); node
+// names are dropped — the union is an internal evaluation artifact, not
+// a user-facing pattern.
+func Union(ps []*Pattern) (*Pattern, []int, error) {
+	if len(ps) == 0 {
+		return nil, nil, fmt.Errorf("pattern: union of zero patterns")
+	}
+	u := New(ps[0].dict)
+	offs := make([]int, len(ps)+1)
+	for k, p := range ps {
+		if p.dict != u.dict {
+			return nil, nil, fmt.Errorf("pattern: union across distinct dictionaries")
+		}
+		base := QNode(len(u.labels))
+		offs[k] = int(base)
+		for _, l := range p.labels {
+			u.labels = append(u.labels, l)
+			u.names = append(u.names, "")
+		}
+		for _, ss := range p.succ {
+			row := make([]QNode, len(ss))
+			for i, w := range ss {
+				row[i] = w + base
+			}
+			u.succ = append(u.succ, row)
+		}
+		for _, pp := range p.pred {
+			row := make([]QNode, len(pp))
+			for i, w := range pp {
+				row[i] = w + base
+			}
+			u.pred = append(u.pred, row)
+		}
+	}
+	offs[len(ps)] = len(u.labels)
+	return u, offs, nil
+}

@@ -1,0 +1,293 @@
+package plan
+
+// Canonical pattern form: a deterministic renaming of query nodes under
+// which any two patterns that differ only by node naming/declaration
+// order render to the same string. The algorithm is iterative
+// refinement (color refinement on label + out/in-degree, the standard
+// graph-canonization workhorse) with individualization on ties: when a
+// color class holds several nodes, each member is tried as the class
+// representative and the lexicographically smallest resulting encoding
+// wins. Patterns are tiny (|Vq| is single digits in the paper's
+// workloads), so the worst-case blowup on highly symmetric patterns is
+// capped and falls back to the declaration-order rendering — losing
+// sharing for that pattern, never correctness.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dgs/internal/graph"
+	"dgs/internal/pattern"
+)
+
+const (
+	// maxCanonNodes bounds the patterns we canonicalize; larger ones get
+	// the declaration-order fallback key.
+	maxCanonNodes = 64
+	// maxCanonLeaves bounds the individualization search on symmetric
+	// patterns (the product of tied-cell sizes along a search path).
+	maxCanonLeaves = 1024
+)
+
+// Canon is the canonical form of a pattern.
+type Canon struct {
+	// Key is the canonical rendering. For canonicalized patterns it is
+	// valid Parse input (nodes named c0..cN in canonical order), so
+	// Parse(Key) canonicalizes back to the same Key. Fallback keys carry
+	// a "raw\n" prefix, which no canonical rendering starts with.
+	Key string
+	// Perm maps each query node (declaration index) to its position in
+	// the canonical order. Identity for fallback keys.
+	Perm []int
+}
+
+// Canonicalize computes the canonical form of q. It is invariant under
+// node renaming and declaration reordering: for any permutation π,
+// Canonicalize(π(q)).Key == Canonicalize(q).Key (unless both exceed the
+// symmetry cap and fall back).
+func Canonicalize(q *pattern.Pattern) Canon {
+	n := q.NumNodes()
+	ident := func() Canon {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		return Canon{Key: "raw\n" + q.String(), Perm: perm}
+	}
+	if n == 0 || n > maxCanonNodes {
+		return ident()
+	}
+
+	c := &canonizer{n: n, labels: make([]graph.Label, n)}
+	c.succ = make([][]int, n)
+	c.pred = make([][]int, n)
+	for u := 0; u < n; u++ {
+		c.labels[u] = q.Label(pattern.QNode(u))
+		for _, w := range q.Succ(pattern.QNode(u)) {
+			c.succ[u] = append(c.succ[u], int(w))
+			c.pred[w] = append(c.pred[w], u)
+		}
+	}
+
+	// Initial coloring: (label, outdeg, indeg).
+	init := c.rank(func(u int) string {
+		return fmt.Sprintf("%d|%d|%d", c.labels[u], len(c.succ[u]), len(c.pred[u]))
+	})
+	c.search(init)
+	if c.bestPerm == nil {
+		return ident() // symmetry cap hit
+	}
+	return Canon{Key: c.render(q), Perm: c.bestPerm}
+}
+
+type canonizer struct {
+	n      int
+	labels []graph.Label
+	succ   [][]int
+	pred   [][]int
+
+	leaves   int
+	bestEnc  string
+	bestPerm []int // node -> canonical position
+}
+
+// rank assigns dense color ranks 0..k-1 from a per-node signature.
+func (c *canonizer) rank(sig func(u int) string) []int {
+	sigs := make([]string, c.n)
+	for u := 0; u < c.n; u++ {
+		sigs[u] = sig(u)
+	}
+	order := make([]string, c.n)
+	copy(order, sigs)
+	sort.Strings(order)
+	rankOf := make(map[string]int, c.n)
+	r := 0
+	for i, s := range order {
+		if i == 0 || s != order[i-1] {
+			rankOf[s] = r
+			r++
+		}
+	}
+	colors := make([]int, c.n)
+	for u := 0; u < c.n; u++ {
+		colors[u] = rankOf[sigs[u]]
+	}
+	return colors
+}
+
+// refine runs color refinement to the stable partition: each round
+// extends a node's color with the sorted colors of its successors and
+// predecessors; rounds stop when no class splits (the color count is
+// monotone and bounded by n).
+func (c *canonizer) refine(colors []int) []int {
+	count := func(cs []int) int {
+		max := -1
+		for _, x := range cs {
+			if x > max {
+				max = x
+			}
+		}
+		return max + 1
+	}
+	for {
+		before := count(colors)
+		if before == c.n {
+			return colors
+		}
+		cur := colors
+		next := c.rank(func(u int) string {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d:", cur[u])
+			ns := make([]int, 0, len(c.succ[u]))
+			for _, w := range c.succ[u] {
+				ns = append(ns, cur[w])
+			}
+			sort.Ints(ns)
+			for _, x := range ns {
+				fmt.Fprintf(&sb, "s%d", x)
+			}
+			ns = ns[:0]
+			for _, w := range c.pred[u] {
+				ns = append(ns, cur[w])
+			}
+			sort.Ints(ns)
+			for _, x := range ns {
+				fmt.Fprintf(&sb, "p%d", x)
+			}
+			return sb.String()
+		})
+		if count(next) == before {
+			return next
+		}
+		colors = next
+	}
+}
+
+// search explores the individualization tree under the first (smallest-
+// color) non-singleton cell and records the minimal leaf encoding.
+func (c *canonizer) search(colors []int) {
+	if c.leaves > maxCanonLeaves {
+		return
+	}
+	colors = c.refine(colors)
+
+	// Locate the non-singleton cell with the smallest color.
+	size := make([]int, c.n+1)
+	for _, x := range colors {
+		size[x]++
+	}
+	cell := -1
+	for col := 0; col < c.n; col++ {
+		if size[col] > 1 {
+			cell = col
+			break
+		}
+	}
+	if cell < 0 {
+		// Discrete: colors are positions.
+		c.leaves++
+		if c.leaves > maxCanonLeaves {
+			c.bestPerm = nil
+			c.bestEnc = ""
+			return
+		}
+		enc := c.encode(colors)
+		if c.bestEnc == "" || enc < c.bestEnc {
+			c.bestEnc = enc
+			c.bestPerm = append([]int(nil), colors...)
+		}
+		return
+	}
+	for v := 0; v < c.n; v++ {
+		if colors[v] != cell {
+			continue
+		}
+		// Individualize v: strictly smaller than its cellmates, all other
+		// relative orders preserved.
+		ind := make([]int, c.n)
+		for u := 0; u < c.n; u++ {
+			ind[u] = colors[u] * 2
+			if colors[u] == cell && u != v {
+				ind[u]++
+			}
+		}
+		c.search(ind)
+		if c.leaves > maxCanonLeaves {
+			c.bestPerm = nil
+			c.bestEnc = ""
+			return
+		}
+	}
+}
+
+// encode renders a discrete coloring for comparison: labels by position,
+// then the sorted edge list in positions. Every leaf of one pattern's
+// search tree has the same label sequence (cells are label-homogeneous),
+// so leaves differ only in their edge lists.
+func (c *canonizer) encode(pos []int) string {
+	var sb strings.Builder
+	byPos := make([]int, c.n)
+	for u, p := range pos {
+		byPos[p] = u
+	}
+	for p := 0; p < c.n; p++ {
+		fmt.Fprintf(&sb, "n%d;", c.labels[byPos[p]])
+	}
+	type pedge struct{ a, b int }
+	var edges []pedge
+	for u := 0; u < c.n; u++ {
+		for _, w := range c.succ[u] {
+			edges = append(edges, pedge{pos[u], pos[w]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "e%d,%d;", e.a, e.b)
+	}
+	return sb.String()
+}
+
+// render emits the canonical key in Parse format: nodes c0..cN in
+// canonical order, then edges sorted by (from, to). This matches what
+// Pattern.String() produces for the reparsed key, so the key is a fixed
+// point of Parse∘Canonicalize. Labels without a dictionary name render
+// as "#<id>" (such keys are cache-comparable but not re-parseable).
+func (c *canonizer) render(q *pattern.Pattern) string {
+	var sb strings.Builder
+	pos := c.bestPerm
+	byPos := make([]int, c.n)
+	for u, p := range pos {
+		byPos[p] = u
+	}
+	dict := q.Dict()
+	for p := 0; p < c.n; p++ {
+		name := dict.Name(c.labels[byPos[p]])
+		if name == "" {
+			name = fmt.Sprintf("#%d", c.labels[byPos[p]])
+		}
+		fmt.Fprintf(&sb, "node c%d %s\n", p, name)
+	}
+	type pedge struct{ a, b int }
+	var edges []pedge
+	for u := 0; u < c.n; u++ {
+		for _, w := range c.succ[u] {
+			edges = append(edges, pedge{pos[u], pos[w]})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "edge c%d c%d\n", e.a, e.b)
+	}
+	return sb.String()
+}

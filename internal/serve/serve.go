@@ -166,6 +166,10 @@ type QueryRequest struct {
 	// NoCache bypasses the result cache and coalescing for this query
 	// (it still passes admission control).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Explain returns the evaluation plan — node/edge orders with
+	// selectivity estimates and the canonical cache key — without
+	// executing the query. Nothing is evaluated, cached or admitted.
+	Explain bool `json:"explain,omitempty"`
 	// TimeoutMS overrides the server's default per-query deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -213,21 +217,77 @@ type QueryResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Stats is the distributed evaluation cost.
 	Stats QueryStats `json:"stats"`
+	// Plan is the evaluation plan; only for Explain requests, which
+	// carry no evaluation fields (OK/Pairs/Stats stay zero).
+	Plan *PlanBody `json:"plan,omitempty"`
+}
+
+// PlanBody is the JSON rendering of a query's evaluation plan.
+type PlanBody struct {
+	// Planner is the deployment's planner name ("" when disabled).
+	Planner string `json:"planner"`
+	// CanonicalKey is the renaming-invariant cache key.
+	CanonicalKey string `json:"canonical_key"`
+	// Empty reports the absent-label short-circuit verdict.
+	Empty bool `json:"empty"`
+	// Nodes is the seed order, rarest label first; Edges the query-edge
+	// order, ascending selectivity.
+	Nodes []PlanNodeBody `json:"nodes"`
+	Edges []PlanEdgeBody `json:"edges"`
+}
+
+// PlanNodeBody is one query node in plan order.
+type PlanNodeBody struct {
+	Name  string `json:"name"`
+	Label string `json:"label"`
+	Est   uint32 `json:"est"`
+}
+
+// PlanEdgeBody is one query edge in plan order.
+type PlanEdgeBody struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Est  uint32 `json:"est"`
+}
+
+func toPlanBody(pi *dgs.PlanInfo) *PlanBody {
+	b := &PlanBody{
+		Planner:      pi.Planner,
+		CanonicalKey: pi.CanonicalKey,
+		Empty:        pi.Empty,
+		Nodes:        make([]PlanNodeBody, len(pi.Nodes)),
+		Edges:        make([]PlanEdgeBody, len(pi.Edges)),
+	}
+	for i, n := range pi.Nodes {
+		b.Nodes[i] = PlanNodeBody{Name: n.Name, Label: n.Label, Est: n.Est}
+	}
+	for i, e := range pi.Edges {
+		b.Edges[i] = PlanEdgeBody{From: e.From, To: e.To, Est: e.Est}
+	}
+	return b
 }
 
 // compiled is a parsed and canonicalized query.
 type compiled struct {
+	// reqQ is the pattern as posted (its node names render the
+	// response); q is its canonical form — the pattern actually
+	// evaluated, so results cache and coalesce across every
+	// renamed-equivalent request — and perm maps reqQ's node u to q's
+	// node perm[u].
+	reqQ        *dgs.Pattern
 	q           *dgs.Pattern
+	perm        []int
 	opts        []dgs.QueryOption
 	algo        dgs.Algorithm
-	key         string // canonical pattern text + config
+	key         string // canonical pattern key + config
 	wantMatches bool
 }
 
 // compile parses and canonicalizes a request. The cache key is the
-// pattern's String() rendering — identical structures parse to identical
-// renderings regardless of input formatting — plus every config knob
-// that can change the answer or its cost.
+// pattern's canonical key — invariant under node renaming and
+// declaration reordering, so equivalent patterns share one entry no
+// matter how they were written — plus every config knob that can change
+// the answer or its cost.
 func (s *Server) compile(req QueryRequest) (*compiled, error) {
 	if strings.TrimSpace(req.Pattern) == "" {
 		return nil, badRequest("empty pattern")
@@ -235,11 +295,11 @@ func (s *Server) compile(req QueryRequest) (*compiled, error) {
 	// The label dictionary is safe for concurrent interning (lock-free
 	// reads, serialized writers), so request threads parse in parallel —
 	// pattern compilation is no longer a gateway-wide critical section.
-	q, err := dgs.ParsePattern(s.dict, req.Pattern)
+	reqQ, err := dgs.ParsePattern(s.dict, req.Pattern)
 	if err != nil {
 		return nil, badRequest("pattern: %v", err)
 	}
-	canon := q.String()
+	q, canon, perm := reqQ.Canonical()
 	algo := s.opts.Algorithm
 	if req.Algo != "" {
 		a, ok := AlgorithmByName(req.Algo)
@@ -262,7 +322,15 @@ func (s *Server) compile(req QueryRequest) (*compiled, error) {
 		opts = append(opts, dgs.WithGraphIsDAG())
 		cfg += ";dag"
 	}
-	return &compiled{q: q, opts: opts, algo: algo, key: canon + "\x00" + cfg, wantMatches: req.IncludeMatches}, nil
+	return &compiled{
+		reqQ:        reqQ,
+		q:           q,
+		perm:        perm,
+		opts:        opts,
+		algo:        algo,
+		key:         canon + "\x00" + cfg,
+		wantMatches: req.IncludeMatches,
+	}, nil
 }
 
 // Query answers one request: cache, coalesce, admit, evaluate. Error
@@ -274,6 +342,18 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	if err != nil {
 		atomic.AddInt64(&s.nErrors, 1)
 		return nil, err
+	}
+	if req.Explain {
+		// Plan-only: nothing is evaluated, admitted or cached.
+		pi, err := s.dep.Explain(c.reqQ)
+		if err != nil {
+			return nil, s.countErr(err)
+		}
+		return &QueryResponse{
+			Algo:    c.algo.String(),
+			Version: s.dep.Version(),
+			Plan:    toPlanBody(pi),
+		}, nil
 	}
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -368,16 +448,19 @@ func (s *Server) respond(c *compiled, res *dgs.Result, cached, coalesced bool) *
 		Stats:     toQueryStats(res.Stats),
 	}
 	if c.wantMatches {
-		resp.Matches = matchesOf(c.q, res.Match)
+		resp.Matches = matchesOf(c, res.Match)
 	}
 	return resp
 }
 
-// matchesOf renders the full relation keyed by query node name.
-func matchesOf(q *dgs.Pattern, m *dgs.Match) map[string][]dgs.NodeID {
-	out := make(map[string][]dgs.NodeID, q.NumNodes())
-	for u := 0; u < q.NumNodes(); u++ {
-		out[q.NodeName(dgs.QNode(u))] = append([]dgs.NodeID(nil), m.MatchesOf(dgs.QNode(u))...)
+// matchesOf renders the full relation keyed by the REQUEST's node names:
+// the result is indexed by the canonical pattern's nodes (possibly
+// computed for a differently-named equivalent request), so each request
+// node reads its match set through the canonical mapping.
+func matchesOf(c *compiled, m *dgs.Match) map[string][]dgs.NodeID {
+	out := make(map[string][]dgs.NodeID, c.reqQ.NumNodes())
+	for u := 0; u < c.reqQ.NumNodes(); u++ {
+		out[c.reqQ.NodeName(dgs.QNode(u))] = append([]dgs.NodeID(nil), m.MatchesOf(dgs.QNode(c.perm[u]))...)
 	}
 	return out
 }

@@ -71,9 +71,9 @@ func TestCacheHitMissInvalidate(t *testing.T) {
 		t.Fatalf("cached response diverged: %+v vs %+v", r2, r1)
 	}
 
-	// A same-structure pattern written in different formatting and node
-	// names canonicalizes... to a different key for different names, but
-	// the same key for pure formatting changes.
+	// A pattern written in different formatting canonicalizes to the
+	// same key (renamed equivalents share it too; see
+	// TestCacheSharedAcrossRenamedPatterns).
 	r3, err := w.srv.Query(ctx, QueryRequest{Pattern: "  node a l0\n\n# comment\nnode b l1\nedge a b\nedge b a"})
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +181,132 @@ func TestCoalescing(t *testing.T) {
 	}
 	if c := w.srv.Counters(); c.Coalesced != int64(coalesced) {
 		t.Fatalf("coalesced counter %d, want %d", c.Coalesced, coalesced)
+	}
+}
+
+// TestCacheSharedAcrossRenamedPatterns: the cache keys on the
+// pattern's canonical form, so a request equivalent modulo node
+// renaming (and declaration reordering) hits the entry its twin
+// filled — and its match sets come back keyed by ITS node names,
+// remapped through the canonical permutation.
+func TestCacheSharedAcrossRenamedPatterns(t *testing.T) {
+	w := newWorld(t, Options{})
+	ctx := context.Background()
+
+	r1, err := w.srv.Query(ctx, QueryRequest{Pattern: "node a l0\nnode b l1\nedge a b\nedge b a", IncludeMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first query reported cached")
+	}
+	// Same structure, renamed and reordered: p plays b's role (label
+	// l1), q plays a's (label l0).
+	r2, err := w.srv.Query(ctx, QueryRequest{Pattern: "node p l1\nnode q l0\nedge p q\nedge q p", IncludeMatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("renamed-equivalent pattern missed the cache")
+	}
+	if r2.OK != r1.OK || r2.Pairs != r1.Pairs {
+		t.Fatalf("equivalent patterns answered differently: %+v vs %+v", r2, r1)
+	}
+	if !equalIDs(r2.Matches["p"], r1.Matches["b"]) || !equalIDs(r2.Matches["q"], r1.Matches["a"]) {
+		t.Fatal("cached result not remapped to the request's node names")
+	}
+	// The remapped sets agree with evaluating the renamed pattern
+	// directly.
+	q2, err := dgs.ParsePattern(w.dict, "node p l1\nnode q l0\nedge p q\nedge q p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.dep.Query(ctx, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < q2.NumNodes(); u++ {
+		name := q2.NodeName(dgs.QNode(u))
+		if !equalIDs(r2.Matches[name], want.Match.MatchesOf(dgs.QNode(u))) {
+			t.Fatalf("node %s: cached-remapped set diverges from direct evaluation", name)
+		}
+	}
+	// A structurally distinct pattern is still its own entry.
+	r3, err := w.srv.Query(ctx, QueryRequest{Pattern: "node a l0\nnode b l1\nedge a b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("distinct pattern falsely shared a cache entry")
+	}
+	if c := w.srv.Counters(); c.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (only the renamed equivalent)", c.Hits)
+	}
+}
+
+func equalIDs(a, b []dgs.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExplainRequest: Explain returns the plan without evaluating,
+// caching or admitting anything, over both the library and HTTP
+// surfaces.
+func TestExplainRequest(t *testing.T) {
+	w := newWorld(t, Options{})
+	ctx := context.Background()
+
+	resp, err := w.srv.Query(ctx, QueryRequest{Pattern: w.pattern(), Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan == nil {
+		t.Fatal("explain response carries no plan")
+	}
+	if resp.Plan.Planner != w.dep.Planner() || resp.Plan.Planner == "" {
+		t.Fatalf("plan names planner %q, deployment uses %q", resp.Plan.Planner, w.dep.Planner())
+	}
+	if resp.Plan.CanonicalKey == "" || len(resp.Plan.Nodes) != 2 || len(resp.Plan.Edges) != 2 {
+		t.Fatalf("plan malformed: %+v", resp.Plan)
+	}
+	if resp.OK || resp.Pairs != 0 || resp.Cached {
+		t.Fatalf("explain response carries evaluation fields: %+v", resp)
+	}
+	// Nothing was evaluated or cached: the next real query is a miss.
+	r2, err := w.srv.Query(ctx, QueryRequest{Pattern: w.pattern()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("explain populated the cache")
+	}
+	// Absent label surfaces the Empty verdict.
+	re, err := w.srv.Query(ctx, QueryRequest{Pattern: "node a zz_never\nnode b l0\nedge a b", Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Plan.Empty {
+		t.Fatal("absent-label explain not marked Empty")
+	}
+	// Over HTTP.
+	ts := httptest.NewServer(w.srv.Handler())
+	defer ts.Close()
+	var hr QueryResponse
+	postJSON(t, ts.URL+"/query", QueryRequest{Pattern: w.pattern(), Explain: true}, &hr)
+	if hr.Plan == nil || hr.Plan.CanonicalKey != resp.Plan.CanonicalKey {
+		t.Fatalf("HTTP explain diverges from direct: %+v", hr.Plan)
+	}
+	// Malformed patterns still classify as the client's fault.
+	var reqErr *RequestError
+	if _, err := w.srv.Query(ctx, QueryRequest{Pattern: "frob", Explain: true}); err == nil || !asRequestError(err, &reqErr) {
+		t.Fatalf("malformed explain: %v, want RequestError", err)
 	}
 }
 

@@ -22,9 +22,9 @@ func TestDecodeOpenCopiesSpec(t *testing.T) {
 	body := encodeOpen(openBody{
 		qid:  7,
 		kind: cluster.SessionQuery,
-		spec: cluster.SessionSpec{Algo: "a", Query: []byte{1, 2, 3}, Config: []byte{9, 8}}, //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
-	})
-	o, err := decodeOpen(body)
+		spec: cluster.SessionSpec{Algo: "a", Query: []byte{1, 2, 3}, Config: []byte{9, 8}, Planner: "greedy", Plan: []byte{4, 5}}, //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
+	}, ProtocolVersion)
+	o, err := decodeOpen(body, ProtocolVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,6 +33,36 @@ func TestDecodeOpenCopiesSpec(t *testing.T) {
 	}
 	if !bytes.Equal(o.spec.Query, []byte{1, 2, 3}) || !bytes.Equal(o.spec.Config, []byte{9, 8}) {
 		t.Fatalf("decoded spec aliases the frame buffer: query=%v config=%v", o.spec.Query, o.spec.Config)
+	}
+	if o.spec.Planner != "greedy" || !bytes.Equal(o.spec.Plan, []byte{4, 5}) {
+		t.Fatalf("decoded plan fields mangled: planner=%q plan=%v", o.spec.Planner, o.spec.Plan)
+	}
+}
+
+// Pre-4 connections must get — and strict-decode — the plan-less OPEN
+// body: the plan fields are dropped, not smuggled past an old decoder.
+func TestEncodeOpenDropsPlanBelowV4(t *testing.T) {
+	o := openBody{
+		qid:  7,
+		kind: cluster.SessionQuery,
+		spec: cluster.SessionSpec{Algo: "a", Query: []byte{1}, Config: []byte{2}, Planner: "greedy", Plan: []byte{3, 3}}, //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
+	}
+	for _, v := range []uint16{1, 2, 3} {
+		got, err := decodeOpen(encodeOpen(o, v), v)
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		if got.spec.Planner != "" || got.spec.Plan != nil {
+			t.Fatalf("v%d carried plan fields: %+v", v, got.spec)
+		}
+		if got.spec.Algo != "a" || !bytes.Equal(got.spec.Query, []byte{1}) {
+			t.Fatalf("v%d mangled the base spec: %+v", v, got.spec)
+		}
+	}
+	// A v4 body handed to a strict pre-4 decoder must be rejected, not
+	// silently truncated — this is what forces the per-connection encode.
+	if _, err := decodeOpen(encodeOpen(o, 4), 3); err == nil {
+		t.Fatal("v3 decoder accepted a v4 body with trailing plan fields")
 	}
 }
 

@@ -399,8 +399,17 @@ func (t *Net) Open(qid uint64, kind cluster.SessionKind, spec cluster.SessionSpe
 	t.mu.Lock()
 	t.perQID[qid] = 0 // arm the session's wire meter
 	t.mu.Unlock()
-	body := encodeOpen(openBody{qid: qid, kind: kind, spec: spec})
+	// Connections can sit at different negotiated versions (e.g. a spare
+	// daemon older than the rest), so the body is encoded per version:
+	// pre-4 peers get the plan-less body they can strict-decode.
+	o := openBody{qid: qid, kind: kind, spec: spec}
+	bodies := make(map[uint16][]byte, 2)
 	for _, cn := range t.rt.Load().conns {
+		body, ok := bodies[cn.version]
+		if !ok {
+			body = encodeOpen(o, cn.version)
+			bodies[cn.version] = body
+		}
 		t.enqueue(cn, qid, frameOpen, body)
 	}
 	return nil

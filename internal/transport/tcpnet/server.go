@@ -246,7 +246,7 @@ func (s *Server) handle(c net.Conn) {
 		}
 		switch typ {
 		case frameOpen:
-			o, err := decodeOpen(body)
+			o, err := decodeOpen(body, version)
 			if err != nil {
 				errOut(0, "bad OPEN: "+err.Error())
 				continue

@@ -51,8 +51,12 @@ import (
 // REDEPLOY frame that re-hosts a lost peer's sites on a survivor). A
 // deployment negotiated below 3 simply runs without heartbeats — loss
 // is then only detected through socket errors — so a new driver
-// interoperates with older daemons unchanged.
-const ProtocolVersion uint16 = 3
+// interoperates with older daemons unchanged. Version 4 extends the
+// OPEN body with the evaluation plan (planner name + internal/plan
+// blob); plans are advisory, so on connections negotiated below 4 the
+// driver encodes the pre-plan OPEN body and the daemon evaluates in
+// declaration order with identical results.
+const ProtocolVersion uint16 = 4
 
 // MinProtocolVersion is the oldest protocol this build still speaks.
 const MinProtocolVersion uint16 = 1
@@ -164,15 +168,27 @@ type openBody struct {
 	spec cluster.SessionSpec
 }
 
-func encodeOpen(o openBody) []byte {
+// encodeOpen renders the OPEN body for a connection that negotiated
+// version. Pre-4 peers decode the body strictly, so the plan fields are
+// emitted only at ≥4; dropping them is safe because plans are advisory
+// (the unplanned site evaluates in declaration order, same results).
+// At ≥4 the pair is trailing-optional — a planless session's OPEN is
+// byte-identical to the pre-plan body, so disabling the planner keeps
+// the wire identical across protocol versions.
+func encodeOpen(o openBody, version uint16) []byte {
 	dst := appendU64(nil, o.qid)
 	dst = append(dst, byte(o.kind))
 	dst = appendBlob(dst, []byte(o.spec.Algo))
 	dst = appendBlob(dst, o.spec.Query)
-	return appendBlob(dst, o.spec.Config)
+	dst = appendBlob(dst, o.spec.Config)
+	if version >= 4 && (o.spec.Planner != "" || len(o.spec.Plan) > 0) {
+		dst = appendBlob(dst, []byte(o.spec.Planner))
+		dst = appendBlob(dst, o.spec.Plan)
+	}
+	return dst
 }
 
-func decodeOpen(b []byte) (openBody, error) {
+func decodeOpen(b []byte, version uint16) (openBody, error) {
 	r := wire.NewByteReader(b)
 	var o openBody
 	var err error
@@ -198,6 +214,16 @@ func decodeOpen(b []byte) (openBody, error) {
 	}
 	if o.spec.Config, err = readBlobCopy(r); err != nil {
 		return o, err
+	}
+	if version >= 4 && r.Remaining() > 0 {
+		planner, err := readBlob(r)
+		if err != nil {
+			return o, err
+		}
+		o.spec.Planner = string(planner)
+		if o.spec.Plan, err = readBlobCopy(r); err != nil {
+			return o, err
+		}
 	}
 	return o, r.Done()
 }

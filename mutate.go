@@ -18,6 +18,9 @@ import (
 	"dgs/internal/dgpm"
 	"dgs/internal/graph"
 	"dgs/internal/partition"
+	"dgs/internal/pattern"
+	"dgs/internal/plan"
+	"dgs/internal/simulation"
 )
 
 // EdgeOp is one update of an update batch: the deletion or insertion of
@@ -42,7 +45,9 @@ type ApplyStats struct {
 	Delta Stats
 	// Maintenance aggregates the standing queries' refinement traffic —
 	// incremental falsification propagation for a deletion-only batch,
-	// full re-evaluation when the batch inserts edges.
+	// full re-evaluation when the batch inserts edges. Standing queries
+	// sharing one maintenance session (planner-on deployments) pay their
+	// session's cost once here, not once per handle.
 	Maintenance Stats
 	// Reevaluated counts standing queries that fell back to full
 	// re-evaluation (insertions in the batch, or a previously failed
@@ -179,6 +184,16 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 // and its match relation is kept current by every subsequent Apply. The
 // returned handle serves the relation without further distributed work;
 // Close it when the standing query is no longer needed.
+//
+// On a planner-on deployment, standing queries share ONE maintenance
+// session: each distinct pattern (modulo node renaming — canonical-form
+// equality) is one block of a disjoint pattern union, and a Watch whose
+// pattern is equivalent to a live one joins its block without any
+// distributed work at all. A pattern whose label is absent from the
+// graph never opens a session: its handle serves ∅ statically, since
+// the node set and labels of a deployed graph are fixed. With
+// WithPlannerDisabled, every Watch holds its own session (the unshared
+// baseline).
 func (d *Deployment) Watch(ctx context.Context, q *Pattern) (*Maintained, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -198,21 +213,292 @@ func (d *Deployment) Watch(ctx context.Context, q *Pattern) (*Maintained, error)
 	// against the post-batch graph.
 	d.state.RLock()
 	defer d.state.RUnlock()
-	mnt, err := dgpm.NewMaintainer(ctx, d.c, q.p, d.part.fr)
-	if err != nil {
-		return nil, errorf("watch: %w", err)
-	}
-	w := &Maintained{
-		d:    d,
-		q:    q,
-		mnt:  mnt,
-		cur:  &Match{m: mnt.Current()},
-		last: fromCluster(mnt.LastStats()),
+
+	var w *Maintained
+	if pl := d.planFor(q.p); pl != nil && pl.Empty {
+		// Absent label: Q(G) = ∅ now and after every future batch (edge
+		// updates cannot mint label occurrences), so the handle is
+		// static — no session, no refresh work, never stale.
+		w = &Maintained{d: d, q: q, cur: &Match{m: emptyRelation(q.p.NumNodes())}}
+	} else if d.planner == "" {
+		var err error
+		if w, err = d.watchUnshared(ctx, q); err != nil {
+			return nil, errorf("watch: %w", err)
+		}
+	} else {
+		var err error
+		if w, err = d.watchShared(ctx, q); err != nil {
+			return nil, errorf("watch: %w", err)
+		}
 	}
 	d.watchMu.Lock()
 	d.watchers[w] = struct{}{}
 	d.watchMu.Unlock()
 	return w, nil
+}
+
+// watchUnshared gives the standing query a private one-block shard —
+// its own maintenance session, the planner-off baseline.
+func (d *Deployment) watchUnshared(ctx context.Context, q *Pattern) (*Maintained, error) {
+	st, err := dgpm.NewStanding(ctx, d.c, d.part.fr, []*pattern.Pattern{q.p}, nil)
+	if err != nil {
+		return nil, err
+	}
+	sh := &watchShard{
+		d:         d,
+		st:        st,
+		refreshed: d.version.Load(),
+		last:      fromCluster(st.LastStats()),
+	}
+	b := &watchBlock{q: q.p, perm: identityPerm(q.p.NumNodes()), refs: 1}
+	sh.blocks = []*watchBlock{b}
+	return newHandle(d, q, sh, b, identityPerm(q.p.NumNodes())), nil
+}
+
+// watchShared adds the standing query to the deployment's single shared
+// shard: equivalent patterns join a live block for free; a new distinct
+// pattern rebuilds the union session over the live blocks plus itself
+// (one full evaluation — the same price Watch always paid — after which
+// every batch is absorbed once for all members).
+func (d *Deployment) watchShared(ctx context.Context, q *Pattern) (*Maintained, error) {
+	c := plan.Canonicalize(q.p)
+	d.shardMu.Lock()
+	sh := d.shard
+	if sh == nil {
+		sh = &watchShard{d: d}
+		d.shard = sh
+	}
+	d.shardMu.Unlock()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Equivalent to a live block? Join it: compose the two canonical
+	// permutations into a node remap and read the leader's relation.
+	for _, b := range sh.blocks {
+		if b.refs > 0 && b.key == c.Key {
+			b.refs++
+			remap := composeRemap(b.perm, c.Perm)
+			w := newHandle(d, q, sh, b, remap)
+			return w, nil
+		}
+	}
+	// Distinct pattern: rebuild the union session from the live blocks
+	// plus the newcomer (dead blocks are pruned here). The old session
+	// stays untouched until the new one is up, so a failed Watch leaves
+	// every existing handle exactly as it was.
+	live := make([]*watchBlock, 0, len(sh.blocks)+1)
+	for _, b := range sh.blocks {
+		if b.refs > 0 {
+			live = append(live, b)
+		}
+	}
+	nb := &watchBlock{key: c.Key, q: q.p, perm: c.Perm, refs: 1}
+	live = append(live, nb)
+	qs := make([]*pattern.Pattern, len(live))
+	for i, b := range live {
+		qs[i] = b.q
+	}
+	st, err := dgpm.NewStanding(ctx, d.c, d.part.fr, qs, d.planFor)
+	if err != nil {
+		return nil, err
+	}
+	if sh.st != nil {
+		sh.st.Close()
+	}
+	sh.st = st
+	sh.blocks = live
+	sh.refreshed = d.version.Load()
+	sh.stale = false
+	sh.last = fromCluster(st.LastStats())
+	return newHandle(d, q, sh, nb, identityPerm(q.p.NumNodes())), nil
+}
+
+// newHandle builds a Maintained over its shard block, snapshotting the
+// current relation. Callers must hold d.state (read) — and, for shared
+// shards, arrange that no concurrent rebuild races the snapshot (the
+// shared path holds sh.mu).
+func newHandle(d *Deployment, q *Pattern, sh *watchShard, b *watchBlock, remap []int) *Maintained {
+	w := &Maintained{d: d, q: q, shard: sh, block: b, remap: remap}
+	if m := sh.snapshotLocked(b, remap); m != nil {
+		w.cur = &Match{m: m}
+	} else {
+		w.cur = &Match{m: emptyRelation(q.p.NumNodes())}
+	}
+	w.last = sh.last
+	return w
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// composeRemap maps the handle pattern's nodes onto the leader
+// pattern's: node u of the joiner occupies canonical position
+// joinPerm[u], which the leader fills with the node whose leadPerm
+// entry is that position.
+func composeRemap(leadPerm, joinPerm []int) []int {
+	inv := make([]int, len(leadPerm))
+	for u, pos := range leadPerm {
+		inv[pos] = u
+	}
+	remap := make([]int, len(joinPerm))
+	for u, pos := range joinPerm {
+		remap[u] = inv[pos]
+	}
+	return remap
+}
+
+// emptyRelation is the canonical empty match relation over n query
+// nodes.
+func emptyRelation(n int) *simulation.Match {
+	return simulation.NewMatch(n).Canonical()
+}
+
+// watchShard is a set of standing queries fed by one dgpm.Standing
+// session: its blocks, one per distinct pattern, are read by one or
+// more Maintained handles each. Planner-on deployments keep a single
+// shared shard; planner-off handles get private one-block shards. All
+// fields after d are guarded by mu.
+type watchShard struct {
+	d *Deployment
+
+	mu     sync.Mutex
+	st     *dgpm.Standing // nil once every block's handles closed
+	blocks []*watchBlock  // aligned with st's member patterns
+	// refreshed is the graph version the session last absorbed. Apply
+	// touches every handle, but a shared session must pay each batch
+	// once: later handles of the same batch hit the version guard and
+	// only re-read their block.
+	refreshed uint64
+	// stale marks a failed (cancelled) refresh; the next window
+	// re-evaluates.
+	stale bool
+	// lastWasReeval records whether the last window was a full
+	// re-evaluation (for ApplyStats.Reevaluated accounting on
+	// non-driving handles).
+	lastWasReeval bool
+	// last is the cost of the last refresh window.
+	last Stats
+}
+
+// refresh absorbs one committed batch (graph version ver) into the
+// session, once: the first handle of the batch drives the work and gets
+// its stats back for aggregation; subsequent handles see the version
+// guard and return zero stats. A shard that missed a version entirely
+// (its handles were marked stale mid-Apply) cannot trust this batch's
+// deletions alone and re-evaluates.
+func (sh *watchShard) refresh(ctx context.Context, ver uint64, dels [][2]NodeID, hasIns bool) (reeval bool, st Stats, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.st == nil {
+		return false, Stats{}, nil
+	}
+	if sh.refreshed == ver && !sh.stale {
+		return sh.lastWasReeval, Stats{}, nil
+	}
+	reeval = hasIns || sh.stale || sh.refreshed+1 != ver
+	if reeval {
+		err = sh.st.Reevaluate(ctx)
+	} else {
+		err = sh.st.ApplyDeletions(ctx, dels)
+	}
+	sh.lastWasReeval = reeval
+	if err != nil {
+		sh.stale = true
+		return reeval, Stats{}, err
+	}
+	sh.stale = false
+	sh.refreshed = ver
+	sh.last = fromCluster(sh.st.LastStats())
+	return reeval, sh.last, nil
+}
+
+// reevaluate unconditionally re-runs the standing fixpoint (user
+// Refresh, failover recovery — the version guard must not skip it: the
+// graph may be unchanged while the per-site engines are gone).
+func (sh *watchShard) reevaluate(ctx context.Context, ver uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.st == nil {
+		return nil
+	}
+	err := sh.st.Reevaluate(ctx)
+	sh.lastWasReeval = true
+	if err != nil {
+		sh.stale = true
+		return err
+	}
+	sh.stale = false
+	sh.refreshed = ver
+	sh.last = fromCluster(sh.st.LastStats())
+	return nil
+}
+
+// snapshot reads block b's relation remapped into a handle's node
+// order; nil if the block is gone (closed shard).
+func (sh *watchShard) snapshot(b *watchBlock, remap []int) *simulation.Match {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.snapshotLocked(b, remap)
+}
+
+func (sh *watchShard) snapshotLocked(b *watchBlock, remap []int) *simulation.Match {
+	if sh.st == nil {
+		return nil
+	}
+	for k, o := range sh.blocks {
+		if o == b {
+			cur := sh.st.Current(k)
+			m := simulation.NewMatch(len(remap))
+			for u, lu := range remap {
+				m.Sets[u] = cur.Sets[lu]
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+func (sh *watchShard) lastStats() Stats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.last
+}
+
+// release drops one handle's reference to its block. A block at zero
+// references stops being evaluated at the next rebuild; once every
+// block is dead the session itself is closed (the next Watch starts a
+// fresh one).
+func (sh *watchShard) release(b *watchBlock) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b.refs--; b.refs > 0 {
+		return
+	}
+	for _, o := range sh.blocks {
+		if o.refs > 0 {
+			return
+		}
+	}
+	if sh.st != nil {
+		sh.st.Close()
+		sh.st = nil
+	}
+	sh.blocks = nil
+}
+
+// watchBlock is one member pattern of a shard: the leader pattern the
+// session evaluates, its canonical form, and how many open handles read
+// it. Guarded by the owning shard's mu.
+type watchBlock struct {
+	key  string           // canonical key ("" for private planner-off shards)
+	q    *pattern.Pattern // leader pattern, as evaluated by the session
+	perm []int            // leader node -> canonical position
+	refs int
 }
 
 // Maintained is a standing query's handle: a match relation kept current
@@ -221,8 +507,15 @@ type Maintained struct {
 	d *Deployment
 	q *Pattern
 
+	// shard/block/remap locate this handle's relation inside its
+	// maintenance session; remap[u] is the leader-pattern node matching
+	// the handle pattern's node u. A nil shard is the static-∅ handle of
+	// an absent-label pattern. Immutable after Watch.
+	shard *watchShard
+	block *watchBlock
+	remap []int
+
 	mu     sync.Mutex
-	mnt    *dgpm.Maintainer
 	cur    *Match
 	last   Stats
 	stale  bool
@@ -242,7 +535,8 @@ func (w *Maintained) Current() *Match {
 
 // LastStats reports the distributed cost of the last refresh window:
 // the initial evaluation, a deletion batch's incremental refinement, or
-// an insertion batch's re-evaluation.
+// an insertion batch's re-evaluation. Handles sharing a session report
+// the shared window's cost.
 func (w *Maintained) LastStats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -262,38 +556,39 @@ func (w *Maintained) Stale() bool {
 // committed to the graph).
 func (w *Maintained) markStale() {
 	w.mu.Lock()
-	if !w.closed {
+	if !w.closed && w.shard != nil {
 		w.stale = true
 	}
 	w.mu.Unlock()
 }
 
-// refresh brings the standing relation up to date with one batch. It
-// returns whether a full re-evaluation ran.
+// refresh brings the standing relation up to date with one committed
+// batch. It returns whether a full re-evaluation ran, and the cost to
+// aggregate — zero for handles whose shard already absorbed the batch.
 func (w *Maintained) refresh(ctx context.Context, dels [][2]NodeID, hasIns bool) (reeval bool, st Stats, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed {
+	if w.closed || w.shard == nil {
+		// Closed, or static-∅: nothing to do (an absent label cannot be
+		// matched into existence by edge updates).
 		return false, Stats{}, nil
 	}
-	reeval = hasIns || w.stale
-	if reeval {
-		err = w.mnt.Reevaluate(ctx)
-	} else {
-		err = w.mnt.ApplyDeletions(ctx, dels)
-	}
+	reeval, st, err = w.shard.refresh(ctx, w.d.version.Load(), dels, hasIns)
 	if err != nil {
 		w.stale = true
 		return reeval, Stats{}, err
 	}
 	w.stale = false
-	w.cur = &Match{m: w.mnt.Current()}
-	w.last = fromCluster(w.mnt.LastStats())
-	return reeval, w.last, nil
+	if m := w.shard.snapshot(w.block, w.remap); m != nil {
+		w.cur = &Match{m: m}
+	}
+	w.last = w.shard.lastStats()
+	return reeval, st, nil
 }
 
 // Refresh re-evaluates the standing query against the current graph now
-// — useful after a cancelled Apply left the handle stale.
+// — useful after a cancelled Apply left the handle stale, and the
+// recovery path for sessions lost with a failed site.
 func (w *Maintained) Refresh(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -305,18 +600,24 @@ func (w *Maintained) Refresh(ctx context.Context) error {
 	if w.closed {
 		return errorf("refresh: standing query is closed")
 	}
-	if err := w.mnt.Reevaluate(ctx); err != nil {
+	if w.shard == nil {
+		return nil
+	}
+	if err := w.shard.reevaluate(ctx, w.d.version.Load()); err != nil {
 		w.stale = true
 		return errorf("refresh: %w", err)
 	}
 	w.stale = false
-	w.cur = &Match{m: w.mnt.Current()}
-	w.last = fromCluster(w.mnt.LastStats())
+	if m := w.shard.snapshot(w.block, w.remap); m != nil {
+		w.cur = &Match{m: m}
+	}
+	w.last = w.shard.lastStats()
 	return nil
 }
 
-// Close unregisters the standing query and releases its session. The
-// last relation remains readable via Current. Idempotent.
+// Close unregisters the standing query and releases its share of the
+// maintenance session. The last relation remains readable via Current.
+// Idempotent.
 func (w *Maintained) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -324,8 +625,10 @@ func (w *Maintained) Close() error {
 		return nil
 	}
 	w.closed = true
-	w.mnt.Close()
 	w.mu.Unlock()
+	if w.shard != nil {
+		w.shard.release(w.block)
+	}
 	w.d.watchMu.Lock()
 	delete(w.d.watchers, w)
 	w.d.watchMu.Unlock()

@@ -55,6 +55,32 @@ for need in "Fault tolerance" ErrSiteLost faultnet "failover_smoke"; do
   fi
 done
 
+# The design document must describe the planning layer: the advisory
+# plan, the confluence argument, the canonical key and the off switch.
+for need in "## 10. Planning" selectivity advisory confluen canonical WithPlannerDisabled; do
+  if ! grep -qi -- "$need" DESIGN.md; then
+    echo "DESIGN.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The wire spec must document how plans ride OPEN and degrade across
+# protocol versions.
+for need in planner "trailing-optional" "version negotiation"; do
+  if ! grep -qi -- "$need" docs/WIRE.md; then
+    echo "docs/WIRE.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The HTTP spec must document the plan-only explain request.
+for need in explain canonical_key planner; do
+  if ! grep -qi -- "$need" docs/HTTP.md; then
+    echo "docs/HTTP.md does not mention '$need'"
+    fail=1
+  fi
+done
+
 # Every dgsvet analyzer must have its own section in docs/ANALYSIS.md.
 while IFS=$'\t' read -r name _doc; do
   [ -n "$name" ] || continue
