@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke bench-serving bench-transport failover-smoke bench-failover bench-planner clean help
+.PHONY: tier1 vet dgsvet analyze analyze-fix build test race bench fuzz examples docs smoke-tcp partition-smoke bench-partition gw-smoke obs-smoke bench-serving bench-transport failover-smoke bench-failover bench-planner clean help
 
 # tier1 is the gate every change must pass: static checks (go vet plus
 # the project-specific dgsvet analyzers), full build, and the test suite
@@ -84,6 +84,13 @@ bench-partition:
 gw-smoke:
 	./scripts/gw_smoke.sh
 
+# obs-smoke runs 2 dgsd (with -metrics) + 1 dgsgw and asserts the
+# observability layer end to end: Prometheus exposition on daemon and
+# gateway, /metrics agreeing with /stats, a complete distributed trace
+# for a {"trace":true} query, TRACE-frame accounting, and pprof.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # failover-smoke kills one of three real dgsd processes mid-update-
 # stream and requires the one driver process to fail over to a spare
 # daemon and keep answering oracle-correct — no restarts.
@@ -103,8 +110,9 @@ bench-serving:
 
 # bench-transport regenerates BENCH_TRANSPORT.json: in-process vs
 # loopback TCP at wire protocol 1 (per-message frames) vs the current
-# coalescing protocol, with per-query frame and allocation columns and
-# a pure message-storm row at 64 sites. The pre-coalescing recording is
+# coalescing protocol (untraced and with per-query distributed tracing
+# on), with per-query frame and allocation columns and a pure
+# message-storm row at 64 sites. The pre-coalescing recording is
 # preserved in BENCH_TRANSPORT_PRE_COALESCE.json.
 bench-transport:
 	$(GO) run ./cmd/benchfig -group transport -scale 0.3 -json BENCH_TRANSPORT.json
@@ -140,6 +148,7 @@ help:
 	@echo "  smoke-tcp        two dgsd processes on loopback, all algorithms"
 	@echo "  partition-smoke  partitioner quality smoke (LDG beats Random)"
 	@echo "  gw-smoke         2 dgsd + 1 dgsgw over HTTP (cache + invalidation)"
+	@echo "  obs-smoke        metrics exposition + distributed trace end to end"
 	@echo "  failover-smoke   kill 1 of 3 dgsd mid-stream; driver fails over to a spare"
 	@echo "  bench-failover   regenerate BENCH_FAILOVER.json (detection/redeploy/loss)"
 	@echo "  bench-partition  regenerate BENCH_PARTITION.json (long)"

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	dgsd -listen :7332
+//	dgsd -listen :7332 -metrics :9332   # Prometheus /metrics + pprof
 //
 // Then, from the driver side, either the library:
 //
@@ -24,15 +25,27 @@
 // lost fragments here without restarting anything — a daemon listed as
 // a spare (dgs.WithSpareSites) idles until that moment. Protocol
 // details — handshake, fragment shipping, framing, versioning,
-// heartbeats and failover — are in docs/WIRE.md.
+// heartbeats, failover and tracing — are in docs/WIRE.md.
+//
+// -metrics starts a second HTTP listener exposing the daemon's
+// counters in Prometheus text format at GET /metrics and the standard
+// net/http/pprof profiling endpoints under /debug/pprof/ (see
+// docs/OBSERVABILITY.md). The main site-serving port carries only the
+// binary wire protocol, so observability traffic never competes with
+// session frames for a parser.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"dgs/internal/buildinfo"
+	"dgs/internal/obs"
 	"dgs/internal/transport/tcpnet"
 
 	// Imported for their cluster-registry entries: a daemon can only
@@ -47,6 +60,7 @@ import (
 func main() {
 	var (
 		listen  = flag.String("listen", ":7332", "TCP address to serve sites on")
+		metrics = flag.String("metrics", "", "HTTP address for GET /metrics and /debug/pprof (off when empty)")
 		quiet   = flag.Bool("quiet", false, "suppress connection lifecycle logging")
 		version = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -58,6 +72,31 @@ func main() {
 	srv := &tcpnet.Server{}
 	if *quiet {
 		srv.Logf = func(string, ...any) {}
+	} else {
+		// Lifecycle lines go out as structured records; the printf-style
+		// message the transport composes becomes the msg field.
+		logger := slog.With("component", "dgsd", "listen", *listen)
+		srv.Logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ms := &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil {
+				fmt.Fprintln(os.Stderr, "dgsd: metrics listener:", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	if err := tcpnet.ListenAndServe(*listen, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "dgsd:", err)

@@ -11,6 +11,8 @@
 //	               invalidating every cached result
 //	GET  /stats    serving counters: hit rate, in-flight, queue depth
 //	GET  /healthz  liveness + build version + graph version
+//	GET  /metrics  Prometheus text exposition: gateway, driver and
+//	               transport metrics on one page (docs/OBSERVABILITY.md)
 //
 // Usage:
 //
@@ -27,7 +29,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -54,6 +59,8 @@ func main() {
 		queue     = flag.Int("max-queue", 64, "admission: queries waiting for a slot before shedding")
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 		cacheSize = flag.Int("cache", 1024, "result cache entries; 0 or negative disables caching")
+		slowQuery = flag.Duration("slow-query", 0, "log queries at or over this latency (0 disables the slow-query log)")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the gateway listener")
 		quiet     = flag.Bool("quiet", false, "suppress startup logging")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -62,10 +69,15 @@ func main() {
 		fmt.Println("dgsgw", buildinfo.Version())
 		return
 	}
+	// One structured logger for the whole process: startup lines here,
+	// slow-query records from the serving layer. -quiet silences it.
+	var logw io.Writer = os.Stdout
+	if *quiet {
+		logw = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logw, nil)).With("component", "dgsgw")
 	logf := func(format string, args ...any) {
-		if !*quiet {
-			fmt.Printf(format+"\n", args...)
-		}
+		logger.Info(fmt.Sprintf(format, args...))
 	}
 
 	algo, ok := serve.AlgorithmByName(*algoName)
@@ -146,6 +158,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		Algorithm:      algo,
+		SlowQuery:      *slowQuery,
+		Logger:         logger,
 	})
 	cacheDesc := fmt.Sprintf("%d entries", *cacheSize)
 	if *cacheSize < 0 {
@@ -153,12 +167,26 @@ func main() {
 	}
 	logf("serving:   %s (default algo %s, cache %s, %d in-flight / %d queued)",
 		*listen, algo, cacheDesc, *inflight, *queue)
+	handler := srv.Handler()
+	if *withPprof {
+		// Profiling rides the gateway listener: the API mux takes every
+		// path except the pprof namespace.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logf("pprof:     /debug/pprof/ enabled")
+	}
 	// Header/idle timeouts keep slow or stalled clients from pinning
 	// connections below the admission gate (the gate bounds evaluations,
 	// not sockets).
 	hs := &http.Server{
 		Addr:              *listen,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

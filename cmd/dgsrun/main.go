@@ -50,6 +50,7 @@ func main() {
 		boolean   = flag.Bool("bool", false, "Boolean query (report true/false only)")
 		showAll   = flag.Bool("matches", false, "print the full match relation")
 		explain   = flag.Bool("explain", false, "print the evaluation plan (orders, estimates, canonical key) and exit without evaluating")
+		trace     = flag.Bool("trace", false, "evaluate with distributed tracing and print the per-site per-round span tree")
 		ec2       = flag.Bool("ec2", false, "charge the EC2-like link cost model (paper §6)")
 		repeat    = flag.Int("repeat", 1, "serve the query N times on the one deployment")
 		connect   = flag.String("connect", "", "comma-separated dgsd addresses: deploy the fragments over TCP instead of in-process")
@@ -159,6 +160,9 @@ func main() {
 	if *gen == "citation" {
 		qopts = append(qopts, dgs.WithGraphIsDAG())
 	}
+	if *trace {
+		qopts = append(qopts, dgs.WithTrace())
+	}
 	dopts = append(dopts, dgs.WithQueryDefaults(qopts...))
 	dep, err := dgs.Deploy(part, dopts...)
 	if err != nil {
@@ -205,6 +209,13 @@ func main() {
 		fmt.Printf("frames:    %d sent / %d received across the deployment's sockets\n", sent, received)
 	}
 	fmt.Printf("rounds:    %d\n", st.Rounds)
+	if *trace {
+		if res.Trace != nil {
+			fmt.Print(res.Trace.Flame())
+		} else {
+			fmt.Println("trace:     none (planner short-circuit: no session was opened)")
+		}
+	}
 	if *showAll {
 		for u := 0; u < q.NumNodes(); u++ {
 			fmt.Printf("  %s -> %v\n", q.NodeName(dgs.QNode(u)), res.Match.MatchesOf(dgs.QNode(u)))

@@ -19,6 +19,7 @@ import (
 	"dgs/internal/cluster"
 	"dgs/internal/dagsim"
 	"dgs/internal/dgpm"
+	"dgs/internal/obs"
 	"dgs/internal/pattern"
 	"dgs/internal/plan"
 	"dgs/internal/simulation"
@@ -63,6 +64,7 @@ type queryConfig struct {
 	thetaSet    bool
 	disablePush bool
 	graphIsDAG  bool
+	trace       bool
 }
 
 // dgpmConfig translates the query configuration into the dGPM engine
@@ -106,6 +108,17 @@ func WithPushDisabled() QueryOption {
 // running the distributed acyclicity check.
 func WithGraphIsDAG() QueryOption {
 	return func(qc *queryConfig) { qc.graphIsDAG = true }
+}
+
+// WithTrace records a distributed trace for the query: every site (and
+// the coordinator) logs per-round spans — busy time, messages and bytes
+// in/out — assembled into Result.Trace after the query completes.
+// Tracing rides the session spec; on a TCP deployment the spans ship
+// back in a TRACE frame after the session closes, costing nothing on
+// the query's hot path and leaving an untraced query's wire traffic
+// byte-identical to a build without tracing.
+func WithTrace() QueryOption {
+	return func(qc *queryConfig) { qc.trace = true }
 }
 
 // deployConfig collects Deploy-time settings.
@@ -217,6 +230,11 @@ type Deployment struct {
 	recoverMu sync.Mutex
 	// failovers counts completed recoveries.
 	failovers atomic.Int64
+	// metrics is the deployment's metric registry (driver + transport
+	// instruments); traceSeq numbers traced queries' trace IDs.
+	metrics  *obs.Registry
+	om       driverMetrics
+	traceSeq atomic.Uint64
 	// applyInterrupted records that a distribution batch died mid-flight
 	// (some sites mutated, others not); the next recovery then re-ships
 	// every fragment instead of only the lost ones. Guarded by state
@@ -270,7 +288,9 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 		defaults:  dc.defaults,
 		watchers:  make(map[*Maintained]struct{}),
 		planStats: plan.Collect(part.fr.G),
+		metrics:   obs.NewRegistry(),
 	}
+	d.registerMetrics()
 	if !dc.plannerOff {
 		d.planner = plan.Greedy
 	}
@@ -291,6 +311,7 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 			Spares:            dc.spares,
 			HeartbeatInterval: dc.hbInterval,
 			HeartbeatMisses:   dc.hbMisses,
+			Metrics:           d.metrics,
 		})
 		if err != nil {
 			return nil, errorf("deploy: %w", err)
@@ -303,6 +324,58 @@ func Deploy(part *Partition, opts ...DeployOption) (*Deployment, error) {
 	d.bindFailover(len(dc.spares) > 0 || dc.hbInterval > 0)
 	return d, nil
 }
+
+// driverMetrics are the deployment's driver-side instruments, written
+// by Query and Apply.
+type driverMetrics struct {
+	queries      *obs.Counter
+	queryErrors  *obs.Counter
+	querySeconds *obs.Histogram
+	queryRounds  *obs.Histogram
+	dataBytes    *obs.Counter
+	controlBytes *obs.Counter
+	resultBytes  *obs.Counter
+	wireBytes    *obs.Counter
+	rounds       *obs.Counter
+	applies      *obs.Counter
+}
+
+// registerMetrics installs the driver-side instruments on the
+// deployment's registry. Aggregates that already live on the Deployment
+// (graph version, failovers) export as funcs; per-query observations
+// get dedicated instruments Query drives.
+func (d *Deployment) registerMetrics() {
+	r := d.metrics
+	d.om.queries = r.Counter("dgs_queries_total", "Queries evaluated (successes).")
+	d.om.queryErrors = r.Counter("dgs_query_errors_total", "Queries that returned an error.")
+	d.om.querySeconds = r.Histogram("dgs_query_seconds",
+		"Query response time (the paper's PT), in seconds.", obs.DefTimeBuckets)
+	d.om.queryRounds = r.Histogram("dgs_query_rounds",
+		"Communication rounds per query.", obs.DefCountBuckets)
+	d.om.dataBytes = r.Counter("dgs_data_bytes_total",
+		"Data shipment bytes across all queries (the paper's DS).")
+	d.om.controlBytes = r.Counter("dgs_control_bytes_total",
+		"Coordination traffic bytes across all queries.")
+	d.om.resultBytes = r.Counter("dgs_result_bytes_total",
+		"Match collection bytes across all queries.")
+	d.om.wireBytes = r.Counter("dgs_wire_bytes_total",
+		"Measured transport bytes across all queries (0 in-process).")
+	d.om.rounds = r.Counter("dgs_rounds_total",
+		"Communication rounds summed across all queries.")
+	d.om.applies = r.Counter("dgs_applies_total",
+		"Update batches applied to the resident graph.")
+	r.CounterFunc("dgs_failovers_total",
+		"Completed site-loss recoveries.",
+		func() float64 { return float64(d.failovers.Load()) })
+	r.GaugeFunc("dgs_graph_version",
+		"Resident graph version (update batches that changed the graph).",
+		func() float64 { return float64(d.version.Load()) })
+}
+
+// Metrics returns the deployment's metric registry: driver-side query
+// instruments plus, on a TCP deployment, the transport's. Serve it with
+// obs.Handler — the gateway merges it into its /metrics endpoint.
+func (d *Deployment) Metrics() *obs.Registry { return d.metrics }
 
 // Remote reports whether the deployment's sites live in other OS
 // processes (fragments were shipped at Deploy time).
@@ -392,32 +465,40 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 	// no wire traffic at all.
 	pl := d.planFor(q.p)
 	if pl != nil && pl.Empty {
+		d.om.queries.Inc()
 		m := simulation.NewMatch(q.p.NumNodes()).Canonical()
 		return &Result{Match: &Match{m: m}, Version: d.version.Load()}, nil
 	}
 
+	// Trace IDs start at 1: zero is the wire encoding for "untraced".
+	var traceID uint64
+	if cfg.trace {
+		traceID = d.traceSeq.Add(1)
+	}
 	var m *simulation.Match
 	var st cluster.Stats
+	var qt *obs.QueryTrace
 	var err error
 	switch cfg.algo {
 	case AlgoDGPM:
-		m, st, err = dgpm.EvalPlanned(ctx, d.c, q.p, d.part.fr, cfg.dgpmConfig(), pl)
+		m, st, qt, err = dgpm.EvalPlannedTraced(ctx, d.c, q.p, d.part.fr, cfg.dgpmConfig(), pl, traceID)
 	case AlgoDGPMNoOpt:
-		m, st, err = dgpm.EvalPlanned(ctx, d.c, q.p, d.part.fr, dgpm.NOptConfig(), pl)
+		m, st, qt, err = dgpm.EvalPlannedTraced(ctx, d.c, q.p, d.part.fr, dgpm.NOptConfig(), pl, traceID)
 	case AlgoDGPMd:
-		m, st, err = dagsim.Eval(ctx, d.c, q.p, d.part.fr, cfg.graphIsDAG)
+		m, st, qt, err = dagsim.EvalTraced(ctx, d.c, q.p, d.part.fr, cfg.graphIsDAG, traceID)
 	case AlgoDGPMt:
-		m, st, err = treesim.Eval(ctx, d.c, q.p, d.part.fr)
+		m, st, qt, err = treesim.EvalTraced(ctx, d.c, q.p, d.part.fr, traceID)
 	case AlgoMatch:
-		m, st, err = baseline.EvalMatch(ctx, d.c, q.p, d.part.fr)
+		m, st, qt, err = baseline.EvalMatchTraced(ctx, d.c, q.p, d.part.fr, traceID)
 	case AlgoDisHHK:
-		m, st, err = baseline.EvalDisHHK(ctx, d.c, q.p, d.part.fr)
+		m, st, qt, err = baseline.EvalDisHHKTraced(ctx, d.c, q.p, d.part.fr, traceID)
 	case AlgoDMes:
-		m, st, err = baseline.EvalDMes(ctx, d.c, q.p, d.part.fr)
+		m, st, qt, err = baseline.EvalDMesTraced(ctx, d.c, q.p, d.part.fr, traceID)
 	default:
 		return nil, errorf("unknown algorithm %d", cfg.algo)
 	}
 	if err != nil {
+		d.om.queryErrors.Inc()
 		if errors.Is(err, cluster.ErrSiteLost) {
 			// Retryable: the deployment recovers (or Recover does) and
 			// the same query then succeeds — dgsgw turns this into 503
@@ -429,9 +510,22 @@ func (d *Deployment) Query(ctx context.Context, q *Pattern, opts ...QueryOption)
 		}
 		return nil, errorf("query %s: %w", cfg.algo, err)
 	}
+	d.observeQuery(st)
 	// d.version cannot change while the read lock is held, so the tag is
 	// exactly the graph state the evaluation observed.
-	return &Result{Match: &Match{m: m}, Stats: fromCluster(st), Version: d.version.Load()}, nil
+	return &Result{Match: &Match{m: m}, Stats: fromCluster(st), Version: d.version.Load(), Trace: qt}, nil
+}
+
+// observeQuery folds one successful query's stats into the metrics.
+func (d *Deployment) observeQuery(st cluster.Stats) {
+	d.om.queries.Inc()
+	d.om.querySeconds.Observe(st.Wall.Seconds())
+	d.om.queryRounds.Observe(float64(st.Rounds))
+	d.om.dataBytes.Add(st.DataBytes)
+	d.om.controlBytes.Add(st.ControlBytes)
+	d.om.resultBytes.Add(st.ResultBytes)
+	d.om.wireBytes.Add(st.WireBytes)
+	d.om.rounds.Add(st.Rounds)
 }
 
 // QueryBoolean evaluates q as a Boolean pattern query: true iff G

@@ -1,0 +1,151 @@
+// Package metricnames checks the observability metric catalog
+// statically: every metric registered on an obs.Registry — through
+// Counter, Gauge, Histogram, CounterFunc or GaugeFunc — must carry a
+// constant snake_case name that is unique across the whole module.
+//
+// The registry enforces both properties at runtime by panicking, but a
+// duplicate between two components (say the driver and the gateway)
+// only fires when one process registers both — exactly the merged
+// /metrics exposition case, i.e. in production, not in the component's
+// own tests. Checking the call sites at build time turns that panic
+// into a dgsvet finding.
+//
+// It is a module analyzer: the registration sites live in different
+// packages (deploy.go, transport, daemon, serve) and the uniqueness
+// invariant spans all of them. Test files are exempt — tests register
+// throwaway names on throwaway registries, often deliberately
+// colliding to exercise the dup panic.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dgs/internal/analysis"
+)
+
+// Analyzer implements the metricnames check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "metricnames",
+	Doc:       "checks that metrics registered on an obs.Registry have constant, snake_case, module-unique names",
+	RunModule: run,
+}
+
+// registerMethods are the Registry methods whose first argument is a
+// metric name.
+var registerMethods = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"CounterFunc": true,
+	"GaugeFunc":   true,
+}
+
+// registration is one matched call site.
+type registration struct {
+	pos  token.Pos
+	name string // "" when the argument is not a constant string
+}
+
+func run(pass *analysis.ModulePass) error {
+	var regs []registration
+	for _, pkg := range pass.Module.Pkgs {
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(pass.Fset.File(file.Pos()).Name(), "_test.go") {
+				continue
+			}
+			info := pkg.Info
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isRegistryRegister(info, call) {
+					return true
+				}
+				r := registration{pos: call.Args[0].Pos()}
+				if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					r.name = constant.StringVal(tv.Value)
+				}
+				regs = append(regs, r)
+				return true
+			})
+		}
+	}
+
+	// Position order makes the "first registered here" attribution of a
+	// duplicate stable no matter how the loader ordered the packages.
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := pass.Fset.Position(regs[i].pos), pass.Fset.Position(regs[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	first := make(map[string]token.Pos)
+	for _, r := range regs {
+		if r.name == "" {
+			pass.Reportf(r.pos, "metric name must be a constant string so the catalog is statically known")
+			continue
+		}
+		if !snakeCase(r.name) {
+			pass.Reportf(r.pos, "metric name %q is not snake_case ([a-z][a-z0-9_]*)", r.name)
+			continue
+		}
+		if prev, dup := first[r.name]; dup {
+			pass.Reportf(r.pos, "metric %q already registered at %s; names must be unique module-wide (one merged /metrics page)",
+				r.name, pass.Fset.Position(prev))
+			continue
+		}
+		first[r.name] = r.pos
+	}
+	return nil
+}
+
+// isRegistryRegister reports whether call invokes one of the
+// registering methods on a Registry-named receiver type. Matching the
+// bare type name (not the obs import path) keeps the fixtures
+// self-contained and catches forks of the registry API too.
+func isRegistryRegister(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// snakeCase mirrors obs.ValidMetricName: lowercase letters, digits and
+// underscores, starting with a letter.
+func snakeCase(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

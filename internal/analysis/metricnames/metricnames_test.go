@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"dgs/internal/analysis/analysistest"
+	"dgs/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata", metricnames.Analyzer, "metricnamesbad", "metricnamesok")
+}

@@ -1,0 +1,24 @@
+// Package metricnamesbad violates the metric-name invariants: the
+// Registry stub mirrors the obs API by name, which is all the analyzer
+// matches on.
+package metricnamesbad
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int                      { return 0 }
+func (r *Registry) Gauge(name, help string) int                        { return 0 }
+func (r *Registry) Histogram(name, help string, buckets []float64) int { return 0 }
+func (r *Registry) CounterFunc(name, help string, fn func() float64)   {}
+func (r *Registry) GaugeFunc(name, help string, fn func() float64)     {}
+
+const constName = "dgs_bad_shared_total"
+
+func register(r *Registry, dynamic string) {
+	r.Counter("dgs_CamelCase_total", "x") // want "not snake_case"
+	r.Gauge("1leading_digit", "x")        // want "not snake_case"
+	r.Counter("dgs_bad_dup_total", "x")
+	r.Counter("dgs_bad_dup_total", "x") // want "already registered"
+	r.CounterFunc(constName, "x", nil)
+	r.GaugeFunc(constName, "x", nil) // want "already registered"
+	r.Histogram(dynamic, "x", nil)   // want "must be a constant string"
+}

@@ -1,0 +1,27 @@
+// Package metricnamesok registers a clean catalog: constant
+// snake_case names, each unique. Methods of the same names on
+// non-Registry receivers are out of scope.
+package metricnamesok
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int                      { return 0 }
+func (r *Registry) Gauge(name, help string) int                        { return 0 }
+func (r *Registry) Histogram(name, help string, buckets []float64) int { return 0 }
+func (r *Registry) CounterFunc(name, help string, fn func() float64)   {}
+func (r *Registry) GaugeFunc(name, help string, fn func() float64)     {}
+
+// notARegistry has a Counter method too; its names are not metrics.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string) int { return 0 }
+
+func register(r *Registry) {
+	r.Counter("dgs_ok_queries_total", "x")
+	r.Gauge("dgs_ok_queue_depth", "x")
+	r.Histogram("dgs_ok_seconds", "x", []float64{1})
+	r.CounterFunc("dgs_ok_frames_total", "x", nil)
+	r.GaugeFunc("dgs_ok_entries", "x", nil)
+	var n notARegistry
+	n.Counter("Definitely Not Snake", "ignored: wrong receiver type")
+}

@@ -8,6 +8,7 @@ import (
 	"dgs/internal/analysis/ctxblock"
 	"dgs/internal/analysis/detrand"
 	"dgs/internal/analysis/locksafe"
+	"dgs/internal/analysis/metricnames"
 	"dgs/internal/analysis/regconsistent"
 	"dgs/internal/analysis/senterr"
 	"dgs/internal/analysis/wirecomplete"
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		ctxblock.Analyzer,
 		detrand.Analyzer,
 		locksafe.Analyzer,
+		metricnames.Analyzer,
 		regconsistent.Analyzer,
 		senterr.Analyzer,
 		wirecomplete.Analyzer,

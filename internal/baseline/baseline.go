@@ -23,6 +23,7 @@ import (
 
 	"dgs/internal/cluster"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/simulation"
@@ -154,16 +155,23 @@ func init() {
 // EvalMatch evaluates Q with the naive ship-everything algorithm (§3.1)
 // as one session on a live cluster.
 func EvalMatch(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalMatchTraced(ctx, c, q, fr, 0)
+	return m, st, err
+}
+
+// EvalMatchTraced is EvalMatch with distributed tracing (traceID 0
+// disables it; the trace return is then nil).
+func EvalMatchTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	coord := newMerger()
-	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoMatch}, coord)
+	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoMatch, TraceID: traceID}, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opShip})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	// Centralized evaluation at the coordinator site.
 	g, ids, err := coord.assemble(q.Dict())
@@ -175,7 +183,12 @@ func EvalMatch(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *
 	stats := sess.Stats()
 	stats.Wall = time.Since(start)
 	stats.Rounds = 1
-	return res.Canonical(), stats, nil
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return res.Canonical(), stats, trace, nil
 }
 
 // RunMatch evaluates one query on a throwaway single-query cluster.

@@ -18,6 +18,7 @@ import (
 
 	"dgs/internal/cluster"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/simulation"
@@ -72,16 +73,24 @@ func (s *candSite) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // EvalDisHHK evaluates Q with the candidate-shipping algorithm of [25]
 // as one session on a live cluster.
 func EvalDisHHK(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalDisHHKTraced(ctx, c, q, fr, 0)
+	return m, st, err
+}
+
+// EvalDisHHKTraced is EvalDisHHK with distributed tracing (traceID 0
+// disables it; the trace return is then nil).
+func EvalDisHHKTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	coord := newMerger()
-	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoDisHHK, Query: pattern.EncodeBinary(q)}, coord)
+	spec := cluster.SessionSpec{Algo: AlgoDisHHK, Query: pattern.EncodeBinary(q), TraceID: traceID}
+	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opCands})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	g, ids, err := coord.assemble(q.Dict())
 	if err != nil {
@@ -92,7 +101,12 @@ func EvalDisHHK(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr 
 	stats := sess.Stats()
 	stats.Wall = time.Since(start)
 	stats.Rounds = 1
-	return res.Canonical(), stats, nil
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return res.Canonical(), stats, trace, nil
 }
 
 // RunDisHHK evaluates one query on a throwaway single-query cluster.

@@ -20,6 +20,7 @@ import (
 
 	"dgs/internal/cluster"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/simulation"
@@ -212,20 +213,28 @@ func (c *dmesCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // EvalDMes evaluates Q with the superstep vertex-centric algorithm as
 // one session on a live cluster.
 func EvalDMes(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalDMesTraced(ctx, c, q, fr, 0)
+	return m, st, err
+}
+
+// EvalDMesTraced is EvalDMes with distributed tracing (traceID 0
+// disables it; the trace return is then nil).
+func EvalDMesTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	coord := &dmesCoord{n: c.NumSites(), nq: q.NumNodes()}
-	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: AlgoDMes, Query: pattern.EncodeBinary(q)}, coord)
+	spec := cluster.SessionSpec{Algo: AlgoDMes, Query: pattern.EncodeBinary(q), TraceID: traceID}
+	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: opSuper, Arg: 0})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	sess.Broadcast(&wire.Control{Op: opReport})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	wall := time.Since(start)
 
@@ -236,7 +245,13 @@ func EvalDMes(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *p
 	m.Sort()
 	stats := sess.Stats()
 	stats.Wall = wall
-	return m.Canonical(), stats, nil
+	match := m.Canonical()
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return match, stats, trace, nil
 }
 
 // RunDMes evaluates one query on a throwaway single-query cluster.

@@ -212,14 +212,14 @@ func TestTransportGroupShape(t *testing.T) {
 		t.Fatalf("transport figures: %v", figs)
 	}
 	ds := figs[1]
-	if len(ds.Series) != 5 {
-		t.Fatalf("want inproc/tcp-v1/tcp payload + two wire series, got %d", len(ds.Series))
+	if len(ds.Series) != 7 {
+		t.Fatalf("want inproc/tcp-v1/tcp/tcp-traced payload + three wire series, got %d", len(ds.Series))
 	}
 	byName := map[string]Series{}
 	for _, s := range ds.Series {
 		byName[s.Name] = s
 	}
-	for _, arm := range []string{"tcp-v1", "tcp"} {
+	for _, arm := range []string{"tcp-v1", "tcp", "tcp-traced"} {
 		for i := range byName["wire/"+arm].Points {
 			wire := byName["wire/"+arm].Points[i].DSkb
 			payload := byName["dGPM/"+arm].Points[i].DSkb
@@ -250,7 +250,7 @@ func TestTransportGroupShape(t *testing.T) {
 	for _, s := range figs[0].Series {
 		names[s.Name] = true
 	}
-	for _, need := range []string{"dGPM/inproc", "dGPM/tcp-v1", "dGPM/tcp", "storm/tcp-v1", "storm/tcp"} {
+	for _, need := range []string{"dGPM/inproc", "dGPM/tcp-v1", "dGPM/tcp", "dGPM/tcp-traced", "storm/tcp-v1", "storm/tcp"} {
 		if !names[need] {
 			t.Fatalf("net-pt missing series %q (have %v)", need, names)
 		}

@@ -11,9 +11,11 @@ package bench
 // falsifications — so the comparison isolates what a real wire adds
 // (measured frame/ack overhead and transport latency) and what
 // coalescing wins back (frames, wire bytes, allocations, PT at high
-// fragment counts). This is the repro point for the "bounded
-// communication survives a real byte stream" claim and for the
-// coalescing optimization.
+// fragment counts). A fourth arm repeats the coalescing deployment
+// with per-query distributed tracing on, recording what exact span
+// collection costs on the same workload. This is the repro point for
+// the "bounded communication survives a real byte stream" claim, for
+// the coalescing optimization, and for tracing's overhead bound.
 
 import (
 	"context"
@@ -168,17 +170,26 @@ func transportExp(cfg Config) ([]*Figure, error) {
 	defer stopServers()
 
 	type arm struct {
-		name string
-		opts []dgs.DeployOption
+		name  string
+		opts  []dgs.DeployOption
+		qopts []dgs.QueryOption
 	}
 	// Planner off on every arm: protocol v4 ships the evaluation plan in
 	// OPEN while a v1 connection cannot, so with the planner on the arms
 	// would no longer carry identical control traffic and the wire
-	// comparison would measure plan blobs, not framing.
+	// comparison would measure plan blobs, not framing. The tcp-traced
+	// arm repeats the tcp arm with per-query distributed tracing on: its
+	// delta against tcp is the whole cost of exact span recording (the
+	// trace ID on OPEN, per-message recording at every site, and the
+	// TRACE frames chasing each CLOSE) — while tcp itself, running on a
+	// v5 connection with tracing off, demonstrates the byte-identity
+	// promise against the pre-trace recording of this same arm.
 	arms := []arm{
-		{"inproc", []dgs.DeployOption{dgs.WithPlannerDisabled()}},
-		{"tcp-v1", []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithWireProtocolMax(1), dgs.WithPlannerDisabled()}},
-		{"tcp", []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithPlannerDisabled()}},
+		{name: "inproc", opts: []dgs.DeployOption{dgs.WithPlannerDisabled()}},
+		{name: "tcp-v1", opts: []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithWireProtocolMax(1), dgs.WithPlannerDisabled()}},
+		{name: "tcp", opts: []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithPlannerDisabled()}},
+		{name: "tcp-traced", opts: []dgs.DeployOption{dgs.WithRemoteSites(addrs...), dgs.WithPlannerDisabled()},
+			qopts: []dgs.QueryOption{dgs.WithTrace()}},
 	}
 
 	fragCounts := []int{2, 4, 8, 64}
@@ -223,10 +234,14 @@ func transportExp(cfg Config) ([]*Figure, error) {
 			var ms0 runtime.MemStats
 			runtime.ReadMemStats(&ms0)
 			for _, q := range queries {
-				res, err := dep.Query(ctx, q)
+				res, err := dep.Query(ctx, q, a.qopts...)
 				if err != nil {
 					dep.Close()
 					return nil, fmt.Errorf("%s: %w", a.name, err)
+				}
+				if len(a.qopts) > 0 && (res.Trace == nil || !res.Trace.Complete) {
+					dep.Close()
+					return nil, fmt.Errorf("%s: traced query returned trace %+v", a.name, res.Trace)
 				}
 				m.add(res.Stats)
 				wire += res.Stats.WireBytes
@@ -265,6 +280,6 @@ func transportExp(cfg Config) ([]*Figure, error) {
 	for _, sa := range stormArms {
 		pt.Series = append(pt.Series, *stormSeries[sa.name])
 	}
-	ds.Series = append(ds.Series, *wireSeries["tcp-v1"], *wireSeries["tcp"])
+	ds.Series = append(ds.Series, *wireSeries["tcp-v1"], *wireSeries["tcp"], *wireSeries["tcp-traced"])
 	return []*Figure{pt, ds}, nil
 }

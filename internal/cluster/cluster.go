@@ -37,10 +37,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dgs/internal/obs"
 	"dgs/internal/wire"
 )
 
@@ -318,10 +320,20 @@ func (c *Cluster) newSession(kind SessionKind, coord Handler) (*Session, bool) {
 		outstanding: make([]int64, c.n),
 	}
 	s.coordCtx = &Ctx{
-		self:      Coordinator,
-		n:         c.n,
-		send:      func(to int, p wire.Payload) { s.send(Coordinator, to, p) },
-		addRounds: s.AddRounds,
+		self: Coordinator,
+		n:    c.n,
+		send: func(to int, p wire.Payload) { s.send(Coordinator, to, p) },
+		// Rounds the coordinator handler records during a Recv are
+		// scratch-buffered so the trace attributes them (and the Recv's
+		// busy time) to the coordinator's current round — the exact
+		// analogue of the site path in SiteHost. Only the coordinator
+		// actor goroutine invokes this.
+		addRounds: func(n int64) {
+			s.statMu.Lock()
+			s.stats.Rounds += n
+			s.statMu.Unlock()
+			s.coordRounds += n
+		},
 	}
 	c.mu.Lock()
 	if c.closed || c.dead || c.suspended {
@@ -356,6 +368,11 @@ func (c *Cluster) OpenSession(kind SessionKind, spec SessionSpec, coord Handler)
 	s, ok := c.newSession(kind, coord)
 	if !ok {
 		return s, nil
+	}
+	if spec.TraceID != 0 {
+		// Installed before Open: no message can flow until Open returns,
+		// so every route/Recv observes the recorder.
+		s.traceRec = obs.NewSpanRecorder(spec.TraceID)
 	}
 	if err := c.tr.Open(s.qid, kind, spec); err != nil {
 		s.Close()
@@ -426,12 +443,16 @@ func (c *Cluster) coordLoop() {
 		if err != nil {
 			panic(fmt.Sprintf("cluster: coordinator received undecodable message from %d: %v", env.from, err))
 		}
+		s.coordRounds = 0
 		start := time.Now()
 		s.coord.Recv(s.coordCtx, env.from, p)
 		el := time.Since(start)
 		s.statMu.Lock()
 		s.busy[c.n] += el
 		s.statMu.Unlock()
+		if s.traceRec != nil {
+			s.traceRec.RecordIn(obs.CoordinatorSite, len(env.data), el, s.coordRounds)
+		}
 		s.done()
 	}
 }
@@ -599,6 +620,13 @@ type Session struct {
 	// retired — the per-site ledger Retired clamps against so duplicated
 	// ACK delivery cannot falsely certify termination.
 	outstanding []int64
+
+	// traceRec records the driver-side (coordinator) spans of a traced
+	// session; nil means tracing off. Set once in OpenSession before any
+	// message flows. coordRounds is the coordinator actor's per-Recv
+	// rounds scratch, touched only by coordLoop.
+	traceRec    *obs.SpanRecorder
+	coordRounds int64
 }
 
 // send encodes, accounts, and routes a driver-originated message.
@@ -633,6 +661,11 @@ func (s *Session) route(from, to int, data []byte) {
 		s.outstanding[to]++
 	}
 	s.statMu.Unlock()
+	// Driver-originated sends are the coordinator's outbound spans;
+	// site-originated sends were already attributed at their site.
+	if s.traceRec != nil && from == Coordinator {
+		s.traceRec.RecordOut(obs.CoordinatorSite, len(data))
+	}
 	s.inflight.Add(1)
 	if to == Coordinator {
 		s.c.Deliver(s.qid, from, data)
@@ -714,6 +747,35 @@ func (s *Session) AddRounds(n int64) {
 	s.statMu.Lock()
 	s.stats.Rounds += n
 	s.statMu.Unlock()
+	if s.traceRec != nil {
+		s.traceRec.AddRounds(obs.CoordinatorSite, n)
+	}
+}
+
+// Trace assembles a traced session's span tree: the spans every site
+// host recorded plus the driver's own coordinator spans. Call after
+// Close — remote hosts ship their spans when they process the close.
+// Returns nil for untraced sessions. Complete is false when a host's
+// spans could not be collected (pre-trace protocol connection, or a
+// connection lost before its spans arrived).
+func (s *Session) Trace(ctx context.Context) (*obs.QueryTrace, error) {
+	if s.traceRec == nil {
+		return nil, nil
+	}
+	qt := &obs.QueryTrace{TraceID: s.traceRec.ID(), Complete: true}
+	if tt, ok := s.c.tr.(Tracer); ok {
+		spans, complete, err := tt.Trace(ctx, s.qid)
+		if err != nil {
+			return nil, err
+		}
+		qt.Sites = append(qt.Sites, spans...)
+		qt.Complete = complete
+	} else {
+		qt.Complete = false
+	}
+	qt.Sites = append(qt.Sites, s.traceRec.Snapshot()...)
+	sort.Slice(qt.Sites, func(i, j int) bool { return qt.Sites[i].Site < qt.Sites[j].Site })
+	return qt, nil
 }
 
 // Stats snapshots the session's accounting, including the measured
@@ -770,9 +832,16 @@ func (s *Session) fail(err error) {
 func (s *Session) Close() {
 	s.drop()
 	s.c.mu.Lock()
+	_, live := s.c.sessions[s.qid]
 	delete(s.c.sessions, s.qid)
 	s.c.mu.Unlock()
-	s.c.tr.Close(s.qid)
+	// Only the call that actually unregistered the session closes it on
+	// the transport: a traced Eval closes explicitly (span shipment rides
+	// the CLOSE) and again via defer, and the duplicate must not cost a
+	// second round of CLOSE frames.
+	if live {
+		s.c.tr.Close(s.qid)
+	}
 }
 
 // Ctx is the per-site sending API passed to handlers. All traffic stays

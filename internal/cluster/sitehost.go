@@ -11,10 +11,12 @@ package cluster
 // means a function call (in-process) or a wire frame (TCP).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/wire"
 )
@@ -44,6 +46,7 @@ type siteState struct {
 type hostSession struct {
 	handlers map[int]Handler // by global site ID
 	ctxs     map[int]*Ctx
+	trace    *obs.SpanRecorder // nil unless the session is traced
 }
 
 // SiteHost hosts a set of worker sites identified by their global IDs.
@@ -58,6 +61,13 @@ type SiteHost struct {
 	mu       sync.RWMutex // guards sessions, sites, frags, closed
 	sessions map[uint64]*hostSession
 	closed   bool
+
+	// traces holds the recorders of traced sessions past their close,
+	// until TakeTrace collects them — a daemon ships spans after it
+	// processed the CLOSE frame, the in-process backend after
+	// Session.Close already unregistered the session.
+	traceMu sync.Mutex
+	traces  map[uint64]*obs.SpanRecorder
 
 	wg sync.WaitGroup
 }
@@ -76,6 +86,7 @@ func NewSiteHost(total int, ids []int, frags map[int]*partition.Fragment, assign
 		net:      net,
 		sink:     sink,
 		sessions: make(map[uint64]*hostSession),
+		traces:   make(map[uint64]*obs.SpanRecorder),
 	}
 	for _, id := range ids {
 		st := &siteState{id: id, box: newMailbox()}
@@ -171,17 +182,20 @@ func (h *SiteHost) Open(qid uint64, kind SessionKind, spec SessionSpec) error {
 		}
 		handlers[sf.id] = hd
 	}
-	return h.install(qid, handlers)
+	return h.install(qid, handlers, spec.TraceID)
 }
 
 // OpenHandlers installs caller-built handlers, keyed by global site ID.
 // Only meaningful when caller and host share a process.
 func (h *SiteHost) OpenHandlers(qid uint64, handlers map[int]Handler) error {
-	return h.install(qid, handlers)
+	return h.install(qid, handlers, 0)
 }
 
-func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
+func (h *SiteHost) install(qid uint64, handlers map[int]Handler, traceID uint64) error {
 	hs := &hostSession{handlers: handlers, ctxs: make(map[int]*Ctx, len(handlers))}
+	if traceID != 0 {
+		hs.trace = obs.NewSpanRecorder(traceID)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for id := range handlers {
@@ -189,7 +203,7 @@ func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
 		if !ok {
 			return fmt.Errorf("cluster: handler for site %d which is not hosted here", id)
 		}
-		hs.ctxs[id] = h.siteCtx(qid, st)
+		hs.ctxs[id] = h.siteCtx(qid, st, hs.trace)
 	}
 	if h.closed {
 		// Shut-down host: accept the registration as a no-op; queued
@@ -197,29 +211,60 @@ func (h *SiteHost) install(qid uint64, handlers map[int]Handler) error {
 		return nil
 	}
 	h.sessions[qid] = hs
+	if hs.trace != nil {
+		h.traceMu.Lock()
+		h.traces[qid] = hs.trace
+		h.traceMu.Unlock()
+	}
 	return nil
 }
 
 // siteCtx builds the per-(session, site) handler context. The rounds
 // accumulator lives in siteState and is read back by the site loop after
-// each Recv — safe because one goroutine owns the site.
-func (h *SiteHost) siteCtx(qid uint64, st *siteState) *Ctx {
+// each Recv — safe because one goroutine owns the site. For traced
+// sessions the context also attributes each send to the site's current
+// round: sends happen inside Recv on the site's own goroutine, so the
+// round index is stable for the duration.
+func (h *SiteHost) siteCtx(qid uint64, st *siteState, trace *obs.SpanRecorder) *Ctx {
 	return &Ctx{
 		self: st.id,
 		n:    h.total,
 		send: func(to int, p wire.Payload) {
-			h.sink.ForwardSend(qid, st.id, to, wire.Encode(p))
+			data := wire.Encode(p)
+			if trace != nil {
+				trace.RecordOut(st.id, len(data))
+			}
+			h.sink.ForwardSend(qid, st.id, to, data)
 		},
 		addRounds: func(n int64) { st.rounds += n },
 	}
 }
 
 // CloseSession discards session qid's handlers; queued envelopes for it
-// are dropped when dequeued.
+// are dropped when dequeued. A traced session's recorder survives until
+// TakeTrace collects it.
 func (h *SiteHost) CloseSession(qid uint64) {
 	h.mu.Lock()
 	delete(h.sessions, qid)
 	h.mu.Unlock()
+}
+
+// TakeTrace removes and returns the spans a traced session's sites
+// recorded; traced is false for untraced (or already-collected, or
+// unknown) sessions. A traced session whose sites saw no traffic
+// reports traced=true with empty spans — a daemon still owes the
+// driver a TRACE frame for it. Call after CloseSession: a straggler
+// Recv racing the close may still be recording into the session's
+// accumulator.
+func (h *SiteHost) TakeTrace(qid uint64) (spans []obs.SiteTrace, traced bool) {
+	h.traceMu.Lock()
+	rec := h.traces[qid]
+	delete(h.traces, qid)
+	h.traceMu.Unlock()
+	if rec == nil {
+		return nil, false
+	}
+	return rec.Snapshot(), true
 }
 
 // Enqueue delivers one encoded payload to hosted site `to`. The message
@@ -271,7 +316,11 @@ func (h *SiteHost) siteLoop(st *siteState) {
 		st.rounds = 0
 		start := time.Now()
 		hs.handlers[st.id].Recv(hs.ctxs[st.id], env.from, p)
-		h.sink.Retire(env.qid, st.id, time.Since(start), st.rounds)
+		busy := time.Since(start)
+		if hs.trace != nil {
+			hs.trace.RecordIn(st.id, len(env.data), busy, st.rounds)
+		}
+		h.sink.Retire(env.qid, st.id, busy, st.rounds)
 	}
 }
 
@@ -308,6 +357,7 @@ type InProc struct {
 var _ Transport = (*InProc)(nil)
 var _ HandlerOpener = (*InProc)(nil)
 var _ FragmentSharer = (*InProc)(nil)
+var _ Tracer = (*InProc)(nil)
 
 // NewInProc creates the in-process backend hosting n sites with the
 // fragments of fr resident (fr may be nil for fragment-less protocol
@@ -382,6 +432,13 @@ func (t *InProc) Rehost(frags map[int]*partition.Fragment) {
 
 // Close implements Transport.
 func (t *InProc) Close(qid uint64) { t.host.CloseSession(qid) }
+
+// Trace implements Tracer: the host shares the driver's process, so
+// collection is a synchronous map pop — always complete.
+func (t *InProc) Trace(ctx context.Context, qid uint64) ([]obs.SiteTrace, bool, error) {
+	spans, _ := t.host.TakeTrace(qid)
+	return spans, true, nil
+}
 
 // Send implements Transport.
 func (t *InProc) Send(qid uint64, from, to int, data []byte) {

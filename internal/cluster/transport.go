@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 )
 
@@ -45,6 +46,13 @@ type SessionSpec struct {
 	// them silently; the site then evaluates in declaration order.
 	Planner string
 	Plan    []byte
+	// TraceID, when nonzero, asks every site to record per-round spans
+	// for this session (internal/obs) and ship them back on close. Like
+	// the plan, tracing is advisory: transports that negotiated a
+	// pre-trace protocol version drop the field silently and the trace
+	// comes back partial. Zero means tracing off — and, on the wire,
+	// an OPEN body byte-identical to the pre-trace encoding.
+	TraceID uint64
 }
 
 // Transport hosts the worker sites of one deployment and moves encoded
@@ -109,6 +117,17 @@ type Recoverer interface {
 	// the driver's committed state. An error means the lost sites remain
 	// down (e.g. no spare host available).
 	Recover(ctx context.Context, fr *partition.Fragmentation, full bool) error
+}
+
+// Tracer is the optional Transport extension for distributed query
+// tracing: collecting the per-site spans the hosts of a traced session
+// recorded. Call after the session was closed — remote hosts ship
+// their spans when they process the close. complete is false when some
+// host's spans are missing (a pre-trace protocol version on its
+// connection, or a connection lost before its spans arrived); the
+// returned spans are still valid for the hosts that reported.
+type Tracer interface {
+	Trace(ctx context.Context, qid uint64) (spans []obs.SiteTrace, complete bool, err error)
 }
 
 // LossNotifier is the optional Transport extension that announces

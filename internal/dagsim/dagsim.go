@@ -26,6 +26,7 @@ import (
 	"dgs/internal/dagcheck"
 	"dgs/internal/dgpm"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/simulation"
@@ -223,42 +224,59 @@ func (s *dagSite) advance(ctx *cluster.Ctx) {
 // asserted, the partition-bounded distributed acyclicity protocol
 // (internal/dagcheck) decides G's case on the same cluster.
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalTraced(ctx, c, q, fr, gIsDAG, 0)
+	return m, st, err
+}
+
+// EvalTraced is Eval with distributed tracing: a nonzero traceID makes
+// every site record per-round spans, collected after the session
+// closes. The acyclicity precheck runs untraced — it is its own
+// sub-session with separate stats. traceID 0 disables tracing (nil
+// trace) with wire traffic byte-identical to Eval.
+func EvalTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, gIsDAG bool, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	_, qIsDAG := newRankInfo(q)
 	if !qIsDAG {
 		var checkStats cluster.Stats
 		if !gIsDAG {
 			ok, st, err := dagcheck.Eval(ctx, c, fr)
 			if err != nil {
-				return nil, cluster.Stats{}, err
+				return nil, cluster.Stats{}, nil, err
 			}
 			checkStats = st
 			if !ok {
-				return nil, cluster.Stats{}, fmt.Errorf("dagsim: dGPMd requires a DAG pattern or a DAG data graph")
+				return nil, cluster.Stats{}, nil, fmt.Errorf("dagsim: dGPMd requires a DAG pattern or a DAG data graph")
 			}
 		}
 		// Cyclic Q on acyclic G: no match, detectable with Tarjan on Q
 		// alone (§5.1 "DAG G").
-		return simulation.NewMatch(q.NumNodes()), checkStats, nil
+		return simulation.NewMatch(q.NumNodes()), checkStats, nil, nil
 	}
 
 	coord := &collector{nq: q.NumNodes()}
-	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q)}, coord)
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), TraceID: traceID}
+	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 	start := time.Now()
 	sess.Broadcast(&wire.Control{Op: dgpm.OpStart})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	sess.Broadcast(&wire.Control{Op: dgpm.OpReport})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	stats := sess.Stats()
 	stats.Wall = time.Since(start)
-	return coord.assemble(), stats, nil
+	match := coord.assemble()
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return match, stats, trace, nil
 }
 
 // Run evaluates one query on a throwaway single-query cluster.

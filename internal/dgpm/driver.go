@@ -16,6 +16,7 @@ import (
 
 	"dgs/internal/cluster"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/plan"
@@ -66,14 +67,24 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 // it — pre-plan daemons — fall back to declaration order, with results
 // identical by the fixpoint's confluence.
 func EvalPlanned(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config, pl *plan.Plan) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalPlannedTraced(ctx, c, q, fr, cfg, pl, 0)
+	return m, st, err
+}
+
+// EvalPlannedTraced is EvalPlanned with distributed tracing: a nonzero
+// traceID asks every site to record per-round spans, collected after
+// the session closes into a QueryTrace. traceID 0 disables tracing (the
+// trace return is then nil) and leaves the session's wire traffic
+// byte-identical to an untraced run.
+func EvalPlannedTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, cfg Config, pl *plan.Plan, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	coord := &collector{nq: q.NumNodes()}
-	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), Config: EncodeConfig(cfg)}
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), Config: EncodeConfig(cfg), TraceID: traceID}
 	if pl != nil {
 		spec.Planner, spec.Plan = pl.Planner, pl.Encode()
 	}
 	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 
@@ -81,16 +92,24 @@ func EvalPlanned(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr
 	// Phase 1+2: partial evaluation and message passing to the fixpoint.
 	sess.Broadcast(&wire.Control{Op: OpStart})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	// Phase 3: assemble Q(G) at the coordinator.
 	sess.Broadcast(&wire.Control{Op: OpReport})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	stats := sess.Stats()
 	stats.Wall = time.Since(start)
-	return coord.assemble(), stats, nil
+	match := coord.assemble()
+	// Span collection happens after the close: remote hosts ship their
+	// spans when they process the CLOSE frame.
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return match, stats, trace, nil
 }
 
 // Run evaluates one query on a throwaway single-query cluster with a

@@ -1,0 +1,118 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4). The encoder
+// writes the whole registry in registration order: a # HELP and
+// # TYPE line per metric, then the sample lines — one for scalars,
+// the cumulative _bucket/_sum/_count family for histograms. No
+// labels, no timestamps: every sample is a process-local scalar read
+// at scrape time.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// AppendText appends the registry's exposition to dst.
+func (r *Registry) AppendText(dst []byte) []byte {
+	for _, m := range r.snapshot() {
+		dst = appendMetric(dst, m)
+	}
+	return dst
+}
+
+func appendMetric(dst []byte, m *metric) []byte {
+	dst = append(dst, "# HELP "...)
+	dst = append(dst, m.name...)
+	dst = append(dst, ' ')
+	dst = append(dst, escapeHelp(m.help)...)
+	dst = append(dst, '\n')
+	dst = append(dst, "# TYPE "...)
+	dst = append(dst, m.name...)
+	dst = append(dst, ' ')
+	dst = append(dst, m.kind.promType()...)
+	dst = append(dst, '\n')
+	switch m.kind {
+	case kindCounter:
+		dst = appendSample(dst, m.name, "", float64(m.counter.Value()))
+	case kindGauge:
+		dst = appendSample(dst, m.name, "", float64(m.gauge.Value()))
+	case kindCounterFunc, kindGaugeFunc:
+		dst = appendSample(dst, m.name, "", m.fn())
+	case kindHistogram:
+		h := m.hist
+		bounds, counts := h.cumulative()
+		for i, b := range bounds {
+			dst = append(dst, m.name...)
+			dst = append(dst, `_bucket{le="`...)
+			dst = strconv.AppendFloat(dst, b, 'g', -1, 64)
+			dst = append(dst, `"} `...)
+			dst = strconv.AppendInt(dst, counts[i], 10)
+			dst = append(dst, '\n')
+		}
+		dst = append(dst, m.name...)
+		dst = append(dst, `_bucket{le="+Inf"} `...)
+		dst = strconv.AppendInt(dst, h.Count(), 10)
+		dst = append(dst, '\n')
+		dst = appendSample(dst, m.name, "_sum", h.Sum())
+		dst = appendSample(dst, m.name, "_count", float64(h.Count()))
+	}
+	return dst
+}
+
+// appendSample writes one `name[suffix] value` line. Integral values
+// print without an exponent or decimal point, everything else in the
+// shortest round-trip form.
+func appendSample(dst []byte, name, suffix string, v float64) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, suffix...)
+	dst = append(dst, ' ')
+	if v == float64(int64(v)) {
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	} else {
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	return append(dst, '\n')
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the merged exposition of regs at GET. Registries are
+// encoded in argument order; a metric name appearing in two registries
+// is a wiring error and panics at handler construction, not at scrape
+// time.
+func Handler(regs ...*Registry) http.Handler {
+	seen := make(map[string]bool)
+	for _, r := range regs {
+		for _, m := range r.snapshot() {
+			if seen[m.name] {
+				panic(fmt.Sprintf("obs: metric %q exposed by two registries on one handler", m.name))
+			}
+			seen[m.name] = true
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var body []byte
+		for _, r := range regs {
+			body = r.AppendText(body)
+		}
+		w.Header().Set("Content-Type", ContentType)
+		w.Write(body)
+	})
+}

@@ -1,0 +1,260 @@
+// Package obs is the stdlib-only observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms behind a small
+// atomic API) with a Prometheus text-exposition encoder, and the
+// per-query trace-span model the distributed tracing path ships over
+// the wire (TRACE frames) and assembles into a span tree at the
+// driver.
+//
+// The registry is deliberately tiny compared to a metrics library: no
+// labels, no vectors, no push — every metric is a process-local scalar
+// or histogram registered once at startup under a snake_case name
+// (uniqueness and casing are machine-checked by the dgsvet
+// `metricnames` analyzer) and scraped through GET /metrics. That is
+// exactly what a reproduction needs to explain its own benchmarks —
+// per-round fixpoint progress, outbox depth, coalesced-frames ratio,
+// heartbeat RTT — without taking a dependency the container does not
+// have.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the exposition shape of one registration.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// promType is the TYPE line each kind exposes.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered name with its backing store.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // kindCounterFunc / kindGaugeFunc
+}
+
+// Registry holds a process component's metrics in registration order.
+// Registration happens at startup (Deploy, serve.New, daemon main);
+// reads and writes after that are lock-free atomics.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+	order  []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register adds m or panics: a duplicate or malformed metric name is a
+// programming error caught at startup (and statically by dgsvet's
+// metricnames analyzer), never a runtime condition to handle.
+func (r *Registry) register(m *metric) {
+	if !ValidMetricName(m.name) {
+		panic(fmt.Sprintf("obs: metric name %q is not snake_case", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	}
+	r.byName[m.name] = m
+	r.order = append(r.order, m)
+}
+
+// ValidMetricName reports whether name is snake_case: lowercase
+// letters, digits and underscores, starting with a letter.
+func ValidMetricName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot copies the registration list for encoding without holding
+// the lock across value reads.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Counter registers and returns a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a fixed-bucket histogram. buckets
+// are inclusive upper bounds in strictly increasing order; a +Inf
+// bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)),
+	}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for counts that already live in an atomic
+// somewhere else (transport frame counters, deployment failovers).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time (queue
+// depths, cache sizes, graph version).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone; negative
+// deltas are ignored rather than corrupting the exposition).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets, with an exact sum.
+// All methods are lock-free.
+type Histogram struct {
+	bounds []float64      // inclusive upper bounds, ascending
+	counts []atomic.Int64 // per-bucket (non-cumulative) counts
+	inf    atomic.Int64   // observations above the last bound
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// cumulative returns the bucket upper bounds with cumulative counts,
+// excluding the implicit +Inf bucket (whose cumulative count is
+// Count()).
+func (h *Histogram) cumulative() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.bounds))
+	var c int64
+	for i := range h.bounds {
+		c += h.counts[i].Load()
+		counts[i] = c
+	}
+	return h.bounds, counts
+}
+
+// atomicFloat is a float64 with atomic add, stored as IEEE-754 bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefTimeBuckets is the default bucket layout for latency histograms,
+// in seconds: 500µs to 10s, roughly 2-2.5× apart — wide enough for an
+// in-process query and a loaded loopback deployment alike.
+var DefTimeBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// DefCountBuckets is the default layout for small-count histograms
+// (rounds to fixpoint, retries): powers of two from 1 to 1024.
+var DefCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}

@@ -13,6 +13,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"dgs"
 )
@@ -22,6 +23,7 @@ type entry struct {
 	key     string
 	res     *dgs.Result // immutable once stored
 	version uint64      // graph version the result was computed at
+	created time.Time   // when the result was stored (hit-age metric)
 	elem    *list.Element
 }
 
@@ -38,28 +40,28 @@ func newCache(max int) *cache {
 }
 
 // get returns the cached result for key if it was computed at graph
-// version now. An older tag is a miss and evicts the entry — versions
-// are monotone, so it can never hit again. A NEWER tag (the caller read
-// the version just before a racing Apply and a fresher query re-filled
-// the entry) is a plain miss: the entry stays, it is what the next
-// caller wants.
-func (c *cache) get(key string, now uint64) (*dgs.Result, bool) {
+// version now, along with the entry's age (time since it was stored).
+// An older tag is a miss and evicts the entry — versions are monotone,
+// so it can never hit again. A NEWER tag (the caller read the version
+// just before a racing Apply and a fresher query re-filled the entry)
+// is a plain miss: the entry stays, it is what the next caller wants.
+func (c *cache) get(key string, now uint64) (*dgs.Result, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	if e.version < now {
 		c.lru.Remove(e.elem)
 		delete(c.m, key)
-		return nil, false
+		return nil, 0, false
 	}
 	if e.version > now {
-		return nil, false
+		return nil, 0, false
 	}
 	c.lru.MoveToFront(e.elem)
-	return e.res, true
+	return e.res, time.Since(e.created), true
 }
 
 // put stores res, tagged with the version it carries, evicting the
@@ -70,12 +72,12 @@ func (c *cache) put(key string, res *dgs.Result) {
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
 		if res.Version >= e.version {
-			e.res, e.version = res, res.Version
+			e.res, e.version, e.created = res, res.Version, time.Now()
 			c.lru.MoveToFront(e.elem)
 		}
 		return
 	}
-	e := &entry{key: key, res: res, version: res.Version}
+	e := &entry{key: key, res: res, version: res.Version, created: time.Now()}
 	e.elem = c.lru.PushFront(e)
 	c.m[key] = e
 	for len(c.m) > c.max {

@@ -16,6 +16,7 @@ import (
 
 	"dgs"
 	"dgs/internal/buildinfo"
+	"dgs/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; patterns and update batches are
@@ -37,6 +38,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/apply", s.handleApply)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	// One exposition page for the whole gateway process: the serving
+	// counters (dgs_gw_*) merged with the fronted deployment's driver
+	// and transport metrics (dgs_*, dgs_net_*).
+	mux.Handle("/metrics", obs.Handler(s.reg, s.dep.Metrics()))
 	return mux
 }
 

@@ -27,12 +27,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"dgs"
+	"dgs/internal/obs"
 )
 
 // Options tunes a Server. The zero value selects the defaults.
@@ -51,6 +53,13 @@ type Options struct {
 	// Algorithm is the default evaluation algorithm for requests that do
 	// not name one (default dgs.AlgoDGPM).
 	Algorithm dgs.Algorithm
+	// SlowQuery logs any /query whose total latency (queue wait
+	// included) reaches the threshold, through Logger at Warn. 0
+	// disables the slow-query log.
+	SlowQuery time.Duration
+	// Logger receives the server's structured logs (slow queries); nil
+	// selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) norm() Options {
@@ -111,17 +120,26 @@ func badRequest(format string, args ...any) error {
 // Server fronts one deployment with caching, coalescing and admission
 // control. Safe for concurrent use.
 type Server struct {
-	dep   *dgs.Deployment
-	dict  *dgs.Dict
-	opts  Options
-	cache *cache // nil when caching is disabled
-	gate  *gate
-	fl    *flightGroup
-	start time.Time
+	dep    *dgs.Deployment
+	dict   *dgs.Dict
+	opts   Options
+	cache  *cache // nil when caching is disabled
+	gate   *gate
+	fl     *flightGroup
+	start  time.Time
+	logger *slog.Logger
 
+	// The counters stay plain int64s driven by atomic.AddInt64 (the
+	// registry reads them through CounterFuncs) so Counters() keeps its
+	// exact JSON shape and pre-existing by-value Server fixtures stay
+	// `go vet` copylocks-clean.
 	nQueries, nHits, nMisses, nCoalesced int64
 	nRejected, nDeadline, nErrors        int64
-	nApplies                             int64
+	nApplies, nSlow                      int64
+
+	reg          *obs.Registry
+	querySeconds *obs.Histogram // total /query latency, cache hits included
+	hitAge       *obs.Histogram // age of served cache entries
 }
 
 // New builds a Server over dep. dict must be the dictionary the deployed
@@ -140,8 +158,51 @@ func New(dep *dgs.Deployment, dict *dgs.Dict, opts Options) *Server {
 	if opts.CacheSize > 0 {
 		s.cache = newCache(opts.CacheSize)
 	}
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.reg = obs.NewRegistry()
+	s.registerMetrics()
 	return s
 }
+
+// registerMetrics publishes the serving counters on the gateway
+// registry. The /stats JSON snapshot (Counters) and the /metrics
+// exposition read the same backing atomics, so the two views always
+// agree.
+func (s *Server) registerMetrics() {
+	load := func(p *int64) func() float64 {
+		return func() float64 { return float64(atomic.LoadInt64(p)) }
+	}
+	s.reg.CounterFunc("dgs_gw_queries_total", "Gateway /query requests.", load(&s.nQueries))
+	s.reg.CounterFunc("dgs_gw_cache_hits_total", "Queries served from the result cache.", load(&s.nHits))
+	s.reg.CounterFunc("dgs_gw_cache_misses_total", "Cacheable queries that missed.", load(&s.nMisses))
+	s.reg.CounterFunc("dgs_gw_coalesced_total", "Queries served by joining a concurrent identical flight.", load(&s.nCoalesced))
+	s.reg.CounterFunc("dgs_gw_rejected_total", "Queries shed by admission control (overload).", load(&s.nRejected))
+	s.reg.CounterFunc("dgs_gw_deadline_total", "Queries that exceeded their per-query deadline.", load(&s.nDeadline))
+	s.reg.CounterFunc("dgs_gw_errors_total", "Malformed requests and evaluation failures.", load(&s.nErrors))
+	s.reg.CounterFunc("dgs_gw_applies_total", "Successfully applied edge-update batches.", load(&s.nApplies))
+	s.reg.CounterFunc("dgs_gw_slow_queries_total", "Queries at or over the slow-query threshold.", load(&s.nSlow))
+	s.reg.GaugeFunc("dgs_gw_in_flight", "Concurrently executing evaluations.", func() float64 {
+		return float64(s.gate.inFlight())
+	})
+	s.reg.GaugeFunc("dgs_gw_queue_depth", "Queries waiting for an execution slot.", func() float64 {
+		return float64(s.gate.queueDepth())
+	})
+	s.reg.GaugeFunc("dgs_gw_cache_entries", "Live result-cache entries.", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.len())
+	})
+	s.querySeconds = s.reg.Histogram("dgs_gw_query_seconds", "Total /query latency (cache hits included).", obs.DefTimeBuckets)
+	s.hitAge = s.reg.Histogram("dgs_gw_cache_hit_age_seconds", "Age of cache entries at the moment they were served.", []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200})
+}
+
+// Metrics returns the gateway's metrics registry, for exposition
+// alongside the deployment's (Deployment.Metrics) at GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Deployment returns the fronted deployment.
 func (s *Server) Deployment() *dgs.Deployment { return s.dep }
@@ -166,6 +227,11 @@ type QueryRequest struct {
 	// NoCache bypasses the result cache and coalescing for this query
 	// (it still passes admission control).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace evaluates with distributed tracing and returns the span
+	// tree in the response. A traced query bypasses the cache and
+	// coalescing like NoCache (a shared or cached result carries no
+	// trace of THIS request's evaluation), but still passes admission.
+	Trace bool `json:"trace,omitempty"`
 	// Explain returns the evaluation plan — node/edge orders with
 	// selectivity estimates and the canonical cache key — without
 	// executing the query. Nothing is evaluated, cached or admitted.
@@ -217,6 +283,8 @@ type QueryResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Stats is the distributed evaluation cost.
 	Stats QueryStats `json:"stats"`
+	// Trace is the evaluation's span tree; only for Trace requests.
+	Trace *dgs.QueryTrace `json:"trace,omitempty"`
 	// Plan is the evaluation plan; only for Explain requests, which
 	// carry no evaluation fields (OK/Pairs/Stats stay zero).
 	Plan *PlanBody `json:"plan,omitempty"`
@@ -281,6 +349,7 @@ type compiled struct {
 	algo        dgs.Algorithm
 	key         string // canonical pattern key + config
 	wantMatches bool
+	wantTrace   bool
 }
 
 // compile parses and canonicalizes a request. The cache key is the
@@ -322,6 +391,11 @@ func (s *Server) compile(req QueryRequest) (*compiled, error) {
 		opts = append(opts, dgs.WithGraphIsDAG())
 		cfg += ";dag"
 	}
+	if req.Trace {
+		// Not part of the cache key: traced queries never touch the
+		// cache, so the trace knob cannot split otherwise-equal entries.
+		opts = append(opts, dgs.WithTrace())
+	}
 	return &compiled{
 		reqQ:        reqQ,
 		q:           q,
@@ -330,6 +404,7 @@ func (s *Server) compile(req QueryRequest) (*compiled, error) {
 		algo:        algo,
 		key:         canon + "\x00" + cfg,
 		wantMatches: req.IncludeMatches,
+		wantTrace:   req.Trace,
 	}, nil
 }
 
@@ -361,14 +436,28 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	start := time.Now()
+	defer func() { s.observeQuery(req, c, time.Since(start)) }()
 
-	useCache := s.cache != nil && !req.NoCache
+	useCache := s.cache != nil && !req.NoCache && !req.Trace
 	if useCache {
-		if res, ok := s.cache.get(c.key, s.dep.Version()); ok {
+		if res, age, ok := s.cache.get(c.key, s.dep.Version()); ok {
 			atomic.AddInt64(&s.nHits, 1)
+			s.hitAge.Observe(age.Seconds())
 			return s.respond(c, res, true, false), nil
 		}
 		atomic.AddInt64(&s.nMisses, 1)
+	}
+	if req.Trace {
+		// Traced path: lead unconditionally (no coalescing — followers
+		// would share a trace that is not theirs) and keep the result
+		// out of the cache, where its span tree would leak into
+		// untraced responses.
+		res, err := s.lead(ctx, c)
+		if err != nil {
+			return nil, s.countErr(err)
+		}
+		return s.respond(c, res, false, false), nil
 	}
 	if !useCache {
 		// Raw path: no coalescing either (NoCache is the measurement
@@ -407,6 +496,23 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		s.cache.put(c.key, res)
 		return s.respond(c, res, false, false), nil
 	}
+}
+
+// observeQuery feeds the latency histogram and the slow-query log for
+// one executed (non-Explain) query.
+func (s *Server) observeQuery(req QueryRequest, c *compiled, elapsed time.Duration) {
+	s.querySeconds.Observe(elapsed.Seconds())
+	if s.opts.SlowQuery <= 0 || elapsed < s.opts.SlowQuery {
+		return
+	}
+	atomic.AddInt64(&s.nSlow, 1)
+	s.logger.Warn("slow query",
+		"elapsed_ms", elapsed.Milliseconds(),
+		"threshold_ms", s.opts.SlowQuery.Milliseconds(),
+		"algo", c.algo.String(),
+		"pattern_nodes", c.q.NumNodes(),
+		"traced", req.Trace,
+		"graph_version", s.dep.Version())
 }
 
 // lead runs one admitted evaluation.
@@ -449,6 +555,9 @@ func (s *Server) respond(c *compiled, res *dgs.Result, cached, coalesced bool) *
 	}
 	if c.wantMatches {
 		resp.Matches = matchesOf(c, res.Match)
+	}
+	if c.wantTrace {
+		resp.Trace = res.Trace
 	}
 	return resp
 }

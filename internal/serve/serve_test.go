@@ -539,18 +539,18 @@ func TestCacheLRU(t *testing.T) {
 	mk := func(v uint64) *dgs.Result { return &dgs.Result{Version: v} }
 	c.put("a", mk(0))
 	c.put("b", mk(0))
-	if _, ok := c.get("a", 0); !ok {
+	if _, _, ok := c.get("a", 0); !ok {
 		t.Fatal("a evicted too early")
 	}
 	c.put("c", mk(0)) // evicts b (a was just touched)
-	if _, ok := c.get("b", 0); ok {
+	if _, _, ok := c.get("b", 0); ok {
 		t.Fatal("b survived past capacity")
 	}
-	if _, ok := c.get("a", 0); !ok {
+	if _, _, ok := c.get("a", 0); !ok {
 		t.Fatal("a evicted despite recency")
 	}
 	// Stale version is a miss and evicts.
-	if _, ok := c.get("a", 1); ok {
+	if _, _, ok := c.get("a", 1); ok {
 		t.Fatal("stale entry hit")
 	}
 	if c.len() != 1 {
@@ -559,7 +559,7 @@ func TestCacheLRU(t *testing.T) {
 	// A newer result replaces; an older one does not regress the entry.
 	c.put("c", mk(5))
 	c.put("c", mk(3))
-	if _, ok := c.get("c", 5); !ok {
+	if _, _, ok := c.get("c", 5); !ok {
 		t.Fatal("older put regressed the entry")
 	}
 }

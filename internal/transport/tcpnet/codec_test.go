@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"dgs/internal/cluster"
+	"dgs/internal/obs"
 	"dgs/internal/wire"
 )
 
@@ -212,5 +213,83 @@ func TestWriteChunkRespectsByteCap(t *testing.T) {
 		if typ != frameMsg && typ != frameMsgB {
 			t.Fatalf("unexpected frame %s in split run", frameName(typ))
 		}
+	}
+}
+
+// Tracing off must leave the v5 OPEN body byte-identical to the v4 one
+// — for a planned and for a planless spec — so an untraced deployment's
+// wire traffic is indistinguishable from a pre-trace build's. This is
+// the regression test behind the BENCH_TRANSPORT trace-off arm.
+func TestEncodeOpenTraceOffByteIdenticalToV4(t *testing.T) {
+	specs := map[string]cluster.SessionSpec{
+		"planless": {Algo: "a", Query: []byte{1, 2}, Config: []byte{3}},                                           //lint:allow regconsistent — codec byte-identity probe, the spec never reaches a site
+		"planned":  {Algo: "a", Query: []byte{1, 2}, Config: []byte{3}, Planner: "greedy", Plan: []byte{4, 5, 6}}, //lint:allow regconsistent — codec byte-identity probe, the spec never reaches a site
+	}
+	for name, spec := range specs {
+		o := openBody{qid: 9, kind: cluster.SessionQuery, spec: spec}
+		v4 := encodeOpen(o, 4)
+		v5 := encodeOpen(o, 5)
+		if !bytes.Equal(v4, v5) {
+			t.Errorf("%s: untraced v5 OPEN differs from v4:\nv4 %x\nv5 %x", name, v4, v5)
+		}
+	}
+}
+
+// A traced planless OPEN emits the plan pair as two empty blobs ahead
+// of the trace ID (the decoder tells the two trailing-optional
+// extensions apart by remaining length), and round-trips at v5. The
+// same body must be rejected — not silently truncated — by a strict v4
+// decoder, which is what forces the per-connection encode.
+func TestEncodeOpenTracedRoundTrip(t *testing.T) {
+	for name, spec := range map[string]cluster.SessionSpec{
+		"planless": {Algo: "a", Query: []byte{1}, Config: []byte{2}, TraceID: 0xBEEF},                                 //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
+		"planned":  {Algo: "a", Query: []byte{1}, Config: []byte{2}, Planner: "greedy", Plan: []byte{7}, TraceID: 11}, //lint:allow regconsistent — codec round-trip probe, the spec never reaches a site
+	} {
+		o := openBody{qid: 3, kind: cluster.SessionQuery, spec: spec}
+		got, err := decodeOpen(encodeOpen(o, 5), 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.spec.TraceID != spec.TraceID {
+			t.Fatalf("%s: trace ID = %#x, want %#x", name, got.spec.TraceID, spec.TraceID)
+		}
+		if got.spec.Planner != spec.Planner || !bytes.Equal(got.spec.Plan, spec.Plan) {
+			t.Fatalf("%s: plan fields mangled: %+v", name, got.spec)
+		}
+		if _, err := decodeOpen(encodeOpen(o, 5), 4); err == nil {
+			t.Fatalf("%s: v4 decoder accepted a traced v5 body", name)
+		}
+		// A pre-5 encode drops the trace ID entirely: the daemon can
+		// never learn a trace ID it would not know how to report.
+		got4, err := decodeOpen(encodeOpen(o, 4), 4)
+		if err != nil {
+			t.Fatalf("%s: v4 round trip: %v", name, err)
+		}
+		if got4.spec.TraceID != 0 {
+			t.Fatalf("%s: v4 body smuggled trace ID %#x", name, got4.spec.TraceID)
+		}
+	}
+}
+
+// The TRACE frame body round-trips multi-site span sets, including the
+// coordinator pseudo-site and sites with no spans.
+func TestTraceCodecRoundTrip(t *testing.T) {
+	spans := []obs.SiteTrace{
+		{Site: obs.CoordinatorSite, Spans: []obs.RoundSpan{{Round: 0, BusyNs: 12, MsgsIn: 3, MsgsOut: 1, BytesIn: 90, BytesOut: 14, Rounds: 2}}},
+		{Site: 0, Spans: []obs.RoundSpan{{Round: 0, BusyNs: 7, MsgsIn: 1, BytesIn: 9}, {Round: 1, BusyNs: 5, MsgsOut: 2, BytesOut: 31, Rounds: 1}}},
+		{Site: 2, Spans: []obs.RoundSpan{}},
+	}
+	qid, got, err := decodeTrace(encodeTrace(42, spans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qid != 42 {
+		t.Fatalf("qid = %d, want 42", qid)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("span set mangled:\nwant %+v\ngot  %+v", spans, got)
+	}
+	if _, _, err := decodeTrace([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated TRACE body decoded")
 	}
 }

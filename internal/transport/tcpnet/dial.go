@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dgs/internal/cluster"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/wire"
 )
@@ -58,6 +59,10 @@ type Options struct {
 	// for HeartbeatMisses consecutive intervals is declared lost (after
 	// a dial-back probe for the diagnostic). Default 3.
 	HeartbeatMisses int
+	// Metrics, when non-nil, receives the transport's driver-side
+	// metrics (frame counters, outbox depth, heartbeat RTT, site
+	// losses). Register one transport per registry: names are unique.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -111,12 +116,66 @@ type Net struct {
 	framesOut atomic.Int64
 	framesIn  atomic.Int64
 
+	// Pending trace collections, armed per traced Open and resolved by
+	// inbound TRACE frames (or marked partial on connection loss).
+	traceMu sync.Mutex
+	traces  map[uint64]*traceWait
+
+	// Optional metric instruments (nil without Options.Metrics).
+	msgsOut    *obs.Counter
+	siteLosses *obs.Counter
+	hbRTT      *obs.Histogram
+
 	wg sync.WaitGroup
 }
 
 var _ cluster.Transport = (*Net)(nil)
 var _ cluster.Recoverer = (*Net)(nil)
 var _ cluster.LossNotifier = (*Net)(nil)
+var _ cluster.Tracer = (*Net)(nil)
+
+// traceWait accumulates the TRACE frames of one traced session: one per
+// v5+ connection the OPEN went to. done closes when every expected
+// frame arrived or the wait was abandoned (connection loss, shutdown) —
+// whichever first; partial then records that spans are missing.
+type traceWait struct {
+	mu      sync.Mutex
+	want    int // TRACE frames still outstanding
+	partial bool
+	spans   []obs.SiteTrace
+	done    chan struct{}
+	closed  bool
+}
+
+func (w *traceWait) finishLocked() {
+	if !w.closed {
+		w.closed = true
+		close(w.done)
+	}
+}
+
+// deliver folds one daemon's spans in; the wait resolves when the last
+// expected frame arrives.
+func (w *traceWait) deliver(spans []obs.SiteTrace) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.spans = append(w.spans, spans...)
+	if w.want--; w.want <= 0 {
+		w.finishLocked()
+	}
+}
+
+// abandon resolves the wait early with whatever arrived, marking the
+// trace partial.
+func (w *traceWait) abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.partial = true
+	w.finishLocked()
+}
 
 type conn struct {
 	t       *Net
@@ -129,6 +188,7 @@ type conn struct {
 	dead     atomic.Bool  // set once by loseConn
 	lastIn   atomic.Int64 // unix nanos of the last inbound frame
 	pingSeq  atomic.Uint64
+	pingAt   atomic.Int64 // unix nanos of the last PING enqueue; 0 when answered
 	stopHB   chan struct{}
 	stopOnce sync.Once
 
@@ -181,6 +241,10 @@ func Dial(ctx context.Context, addrs []string, fr *partition.Fragmentation, opts
 		opts:   opts,
 		perQID: make(map[uint64]int64),
 		spares: append([]string(nil), opts.Spares...),
+		traces: make(map[uint64]*traceWait),
+	}
+	if reg := opts.Metrics; reg != nil {
+		t.registerMetrics(reg)
 	}
 	owner := make([]int, n)
 	var conns []*conn
@@ -404,7 +468,28 @@ func (t *Net) Open(qid uint64, kind cluster.SessionKind, spec cluster.SessionSpe
 	// pre-4 peers get the plan-less body they can strict-decode.
 	o := openBody{qid: qid, kind: kind, spec: spec}
 	bodies := make(map[uint16][]byte, 2)
-	for _, cn := range t.rt.Load().conns {
+	conns := t.rt.Load().conns
+	if spec.TraceID != 0 {
+		// Arm the trace wait before any OPEN can be answered: one TRACE
+		// frame is owed per trace-capable connection. Pre-v5 peers never
+		// learn the trace ID, so their spans are missing by construction
+		// — the wait starts out partial.
+		w := &traceWait{done: make(chan struct{})}
+		for _, cn := range conns {
+			if cn.version >= 5 && !cn.dead.Load() {
+				w.want++
+			} else {
+				w.partial = true
+			}
+		}
+		if w.want == 0 {
+			w.abandon()
+		}
+		t.traceMu.Lock()
+		t.traces[qid] = w
+		t.traceMu.Unlock()
+	}
+	for _, cn := range conns {
 		body, ok := bodies[cn.version]
 		if !ok {
 			body = encodeOpen(o, cn.version)
@@ -439,6 +524,9 @@ func (t *Net) Send(qid uint64, from, to int, data []byte) {
 	rt := t.rt.Load()
 	cn := rt.conns[rt.owner[to]]
 	cn.out.put(outEntry{kind: entryMsg, qid: qid, from: from, to: to, data: data})
+	if t.msgsOut != nil {
+		t.msgsOut.Inc()
+	}
 }
 
 // Frames reports post-deployment frames written to and read from the
@@ -447,6 +535,99 @@ func (t *Net) Send(qid uint64, from, to int, data []byte) {
 // payload traffic.
 func (t *Net) Frames() (sent, received int64) {
 	return t.framesOut.Load(), t.framesIn.Load()
+}
+
+// registerMetrics installs the transport's instruments on reg. Sampled
+// values (frame counters, deploy bytes, outbox depth) are exported as
+// funcs over the existing counters so the hot path gains no new writes;
+// only genuinely new signals (message sends, heartbeat RTT, site
+// losses) get dedicated instruments.
+func (t *Net) registerMetrics(reg *obs.Registry) {
+	t.msgsOut = reg.Counter("dgs_net_msgs_out_total",
+		"Session messages handed to the transport for delivery to a site.")
+	t.siteLosses = reg.Counter("dgs_net_site_losses_total",
+		"Daemon connections declared lost (heartbeat silence or socket error).")
+	t.hbRTT = reg.Histogram("dgs_net_heartbeat_rtt_seconds",
+		"Round-trip time from PING enqueue to PONG receipt.", obs.DefTimeBuckets)
+	reg.CounterFunc("dgs_net_frames_out_total",
+		"Post-deployment frames written to daemon sockets.",
+		func() float64 { return float64(t.framesOut.Load()) })
+	reg.CounterFunc("dgs_net_frames_in_total",
+		"Post-deployment frames read from daemon sockets.",
+		func() float64 { return float64(t.framesIn.Load()) })
+	reg.CounterFunc("dgs_net_deploy_bytes_total",
+		"Deployment traffic bytes: handshakes, fragment shipping, and unattributable stragglers.",
+		func() float64 { return float64(t.DeployBytes()) })
+	reg.GaugeFunc("dgs_net_outbox_depth",
+		"Outbound entries queued across all live connections, awaiting the writers.",
+		func() float64 {
+			var depth int
+			for _, cn := range t.rt.Load().conns {
+				if !cn.dead.Load() {
+					depth += cn.out.len()
+				}
+			}
+			return float64(depth)
+		})
+}
+
+// traceWaitFor looks a pending trace wait up.
+func (t *Net) traceWaitFor(qid uint64) (*traceWait, bool) {
+	t.traceMu.Lock()
+	defer t.traceMu.Unlock()
+	w, ok := t.traces[qid]
+	return w, ok
+}
+
+// abandonTraces marks every pending trace wait partial and resolves it —
+// the connection-loss and shutdown path. A finer per-connection account
+// of which daemon still owed spans is not kept: a loss mid-session
+// fails the traced query anyway, so a partial trace is the honest
+// answer for all of them.
+func (t *Net) abandonTraces() {
+	t.traceMu.Lock()
+	waits := make([]*traceWait, 0, len(t.traces))
+	for _, w := range t.traces {
+		waits = append(waits, w)
+	}
+	t.traceMu.Unlock()
+	for _, w := range waits {
+		w.abandon()
+	}
+}
+
+// Trace implements cluster.Tracer: it blocks until every v5+ daemon
+// shipped its TRACE frame for the closed session qid (their frames
+// chase the CLOSE on the same connections, so the wait is one network
+// round-trip) and returns the collected spans. complete is false when
+// any daemon spoke a pre-trace protocol or died before reporting. A
+// qid that was never traced returns (nil, false, nil) immediately.
+func (t *Net) Trace(ctx context.Context, qid uint64) ([]obs.SiteTrace, bool, error) {
+	t.traceMu.Lock()
+	w, ok := t.traces[qid]
+	t.traceMu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	// The wait stays registered until it resolves: the TRACE frames chase
+	// the CLOSE over the network, so they almost always arrive after this
+	// call starts blocking, and the read loop must still find the wait.
+	var ctxErr error
+	select {
+	case <-w.done:
+	case <-ctx.Done():
+		w.abandon()
+		ctxErr = ctx.Err()
+	}
+	t.traceMu.Lock()
+	delete(t.traces, qid)
+	t.traceMu.Unlock()
+	if ctxErr != nil {
+		return nil, false, ctxErr
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spans, !w.partial, nil
 }
 
 // WireBytes implements cluster.Transport: measured socket bytes (frame
@@ -467,6 +648,7 @@ func (t *Net) Shutdown() {
 	}
 	t.closing = true
 	t.mu.Unlock()
+	t.abandonTraces()
 	for _, cn := range t.rt.Load().conns {
 		cn.stop()
 		cn.out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameBye, nil)})
@@ -495,6 +677,7 @@ func (t *Net) fail(err error) {
 		cn.stop()
 		cn.out.close()
 	}
+	t.abandonTraces()
 	if !closing && t.ev != nil {
 		t.ev.Fail(0, err)
 	}
@@ -526,8 +709,14 @@ func (t *Net) loseConn(cn *conn, cause error) {
 	cn.c.Close()
 	lostErr := fmt.Errorf("tcpnet: daemon %s (sites %v): %v: %w", cn.addr, t.sitesOf(cn), cause, cluster.ErrSiteLost)
 	cn.deliverDeployed(lostErr)
+	// The lost daemon may still owe TRACE frames; resolve the waits as
+	// partial rather than leaving trace collectors blocked.
+	t.abandonTraces()
 	if t.isClosing() {
 		return
+	}
+	if t.siteLosses != nil {
+		t.siteLosses.Inc()
 	}
 	if t.ev != nil {
 		t.ev.Fail(0, lostErr)
@@ -764,6 +953,10 @@ func (cn *conn) heartbeatLoop() {
 		}
 		silence := time.Since(time.Unix(0, cn.lastIn.Load()))
 		if silence < window {
+			// Stamp only when the previous PING was answered, so a slow
+			// daemon's eventual PONG is measured against the PING that
+			// provoked it, not a later one.
+			cn.pingAt.CompareAndSwap(0, time.Now().UnixNano())
 			t.enqueue(cn, 0, framePing, encodePingPong(cn.pingSeq.Add(1)))
 			continue
 		}
@@ -874,7 +1067,28 @@ func (cn *conn) readLoop() {
 				t.fail(fmt.Errorf("tcpnet: %s sent bad PONG: %w", cn.addr, err))
 				return
 			}
-			// lastIn was already refreshed above; the PONG's work is done.
+			// lastIn was already refreshed above. Close the RTT window the
+			// matching PING opened, if one is outstanding.
+			if at := cn.pingAt.Swap(0); at != 0 && t.hbRTT != nil {
+				t.hbRTT.Observe(time.Since(time.Unix(0, at)).Seconds())
+			}
+		case frameTrace:
+			if cn.version < 5 {
+				t.fail(fmt.Errorf("tcpnet: %s sent TRACE on a v%d connection", cn.addr, cn.version))
+				return
+			}
+			qid, spans, err := decodeTrace(body)
+			if err != nil {
+				t.fail(fmt.Errorf("tcpnet: %s sent bad TRACE: %w", cn.addr, err))
+				return
+			}
+			// TRACE chases the CLOSE, so the session's meter is already
+			// gone; addWire books the bytes as deployment traffic, keeping
+			// a session's WireBytes identical traced or not.
+			t.addWire(qid, wire.FrameOverhead+len(body))
+			if w, ok := t.traceWaitFor(qid); ok {
+				w.deliver(spans)
+			}
 		case frameDeployed:
 			// A REDEPLOY completed. Outside a recovery this frame is
 			// out-of-spec.

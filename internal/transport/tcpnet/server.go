@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"dgs/internal/cluster"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/wire"
 )
@@ -33,6 +35,39 @@ type Server struct {
 	// it to 1 to emulate a pre-coalescing daemon and exercise the
 	// driver's per-message fallback.
 	MaxVersion uint16
+
+	// counters are the daemon's running totals, maintained always and
+	// exported when RegisterMetrics was called. Plain int64s driven by
+	// the sync/atomic functions (not atomic.Int64) so the pre-Serve
+	// by-value Server copies tests make stay vet-clean.
+	counters struct {
+		connections int64
+		sessions    int64
+		framesIn    int64
+		framesOut   int64
+		traces      int64
+	}
+}
+
+// RegisterMetrics exposes the daemon's counters on reg (serve them with
+// obs.Handler, as `dgsd -metrics` does). Call before Serve, once per
+// registry.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("dgsd_connections_total",
+		"Driver connections accepted over the daemon's lifetime.",
+		func() float64 { return float64(atomic.LoadInt64(&s.counters.connections)) })
+	reg.CounterFunc("dgsd_sessions_total",
+		"Sessions opened across all driver connections.",
+		func() float64 { return float64(atomic.LoadInt64(&s.counters.sessions)) })
+	reg.CounterFunc("dgsd_frames_in_total",
+		"Frames read from drivers after deployment.",
+		func() float64 { return float64(atomic.LoadInt64(&s.counters.framesIn)) })
+	reg.CounterFunc("dgsd_frames_out_total",
+		"Frames written to drivers after deployment.",
+		func() float64 { return float64(atomic.LoadInt64(&s.counters.framesOut)) })
+	reg.CounterFunc("dgsd_traces_total",
+		"TRACE frames shipped for traced sessions.",
+		func() float64 { return float64(atomic.LoadInt64(&s.counters.traces)) })
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -53,6 +88,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return err
 		}
+		atomic.AddInt64(&s.counters.connections, 1)
 		s.logf("dgsd: driver connected from %s", c.RemoteAddr())
 		s.handle(c)
 		s.logf("dgsd: driver %s gone, state reset", c.RemoteAddr())
@@ -208,7 +244,8 @@ func (s *Server) handle(c net.Conn) {
 				return
 			}
 			c.SetWriteDeadline(time.Now().Add(writeTimeout))
-			if err := writeChunk(bw, entries, version, nil); err != nil {
+			meter := func(qid uint64, n int) { atomic.AddInt64(&s.counters.framesOut, 1) }
+			if err := writeChunk(bw, entries, version, meter); err != nil {
 				// Sever the connection: a driver waiting on our ACKs would
 				// otherwise never learn its frames stopped flowing (it has
 				// no reason to close first), and its sessions would hang.
@@ -241,6 +278,7 @@ func (s *Server) handle(c net.Conn) {
 			s.logf("dgsd: driver read: %v", err)
 			break
 		}
+		atomic.AddInt64(&s.counters.framesIn, 1)
 		errOut := func(qid uint64, msg string) {
 			out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameErr, encodeErr(errBody{qid: qid, msg: msg}))})
 		}
@@ -256,6 +294,7 @@ func (s *Server) handle(c net.Conn) {
 				continue
 			}
 			sessions++
+			atomic.AddInt64(&s.counters.sessions, 1)
 		case frameMsg:
 			m, err := decodeMsg(body)
 			if err != nil {
@@ -285,6 +324,15 @@ func (s *Server) handle(c net.Conn) {
 			qid, err := wire.NewByteReader(body).U64()
 			if err == nil {
 				host.CloseSession(qid)
+				// A traced session owes the driver its spans, chasing the
+				// close on the same connection. Even an empty snapshot is
+				// shipped: the driver counts one TRACE per connection.
+				// Pre-v5 drivers never set a trace ID, so traced is false
+				// there by construction and no unknown frame is sent.
+				if spans, traced := host.TakeTrace(qid); traced && version >= 5 {
+					out.put(outEntry{kind: entryFrame, frame: wire.AppendFrame(nil, frameTrace, encodeTrace(qid, spans))})
+					atomic.AddInt64(&s.counters.traces, 1)
+				}
 			}
 		case framePing:
 			if version < 3 {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dgs/internal/cluster"
+	"dgs/internal/obs"
 	"dgs/internal/wire"
 )
 
@@ -55,8 +56,14 @@ import (
 // OPEN body with the evaluation plan (planner name + internal/plan
 // blob); plans are advisory, so on connections negotiated below 4 the
 // driver encodes the pre-plan OPEN body and the daemon evaluates in
-// declaration order with identical results.
-const ProtocolVersion uint16 = 4
+// declaration order with identical results. Version 5 adds distributed
+// query tracing: a trailing-optional trace ID on OPEN and the TRACE
+// frame shipping per-round spans back on session close. Tracing is
+// advisory like the plan — a connection below 5 never sees the trace
+// ID and ships no spans (the trace comes back partial, results
+// identical), and with tracing off the v5 OPEN body is byte-identical
+// to v4.
+const ProtocolVersion uint16 = 5
 
 // MinProtocolVersion is the oldest protocol this build still speaks.
 const MinProtocolVersion uint16 = 1
@@ -82,6 +89,7 @@ const (
 	framePing     = 0x0D // driver→daemon, v3+: liveness probe (u64 seq)
 	framePong     = 0x0E // daemon→driver, v3+: echo of a PING's seq
 	frameRedeploy = 0x0F // driver→daemon, v3+: host additional sites (deployBody); daemon replies DEPLOYED
+	frameTrace    = 0x10 // daemon→driver, v5+: a closed traced session's per-round spans
 )
 
 func frameName(t byte) string {
@@ -116,6 +124,8 @@ func frameName(t byte) string {
 		return "PONG"
 	case frameRedeploy:
 		return "REDEPLOY"
+	case frameTrace:
+		return "TRACE"
 	default:
 		return fmt.Sprintf("frame(%#x)", t)
 	}
@@ -174,16 +184,25 @@ type openBody struct {
 // (the unplanned site evaluates in declaration order, same results).
 // At ≥4 the pair is trailing-optional — a planless session's OPEN is
 // byte-identical to the pre-plan body, so disabling the planner keeps
-// the wire identical across protocol versions.
+// the wire identical across protocol versions. At ≥5 the trace ID is a
+// second trailing-optional extension: emitted only when nonzero, and
+// then the plan pair is emitted too (even when empty) so the decoder
+// can tell the two extensions apart by remaining length. Tracing off
+// therefore leaves the OPEN body byte-identical to v4 — the property
+// the BENCH_TRANSPORT arms (and a regression test) rely on.
 func encodeOpen(o openBody, version uint16) []byte {
 	dst := appendU64(nil, o.qid)
 	dst = append(dst, byte(o.kind))
 	dst = appendBlob(dst, []byte(o.spec.Algo))
 	dst = appendBlob(dst, o.spec.Query)
 	dst = appendBlob(dst, o.spec.Config)
-	if version >= 4 && (o.spec.Planner != "" || len(o.spec.Plan) > 0) {
+	traced := version >= 5 && o.spec.TraceID != 0
+	if traced || (version >= 4 && (o.spec.Planner != "" || len(o.spec.Plan) > 0)) {
 		dst = appendBlob(dst, []byte(o.spec.Planner))
 		dst = appendBlob(dst, o.spec.Plan)
+	}
+	if traced {
+		dst = appendU64(dst, o.spec.TraceID)
 	}
 	return dst
 }
@@ -222,6 +241,11 @@ func decodeOpen(b []byte, version uint16) (openBody, error) {
 		}
 		o.spec.Planner = string(planner)
 		if o.spec.Plan, err = readBlobCopy(r); err != nil {
+			return o, err
+		}
+	}
+	if version >= 5 && r.Remaining() > 0 {
+		if o.spec.TraceID, err = r.U64(); err != nil {
 			return o, err
 		}
 	}
@@ -402,6 +426,24 @@ func decodePingPong(b []byte) (uint64, error) {
 		return 0, err
 	}
 	return seq, r.Done()
+}
+
+// TRACE frame body (v5+): u64 qid, then the internal/obs span codec —
+// the per-round spans this daemon's sites recorded for a traced
+// session, shipped once when the daemon processes the session's CLOSE.
+func encodeTrace(qid uint64, spans []obs.SiteTrace) []byte {
+	dst := appendU64(nil, qid)
+	return obs.AppendSpans(dst, spans)
+}
+
+func decodeTrace(b []byte) (uint64, []obs.SiteTrace, error) {
+	r := wire.NewByteReader(b)
+	qid, err := r.U64()
+	if err != nil {
+		return 0, nil, err
+	}
+	spans, err := obs.DecodeSpans(r.Rest())
+	return qid, spans, err
 }
 
 // errBody is the ERR frame payload; qid 0 addresses the deployment.
@@ -620,6 +662,14 @@ func (o *outbox) close() {
 	o.closed = true
 	o.mu.Unlock()
 	o.cond.Broadcast()
+}
+
+// len reports the entries currently queued (not yet drained by the
+// writer) — the backlog the outbox-depth gauge samples.
+func (o *outbox) len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queue)
 }
 
 // batchByteCap bounds one MSGB frame's coalesced payload bytes: a run

@@ -1,0 +1,183 @@
+package tcpnet_test
+
+// Distributed-tracing conformance: the traced-session behaviors every
+// backend must share — a complete span tree whose totals reproduce the
+// session's Stats, an empty-but-present trace for an idle session (the
+// daemons owe one TRACE per traced session even when no message
+// flowed), graceful degradation to a partial trace below protocol v5,
+// and nil for untraced sessions.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dgs/internal/cluster"
+	"dgs/internal/obs"
+	"dgs/internal/transport/tcpnet"
+	"dgs/internal/wire"
+)
+
+// traceCtx bounds span collection: a regression that stops TRACE
+// frames from resolving the driver's wait must fail the test, not hang
+// it for the full go-test timeout.
+func traceCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// forEachV5Backend runs body on the backends that negotiate the full
+// current protocol — the ones where a trace must come back complete.
+// The version-pinned fallback rows are covered by
+// TestTraceV4FallbackPartial instead.
+func forEachV5Backend(t *testing.T, n int, body func(t *testing.T, c *cluster.Cluster)) {
+	registerTestAlgos()
+	for _, be := range []backend{
+		{"inproc", func(t *testing.T, n int) *cluster.Cluster {
+			return cluster.New(n, cluster.Network{})
+		}},
+		tcpBackend(1),
+		tcpBackend(2),
+	} {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			c := be.mk(t, n)
+			defer c.Shutdown()
+			body(t, c)
+		})
+	}
+}
+
+// A traced session yields a complete span tree on every backend:
+// coordinator plus every worker site, with message totals equal to the
+// session's own accounting (each message counted once at its receiver).
+func TestMatrixTraceRoundTrip(t *testing.T) {
+	const n = 4
+	forEachV5Backend(t, n, func(t *testing.T, c *cluster.Cluster) {
+		var replies int
+		coord := cluster.HandlerFunc(func(*cluster.Ctx, int, wire.Payload) { replies++ })
+		s := open(t, c, cluster.SessionQuery, cluster.SessionSpec{Algo: algoReply, TraceID: 77}, coord)
+		s.Broadcast(&wire.Control{Op: 1})
+		if err := s.WaitQuiesce(bg); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		s.Close()
+		tr, err := s.Trace(traceCtx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil || tr.TraceID != 77 {
+			t.Fatalf("traced session returned trace %+v", tr)
+		}
+		if !tr.Complete {
+			t.Fatalf("trace incomplete on an all-v%d deployment", tcpnet.ProtocolVersion)
+		}
+		seen := map[int]bool{}
+		for _, site := range tr.Sites {
+			seen[site.Site] = true
+		}
+		if !seen[obs.CoordinatorSite] {
+			t.Fatalf("trace lacks coordinator spans: %+v", tr.Sites)
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				t.Fatalf("trace lacks site %d spans: %+v", i, tr.Sites)
+			}
+		}
+		_, msgsIn, msgsOut, bytesIn, bytesOut, _ := tr.Totals()
+		wantMsgs := st.ControlMsgs + st.DataMsgs + st.ResultMsgs
+		wantBytes := st.ControlBytes + st.DataBytes + st.ResultBytes
+		if msgsIn != wantMsgs || msgsOut != wantMsgs {
+			t.Fatalf("span msgs in=%d out=%d, want %d (stats: %+v)", msgsIn, msgsOut, wantMsgs, st)
+		}
+		if bytesIn != wantBytes || bytesOut != wantBytes {
+			t.Fatalf("span bytes in=%d out=%d, want %d", bytesIn, bytesOut, wantBytes)
+		}
+	})
+}
+
+// A traced session that closes without any traffic still resolves: the
+// daemons ship their (empty) TRACE frames on the CLOSE, and the
+// driver's wait must find them. This is the regression test for the
+// driver dropping its trace wait before the frames arrive.
+func TestMatrixTraceIdleSessionResolves(t *testing.T) {
+	forEachV5Backend(t, 3, func(t *testing.T, c *cluster.Cluster) {
+		s := open(t, c, cluster.SessionQuery, cluster.SessionSpec{Algo: algoNop, TraceID: 5}, nil)
+		s.Close()
+		tr, err := s.Trace(traceCtx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil || !tr.Complete {
+			t.Fatalf("idle traced session: trace = %+v", tr)
+		}
+	})
+}
+
+// An untraced session has no trace — on any backend, with no waiting.
+func TestMatrixUntracedTraceNil(t *testing.T) {
+	forEachBackend(t, 2, func(t *testing.T, c *cluster.Cluster) {
+		s := open(t, c, cluster.SessionQuery, cluster.SessionSpec{Algo: algoNop}, nil)
+		s.Broadcast(&wire.Control{Op: 1})
+		if err := s.WaitQuiesce(bg); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		tr, err := s.Trace(traceCtx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != nil {
+			t.Fatalf("untraced session returned a trace: %+v", tr)
+		}
+	})
+}
+
+// Below protocol v5 the daemons never learn the trace ID: the session
+// still runs (identical traffic), and the driver degrades to a partial
+// trace carrying only its own coordinator spans.
+func TestTraceV4FallbackPartial(t *testing.T) {
+	registerTestAlgos()
+	for name, mk := range map[string]func(t *testing.T) *tcpnet.Net{
+		"v4driver": func(t *testing.T) *tcpnet.Net {
+			return dialNet(t, 2, 3, tcpnet.Server{}, tcpnet.Options{MaxProtocol: 4})
+		},
+		"v4daemon": func(t *testing.T) *tcpnet.Net {
+			return dialNet(t, 2, 3, tcpnet.Server{MaxVersion: 4}, tcpnet.Options{})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := cluster.NewWithTransport(mk(t))
+			defer c.Shutdown()
+			var replies int
+			coord := cluster.HandlerFunc(func(*cluster.Ctx, int, wire.Payload) { replies++ })
+			s := open(t, c, cluster.SessionQuery, cluster.SessionSpec{Algo: algoReply, TraceID: 9}, coord)
+			s.Broadcast(&wire.Control{Op: 1})
+			if err := s.WaitQuiesce(bg); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			if replies != 3 {
+				t.Fatalf("v4 traced session lost traffic: %d replies", replies)
+			}
+			tr, err := s.Trace(traceCtx(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr == nil {
+				t.Fatal("traced session returned no trace")
+			}
+			if tr.Complete {
+				t.Fatal("trace claims completeness on a v4 deployment")
+			}
+			for _, site := range tr.Sites {
+				if site.Site != obs.CoordinatorSite {
+					t.Fatalf("v4 deployment produced worker spans for site %d", site.Site)
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"dgs/internal/cluster"
 	"dgs/internal/dgpm"
 	"dgs/internal/graph"
+	"dgs/internal/obs"
 	"dgs/internal/partition"
 	"dgs/internal/pattern"
 	"dgs/internal/simulation"
@@ -209,20 +210,30 @@ func (c *treeCoord) Recv(ctx *cluster.Ctx, from int, p wire.Payload) {
 // forest) and every fragment is connected, i.e. has at most one in-node.
 // Violations are reported as errors before any distributed work.
 func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation) (*simulation.Match, cluster.Stats, error) {
+	m, st, _, err := EvalTraced(ctx, c, q, fr, 0)
+	return m, st, err
+}
+
+// EvalTraced is Eval with distributed tracing: a nonzero traceID makes
+// every site record per-round spans, collected after the session
+// closes. traceID 0 disables tracing (nil trace) with wire traffic
+// byte-identical to Eval.
+func EvalTraced(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *partition.Fragmentation, traceID uint64) (*simulation.Match, cluster.Stats, *obs.QueryTrace, error) {
 	if _, ok := graph.IsTree(fr.CurrentGraph()); !ok {
-		return nil, cluster.Stats{}, fmt.Errorf("treesim: dGPMt requires a tree (or forest) data graph")
+		return nil, cluster.Stats{}, nil, fmt.Errorf("treesim: dGPMt requires a tree (or forest) data graph")
 	}
 	for _, f := range fr.Frags {
 		if len(f.InNodes) > 1 {
-			return nil, cluster.Stats{}, fmt.Errorf("treesim: fragment %d has %d in-nodes; fragments must be connected subtrees", f.ID, len(f.InNodes))
+			return nil, cluster.Stats{}, nil, fmt.Errorf("treesim: fragment %d has %d in-nodes; fragments must be connected subtrees", f.ID, len(f.InNodes))
 		}
 	}
 
 	n := fr.NumFragments()
 	coord := &treeCoord{n: n, nq: q.NumNodes()}
-	sess, err := c.OpenSession(cluster.SessionQuery, cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q)}, coord)
+	spec := cluster.SessionSpec{Algo: Algo, Query: pattern.EncodeBinary(q), TraceID: traceID}
+	sess, err := c.OpenSession(cluster.SessionQuery, spec, coord)
 	if err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	defer sess.Close()
 
@@ -230,7 +241,7 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 	// Round 1: partial evaluation, equations to the coordinator.
 	sess.Broadcast(&wire.Control{Op: dgpm.OpStart})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	sess.AddRounds(1)
 
@@ -249,14 +260,14 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 		sess.Inject(i, &wire.Values{False: falsev})
 	}
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	sess.AddRounds(1)
 
 	// Assembly.
 	sess.Broadcast(&wire.Control{Op: dgpm.OpReport})
 	if err := sess.WaitQuiesce(ctx); err != nil {
-		return nil, cluster.Stats{}, err
+		return nil, cluster.Stats{}, nil, err
 	}
 	wall := time.Since(start)
 
@@ -267,7 +278,13 @@ func Eval(ctx context.Context, c *cluster.Cluster, q *pattern.Pattern, fr *parti
 	m.Sort()
 	stats := sess.Stats()
 	stats.Wall = wall
-	return m.Canonical(), stats, nil
+	match := m.Canonical()
+	sess.Close()
+	trace, err := sess.Trace(ctx)
+	if err != nil {
+		return nil, cluster.Stats{}, nil, err
+	}
+	return match, stats, trace, nil
 }
 
 // Run evaluates one query on a throwaway single-query cluster.

@@ -13,8 +13,10 @@ package dgs
 
 import (
 	"context"
+	"errors"
 	"sync"
 
+	"dgs/internal/cluster"
 	"dgs/internal/dgpm"
 	"dgs/internal/graph"
 	"dgs/internal/partition"
@@ -145,12 +147,21 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 	// The graph changed: bump the version under the exclusive lock so
 	// caches keyed on Version see a strictly newer graph from here on.
 	d.version.Add(1)
+	d.om.applies.Inc()
 
 	// Refresh the standing queries. A refresh failure (ctx cancellation)
 	// must not leave any other handle silently desynced: the graph is
 	// already committed, so every watcher not successfully refreshed
 	// against THIS batch is marked stale and re-evaluated by the next
 	// Apply or Refresh.
+	//
+	// A site lost mid-refresh is the one failure that must NOT fail the
+	// Apply: the batch is committed on the driver, so an error here would
+	// tell a retrying caller the batch never landed and make it
+	// re-submit ops the overlay has already absorbed. The watcher is
+	// stale either way, and the recovery that clears the loss
+	// re-registers every standing query against the committed graph
+	// (failover.go); any other error still surfaces.
 	d.watchMu.Lock()
 	watchers := make([]*Maintained, 0, len(d.watchers))
 	for w := range d.watchers {
@@ -173,7 +184,7 @@ func (d *Deployment) Apply(ctx context.Context, ops []EdgeOp) (ApplyStats, error
 		}
 		addStats(&st.Maintenance, wst)
 	}
-	if firstErr != nil {
+	if firstErr != nil && !errors.Is(firstErr, cluster.ErrSiteLost) {
 		return st, errorf("apply: standing query refresh: %w", publicErr(firstErr))
 	}
 	return st, nil

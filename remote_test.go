@@ -356,3 +356,94 @@ func TestRemoteDaemonLoss(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteTrace: a WithTrace query over a real TCP deployment comes
+// back with a complete span tree — coordinator plus every fragment's
+// site — whose totals reproduce the query's own Stats aggregates, and
+// with the answer unchanged from an untraced run. With the wire
+// protocol capped below v5 the daemons never learn the trace ID: the
+// result is still oracle-correct and the trace degrades to a partial,
+// coordinator-only tree.
+func TestRemoteTrace(t *testing.T) {
+	dict := NewDict()
+	g := GenSynthetic(dict, 400, 1200, 7)
+	q := GenCyclicPatternOver(dict, 4, 6, 4, 8)
+	part, err := PartitionTargetRatio(g, 4, ByVf, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := Simulate(q, g)
+
+	addrs := startSiteServers(t, 2)
+	dep, err := Deploy(part, WithRemoteSites(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	res, err := dep.Query(context.Background(), q, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match.Equal(oracle) {
+		t.Fatalf("traced remote query diverges from Simulate:\noracle %v\ngot    %v", oracle, res.Match)
+	}
+	tr := res.Trace
+	if tr == nil || !tr.Complete || tr.TraceID == 0 {
+		t.Fatalf("traced TCP query returned trace %+v", tr)
+	}
+	seen := map[int]bool{}
+	for _, site := range tr.Sites {
+		seen[site.Site] = true
+	}
+	if !seen[-1] {
+		t.Fatalf("trace lacks coordinator spans: %+v", tr.Sites)
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Fatalf("trace lacks spans for site %d: %+v", i, tr.Sites)
+		}
+	}
+	// The spans are exact, not sampled: summed over sites and rounds
+	// they must reproduce the session's accounting — every payload byte
+	// received once, every recorded round.
+	_, _, _, bytesIn, bytesOut, rounds := tr.Totals()
+	wantBytes := res.Stats.DataBytes + res.Stats.ControlBytes + res.Stats.ResultBytes
+	if bytesIn != wantBytes || bytesOut != wantBytes {
+		t.Fatalf("trace bytes in=%d out=%d, want %d (stats %+v)", bytesIn, bytesOut, wantBytes, res.Stats)
+	}
+	if rounds != res.Stats.Rounds {
+		t.Fatalf("trace rounds=%d, stats rounds=%d", rounds, res.Stats.Rounds)
+	}
+
+	// An untraced query on the same deployment carries no trace.
+	plain, err := dep.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced query returned a trace: %+v", plain.Trace)
+	}
+
+	// v4-capped deployment: identical answer, partial trace.
+	dep4, err := Deploy(part, WithRemoteSites(startSiteServers(t, 2)...), WithWireProtocolMax(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep4.Close()
+	res4, err := dep4.Query(context.Background(), q, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res4.Match.Equal(oracle) {
+		t.Fatalf("traced v4 query diverges from Simulate")
+	}
+	if res4.Trace == nil || res4.Trace.Complete {
+		t.Fatalf("v4 deployment trace = %+v, want a partial trace", res4.Trace)
+	}
+	for _, site := range res4.Trace.Sites {
+		if site.Site != -1 {
+			t.Fatalf("v4 deployment produced worker spans for site %d", site.Site)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dgs/internal/cluster"
+	"dgs/internal/obs"
 )
 
 // Algorithm selects a distributed evaluation strategy.
@@ -97,6 +98,19 @@ func fromCluster(s cluster.Stats) Stats {
 	}
 }
 
+// QueryTrace is one traced query's span tree: per-site, per-round
+// busy time and message/byte counts, assembled after the session
+// closed (WithTrace). Totals sums the spans; Flame renders a
+// human-readable per-site flame summary.
+type QueryTrace = obs.QueryTrace
+
+// SiteTrace is one site's recorded spans within a QueryTrace; site
+// obs.CoordinatorSite (-1) is the driver-side coordinator.
+type SiteTrace = obs.SiteTrace
+
+// RoundSpan is one (site, round) span of a QueryTrace.
+type RoundSpan = obs.RoundSpan
+
 // Result is the outcome of a distributed evaluation.
 type Result struct {
 	Match *Match
@@ -105,6 +119,12 @@ type Result struct {
 	// against (see Deployment.Version). Apply serializes with queries, so
 	// the whole evaluation observed exactly this version.
 	Version uint64
+	// Trace is the query's span tree when it ran with WithTrace, nil
+	// otherwise (and nil for planner short-circuits, which open no
+	// session). On a TCP deployment with pre-trace daemons the trace
+	// comes back with Complete=false: the driver-side spans are present,
+	// the unreachable sites' missing.
+	Trace *QueryTrace
 }
 
 // Options is the legacy positional configuration of Run. New code should

@@ -14,7 +14,7 @@ if [ -n "$missing" ]; then
   fail=1
 fi
 
-for doc in README.md docs/WIRE.md docs/HTTP.md docs/ANALYSIS.md DESIGN.md; do
+for doc in README.md docs/WIRE.md docs/HTTP.md docs/ANALYSIS.md docs/OBSERVABILITY.md DESIGN.md; do
   if [ ! -s "$doc" ]; then
     echo "missing required document: $doc"
     fail=1
@@ -69,6 +69,25 @@ done
 for need in planner "trailing-optional" "version negotiation"; do
   if ! grep -qi -- "$need" docs/WIRE.md; then
     echo "docs/WIRE.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The wire spec must document the v5 tracing extension: the TRACE
+# frame, the trailing-optional trace ID, and the byte-identity promise.
+for need in TRACE traceID "byte-identical" "Distributed tracing"; do
+  if ! grep -q -- "$need" docs/WIRE.md; then
+    echo "docs/WIRE.md does not mention '$need'"
+    fail=1
+  fi
+done
+
+# The observability guide must cover each surface: the exposition
+# endpoint, tracing, profiling, and the slow-query log — and name every
+# component prefix of the metric catalog.
+for need in /metrics WithTrace QueryTrace pprof slow-query dgs_gw_ dgs_net_ dgsd_ obs-smoke; do
+  if ! grep -q -- "$need" docs/OBSERVABILITY.md; then
+    echo "docs/OBSERVABILITY.md does not mention '$need'"
     fail=1
   fi
 done
